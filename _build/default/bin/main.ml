@@ -1,0 +1,269 @@
+(* icc — command-line front end for the ICC reproduction.
+
+   Subcommands:
+     run         one ICC0/ICC1/ICC2 simulation with explicit parameters
+     table1      regenerate the paper's Table 1 (experiment E1)
+     exp         regenerate any single experiment E1..E8
+     baselines   run PBFT / chained HotStuff on a matching network
+     keys        demonstrate key generation and the random beacon *)
+
+open Cmdliner
+
+let protocol_conv =
+  Arg.enum [ ("icc0", `Icc0); ("icc1", `Icc1); ("icc2", `Icc2) ]
+
+let behavior_conv =
+  Arg.enum
+    [
+      ("crashed", Icc_core.Party.crashed);
+      ("equivocator", Icc_core.Party.byzantine_equivocator);
+      ("stealthy", Icc_core.Party.stealthy_equivocator);
+      ("lazy", Icc_core.Party.lazy_participant);
+    ]
+
+(* ------------------------------------------------------------------ run *)
+
+let run_cmd =
+  let protocol =
+    Arg.(value & opt protocol_conv `Icc0 & info [ "protocol"; "p" ]
+           ~docv:"PROTO" ~doc:"Protocol variant: icc0, icc1 or icc2.")
+  in
+  let n = Arg.(value & opt int 7 & info [ "n" ] ~doc:"Number of parties.") in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed.") in
+  let duration =
+    Arg.(value & opt float 30. & info [ "duration"; "d" ]
+           ~doc:"Simulated seconds.")
+  in
+  let delta =
+    Arg.(value & opt float 0.05 & info [ "delta" ]
+           ~doc:"One-way network delay in seconds (fixed model).")
+  in
+  let wan =
+    Arg.(value & flag & info [ "wan" ]
+           ~doc:"Use the paper's WAN model (RTT ~ U[6,110] ms) instead of a \
+                 fixed delay.")
+  in
+  let epsilon =
+    Arg.(value & opt float 0.2 & info [ "epsilon" ]
+           ~doc:"Governor epsilon of the Delta_ntry delay function.")
+  in
+  let delta_bnd =
+    Arg.(value & opt float 1.0 & info [ "delta-bnd" ]
+           ~doc:"Partial-synchrony bound Delta_bnd.")
+  in
+  let load =
+    Arg.(value & opt (some float) None & info [ "load" ]
+           ~doc:"Client commands per second (1 KB each).")
+  in
+  let block_size =
+    Arg.(value & opt (some int) None & info [ "block-size" ]
+           ~doc:"Fixed block payload in bytes (overrides --load).")
+  in
+  let corrupt =
+    Arg.(value & opt_all (pair ~sep:':' int behavior_conv) []
+         & info [ "corrupt" ] ~docv:"ID:BEHAVIOR"
+             ~doc:"Corrupt party, e.g. 2:crashed, 3:equivocator, 4:stealthy, \
+                   5:lazy.  Repeatable.")
+  in
+  let async_until =
+    Arg.(value & opt float 0. & info [ "async-until" ]
+           ~doc:"Adversarial asynchrony until this simulated time.")
+  in
+  let fanout =
+    Arg.(value & opt int 4 & info [ "fanout" ] ~doc:"Gossip fanout (icc1).")
+  in
+  let exec protocol n seed duration delta wan epsilon delta_bnd load block_size
+      corrupt async_until fanout =
+    let scenario =
+      {
+        (Icc_core.Runner.default_scenario ~n ~seed) with
+        Icc_core.Runner.duration;
+        delay =
+          (if wan then Icc_core.Runner.Wan { rtt_lo = 0.006; rtt_hi = 0.110 }
+           else Icc_core.Runner.Fixed_delay delta);
+        epsilon;
+        delta_bnd;
+        behaviors = corrupt;
+        async_until;
+        workload =
+          (match (block_size, load) with
+          | Some size, _ -> Icc_core.Runner.Fixed_block_size size
+          | None, Some rate ->
+              Icc_core.Runner.Load { rate_per_s = rate; cmd_size = 1024 }
+          | None, None -> Icc_core.Runner.No_load);
+      }
+    in
+    let r =
+      match protocol with
+      | `Icc0 -> Icc_core.Runner.run scenario
+      | `Icc1 -> Icc_gossip.Icc1.run ~fanout scenario
+      | `Icc2 -> Icc_rbc.Icc2.run scenario
+    in
+    Printf.printf "rounds decided      %d\n" r.Icc_core.Runner.rounds_decided;
+    Printf.printf "directly finalized  %d\n"
+      (List.length r.Icc_core.Runner.directly_finalized);
+    Printf.printf "block rate          %.3f blocks/s\n"
+      r.Icc_core.Runner.blocks_per_s;
+    Printf.printf "commit latency      %.4f s\n" r.Icc_core.Runner.mean_latency;
+    Printf.printf "commands committed  %d\n"
+      r.Icc_core.Runner.commands_committed;
+    Printf.printf "safety (P2+prefix)  %b\n" r.Icc_core.Runner.safety_ok;
+    Printf.printf "deadlock-free (P1)  %b\n" r.Icc_core.Runner.p1_ok;
+    Printf.printf "total traffic       %.2f MB in %d msgs (max/party %.2f MB)\n"
+      (float_of_int (Icc_sim.Metrics.total_bytes r.Icc_core.Runner.metrics)
+      /. 1e6)
+      (Icc_sim.Metrics.total_msgs r.Icc_core.Runner.metrics)
+      (float_of_int
+         (Icc_sim.Metrics.max_bytes_per_party r.Icc_core.Runner.metrics)
+      /. 1e6);
+    if not (r.Icc_core.Runner.safety_ok && r.Icc_core.Runner.p1_ok) then
+      exit 1
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run one ICC simulation.")
+    Term.(
+      const exec $ protocol $ n $ seed $ duration $ delta $ wan $ epsilon
+      $ delta_bnd $ load $ block_size $ corrupt $ async_until $ fanout)
+
+(* ------------------------------------------------------------ exhibits *)
+
+let quick_arg =
+  Arg.(value & flag & info [ "quick" ] ~doc:"Smaller sweeps / shorter runs.")
+
+let table1_cmd =
+  let exec quick =
+    Icc_experiments.Table1.print (Icc_experiments.Table1.run ~quick ())
+  in
+  Cmd.v
+    (Cmd.info "table1" ~doc:"Regenerate the paper's Table 1 (experiment E1).")
+    Term.(const exec $ quick_arg)
+
+let exp_cmd =
+  let which =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"ID" ~doc:"Experiment id: e1..e9.")
+  in
+  let exec quick which =
+    match String.lowercase_ascii which with
+    | "e1" -> Icc_experiments.Table1.print (Icc_experiments.Table1.run ~quick ())
+    | "e2" ->
+        Icc_experiments.Msg_complexity.print
+          (Icc_experiments.Msg_complexity.run ~quick ())
+    | "e3" ->
+        Icc_experiments.Round_complexity.print
+          (Icc_experiments.Round_complexity.run ~quick ())
+    | "e4" ->
+        Icc_experiments.Throughput_latency.print
+          (Icc_experiments.Throughput_latency.run ~quick ())
+    | "e5" ->
+        Icc_experiments.Leader_bottleneck.print
+          (Icc_experiments.Leader_bottleneck.run ~quick ())
+    | "e6" ->
+        Icc_experiments.Baselines_compare.print
+          (Icc_experiments.Baselines_compare.run ~quick ())
+    | "e7" ->
+        Icc_experiments.Robustness.print (Icc_experiments.Robustness.run ~quick ())
+    | "e8" ->
+        Icc_experiments.Asynchrony.print (Icc_experiments.Asynchrony.run ~quick ())
+    | "e9" ->
+        Icc_experiments.Adaptivity.print (Icc_experiments.Adaptivity.run ~quick ())
+    | other -> Printf.eprintf "unknown experiment %s (expected e1..e9)\n" other
+  in
+  Cmd.v
+    (Cmd.info "exp" ~doc:"Regenerate one experiment (e1..e8).")
+    Term.(const exec $ quick_arg $ which)
+
+(* ----------------------------------------------------------- baselines *)
+
+let baselines_cmd =
+  let proto =
+    Arg.(value & opt (enum [ ("pbft", `Pbft); ("hotstuff", `Hotstuff); ("tendermint", `Tendermint) ]) `Pbft
+         & info [ "protocol"; "p" ] ~doc:"pbft, hotstuff or tendermint.")
+  in
+  let n = Arg.(value & opt int 7 & info [ "n" ] ~doc:"Replicas.") in
+  let duration =
+    Arg.(value & opt float 30. & info [ "duration"; "d" ] ~doc:"Seconds.")
+  in
+  let delta =
+    Arg.(value & opt float 0.05 & info [ "delta" ] ~doc:"One-way delay.")
+  in
+  let crashed =
+    Arg.(value & opt_all int [] & info [ "crash" ] ~doc:"Crashed replica id.")
+  in
+  let exec proto n duration delta crashed =
+    let scenario =
+      {
+        (Icc_baselines.Harness.default_scenario ~n ~seed:42) with
+        Icc_baselines.Harness.duration;
+        delay = Icc_core.Runner.Fixed_delay delta;
+        crashed;
+      }
+    in
+    let r =
+      match proto with
+      | `Pbft -> Icc_baselines.Pbft.run scenario
+      | `Hotstuff -> Icc_baselines.Hotstuff.run scenario
+      | `Tendermint -> Icc_baselines.Tendermint.run scenario
+    in
+    Printf.printf "blocks committed  %d (%.2f/s)\n"
+      r.Icc_baselines.Harness.blocks_committed
+      r.Icc_baselines.Harness.blocks_per_s;
+    Printf.printf "latency           %.4f s\n" r.Icc_baselines.Harness.mean_latency;
+    Printf.printf "safety            %b\n" r.Icc_baselines.Harness.safety_ok
+  in
+  Cmd.v
+    (Cmd.info "baselines" ~doc:"Run a baseline protocol (PBFT / HotStuff / Tendermint).")
+    Term.(const exec $ proto $ n $ duration $ delta $ crashed)
+
+(* ---------------------------------------------------------------- keys *)
+
+let keys_cmd =
+  let n = Arg.(value & opt int 4 & info [ "n" ] ~doc:"Parties.") in
+  let exec n =
+    let t = Icc_crypto.Keygen.max_corrupt ~n in
+    let rng = Icc_sim.Rng.create 7 in
+    let system, keys =
+      Icc_crypto.Keygen.generate ~n ~t (fun () -> Icc_sim.Rng.bits61 rng)
+    in
+    Printf.printf "n = %d parties, tolerating t = %d corruptions\n" n t;
+    Printf.printf "notarization/finalization quorum h = n - t = %d\n" (n - t);
+    Printf.printf "beacon threshold t + 1 = %d\n\n" (t + 1);
+    (* walk the beacon chain for a few rounds *)
+    let msg round prev = Icc_core.Types.beacon_text ~round ~prev_sigma:prev in
+    let rec beacon round prev =
+      if round <= 5 then begin
+        let m = msg round prev in
+        let shares =
+          List.filteri (fun i _ -> i <= t)
+            (List.map
+               (fun k ->
+                 Icc_crypto.Threshold_vuf.sign_share
+                   system.Icc_crypto.Keygen.beacon
+                   k.Icc_crypto.Keygen.beacon_key m)
+               keys)
+        in
+        match
+          Icc_crypto.Threshold_vuf.combine system.Icc_crypto.Keygen.beacon m
+            shares
+        with
+        | Some sig_ ->
+            let rand = Icc_crypto.Threshold_vuf.randomness m sig_ in
+            Printf.printf "beacon round %d: randomness %s\n" round
+              (String.sub (Icc_crypto.Sha256.to_hex rand) 0 16);
+            beacon (round + 1)
+              (string_of_int sig_.Icc_crypto.Threshold_vuf.sigma)
+        | None -> print_endline "combine failed"
+      end
+    in
+    beacon 1 Icc_core.Types.beacon_genesis
+  in
+  Cmd.v
+    (Cmd.info "keys" ~doc:"Demonstrate key generation and the random beacon.")
+    Term.(const exec $ n)
+
+let () =
+  let doc = "Internet Computer Consensus (PODC 2022) reproduction" in
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "icc" ~doc)
+          [ run_cmd; table1_cmd; exp_cmd; baselines_cmd; keys_cmd ]))

@@ -1,0 +1,1 @@
+examples/asynchrony_recovery.ml: Icc_core Icc_sim List Printf String

@@ -1,0 +1,1 @@
+examples/asynchrony_recovery.mli:

@@ -1,0 +1,1 @@
+examples/byzantine_leader.ml: Array Icc_core List Printf

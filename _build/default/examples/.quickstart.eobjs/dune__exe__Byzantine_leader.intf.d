@@ -1,0 +1,1 @@
+examples/byzantine_leader.mli:

@@ -1,0 +1,1 @@
+examples/dkg_ceremony.ml: Array Fun Icc_core Icc_crypto Icc_sim List Printf String

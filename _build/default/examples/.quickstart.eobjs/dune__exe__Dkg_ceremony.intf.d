@@ -1,0 +1,1 @@
+examples/dkg_ceremony.mli:

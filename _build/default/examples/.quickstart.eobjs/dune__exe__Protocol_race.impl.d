@@ -1,0 +1,1 @@
+examples/protocol_race.ml: Icc_baselines Icc_core Icc_gossip Icc_rbc Icc_sim Printf

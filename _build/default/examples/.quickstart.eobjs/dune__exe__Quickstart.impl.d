@@ -1,0 +1,1 @@
+examples/quickstart.ml: Icc_core Icc_crypto Icc_sim List Printf String

@@ -1,0 +1,1 @@
+examples/replicated_kv.ml: Icc_core Icc_smr List Printf String

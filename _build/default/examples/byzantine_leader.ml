@@ -1,0 +1,77 @@
+(* Robust consensus under attack (paper §1 "Robust consensus").
+
+   Party 2 is a full Byzantine equivocator: whenever it proposes, it signs
+   two conflicting blocks and delivers one to each half of the network; it
+   also notarization- and finalization-shares every block it sees.  Party 4
+   is crashed.  That is t = 2 corruptions with n = 7 — the maximum the
+   protocol tolerates.
+
+   Expected: safety holds (no two finalized blocks per round, consistent
+   outputs), and throughput degrades only in the rounds where a corrupt
+   party wins the leader rank (finishing in O(delta_bnd) instead of
+   O(delta)) — the graceful degradation the paper contrasts with
+   fragile-optimism designs [15].
+
+     dune exec examples/byzantine_leader.exe *)
+
+let () =
+  let run behaviors label =
+    let scenario =
+      {
+        (Icc_core.Runner.default_scenario ~n:7 ~seed:2024) with
+        Icc_core.Runner.t_corrupt = 2;
+        duration = 60.;
+        delay = Icc_core.Runner.Fixed_delay 0.04;
+        epsilon = 0.15;
+        delta_bnd = 0.4;
+        behaviors;
+      }
+    in
+    let r = Icc_core.Runner.run scenario in
+    Printf.printf "%-28s rounds=%-4d blocks/s=%.2f latency=%.3fs safety=%b P1=%b\n"
+      label r.rounds_decided r.blocks_per_s r.mean_latency r.safety_ok r.p1_ok;
+    r
+  in
+  print_endline "=== ICC0 under Byzantine attack (n=7, t=2) ===";
+  let fault_free = run [] "fault-free" in
+  let attacked =
+    run
+      [
+        (2, Icc_core.Party.byzantine_equivocator);
+        (4, Icc_core.Party.crashed);
+      ]
+      "equivocator + crash"
+  in
+  let ratio = attacked.blocks_per_s /. fault_free.blocks_per_s in
+  Printf.printf
+    "\nthroughput under attack: %.0f%% of fault-free — degraded, never zero\n"
+    (100. *. ratio);
+  Printf.printf
+    "every honest party still commits one identical chain: %b\n"
+    (attacked.safety_ok
+    && List.for_all
+         (fun (_, c) -> List.length c = attacked.rounds_decided)
+         attacked.outputs);
+
+  (* Show the per-proposer composition of the committed chain: corrupt
+     parties win the leader rank ~2/7 of rounds but their (possibly empty
+     or split) proposals still land or are replaced by higher ranks. *)
+  (match attacked.outputs with
+  | (_, chain) :: _ ->
+      let per_proposer = Array.make 8 0 in
+      List.iter
+        (fun (b : Icc_core.Block.t) ->
+          per_proposer.(b.Icc_core.Block.proposer) <-
+            per_proposer.(b.Icc_core.Block.proposer) + 1)
+        chain;
+      print_endline "\ncommitted blocks per proposer:";
+      for p = 1 to 7 do
+        let tag =
+          match p with
+          | 2 -> " (equivocator)"
+          | 4 -> " (crashed)"
+          | _ -> ""
+        in
+        Printf.printf "  P%d%-15s %d\n" p tag per_proposer.(p)
+      done
+  | [] -> ())

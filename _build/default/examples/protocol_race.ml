@@ -1,0 +1,81 @@
+(* The whole family side by side: ICC0, ICC1 (gossip), ICC2 (erasure-coded
+   reliable broadcast), and the baselines PBFT and chained HotStuff, on one
+   identical network and block size.
+
+   Watch three columns: latency (ICC 3–4 delta vs HotStuff 6–7 delta),
+   block rate, and the maximum per-party traffic (the leader bottleneck
+   that ICC1/ICC2 attack).
+
+     dune exec examples/protocol_race.exe *)
+
+let delta = 0.04
+let n = 10
+let block = 300_000 (* 300 KB blocks: dissemination dominates *)
+
+let row name ~rounds ~latency ~max_bytes ~safety ~duration =
+  Printf.printf "%-18s %8.2f %10.3f %12.1f %9b\n" name
+    (float_of_int rounds /. duration)
+    latency
+    (float_of_int max_bytes /. duration /. 1e6 *. 8.)
+    safety
+
+let () =
+  Printf.printf "=== protocol race: n=%d, one-way delay %.0f ms, %d KB blocks ===\n"
+    n (delta *. 1000.) (block / 1000);
+  Printf.printf "%-18s %8s %10s %12s %9s\n" "protocol" "blk/s" "latency(s)"
+    "max Mb/s/node" "safety";
+
+  let icc_scenario =
+    {
+      (Icc_core.Runner.default_scenario ~n ~seed:31415) with
+      Icc_core.Runner.duration = 20.;
+      delay = Icc_core.Runner.Fixed_delay delta;
+      epsilon = 0.01;
+      delta_bnd = 0.3;
+      workload = Icc_core.Runner.Fixed_block_size block;
+    }
+  in
+  let r0 = Icc_core.Runner.run icc_scenario in
+  row "ICC0 (direct)" ~rounds:r0.rounds_decided ~latency:r0.mean_latency
+    ~max_bytes:(Icc_sim.Metrics.max_bytes_per_party r0.metrics)
+    ~safety:r0.safety_ok ~duration:r0.duration;
+
+  let r1 = Icc_gossip.Icc1.run ~fanout:4 icc_scenario in
+  row "ICC1 (gossip)" ~rounds:r1.rounds_decided ~latency:r1.mean_latency
+    ~max_bytes:(Icc_sim.Metrics.max_bytes_per_party r1.metrics)
+    ~safety:r1.safety_ok ~duration:r1.duration;
+
+  let r2 = Icc_rbc.Icc2.run icc_scenario in
+  row "ICC2 (erasure)" ~rounds:r2.rounds_decided ~latency:r2.mean_latency
+    ~max_bytes:(Icc_sim.Metrics.max_bytes_per_party r2.metrics)
+    ~safety:r2.safety_ok ~duration:r2.duration;
+
+  let baseline_scenario =
+    {
+      (Icc_baselines.Harness.default_scenario ~n ~seed:31415) with
+      Icc_baselines.Harness.duration = 20.;
+      delay = Icc_core.Runner.Fixed_delay delta;
+      block_size = block;
+      timeout = 1.0;
+    }
+  in
+  let p = Icc_baselines.Pbft.run baseline_scenario in
+  row "PBFT" ~rounds:p.blocks_committed ~latency:p.mean_latency
+    ~max_bytes:(Icc_sim.Metrics.max_bytes_per_party p.metrics)
+    ~safety:p.safety_ok ~duration:p.duration;
+
+  let h = Icc_baselines.Hotstuff.run baseline_scenario in
+  row "HotStuff (chained)" ~rounds:h.blocks_committed ~latency:h.mean_latency
+    ~max_bytes:(Icc_sim.Metrics.max_bytes_per_party h.metrics)
+    ~safety:h.safety_ok ~duration:h.duration;
+
+  let tm = Icc_baselines.Tendermint.run baseline_scenario in
+  row "Tendermint" ~rounds:tm.blocks_committed ~latency:tm.mean_latency
+    ~max_bytes:(Icc_sim.Metrics.max_bytes_per_party tm.metrics)
+    ~safety:tm.safety_ok ~duration:tm.duration;
+
+  print_endline
+    "\nexpected shape: ICC0/ICC1 and HotStuff sustain ~1 block per 2 delta\n\
+     (PBFT 3 delta at window 1, Tendermint 3 delta + its timeout); ICC\n\
+     latency ~3-4 delta vs HotStuff ~6-7 delta; gossip and erasure coding\n\
+     cut the per-node peak bandwidth."

@@ -1,0 +1,1 @@
+lib/icc_baselines/harness.ml: Hashtbl Icc_core Icc_crypto Icc_sim List Option String

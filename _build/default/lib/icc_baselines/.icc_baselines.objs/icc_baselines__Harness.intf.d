@@ -1,0 +1,1 @@
+lib/icc_baselines/harness.mli: Hashtbl Icc_core Icc_sim

@@ -1,0 +1,1 @@
+lib/icc_baselines/pbft.ml: Array Harness Hashtbl Icc_crypto Icc_sim List Printf String

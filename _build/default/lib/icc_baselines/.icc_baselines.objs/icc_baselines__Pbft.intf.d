@@ -1,0 +1,1 @@
+lib/icc_baselines/pbft.mli: Harness

@@ -1,0 +1,1 @@
+lib/icc_baselines/tendermint.mli: Harness

@@ -1,0 +1,98 @@
+(* Shared scenario/result shapes for the baseline protocols (PBFT, chained
+   HotStuff), mirroring Icc_core.Runner so experiment code can compare the
+   protocols on identical workloads and networks. *)
+
+type scenario = {
+  n : int;
+  t : int;
+  seed : int;
+  delay : Icc_core.Runner.delay_spec;
+  duration : float;
+  block_size : int; (* modeled batch payload bytes *)
+  crashed : int list;
+  kill_at : (int * float) list;
+  timeout : float; (* view-change / pacemaker timeout *)
+  pipeline_window : int; (* PBFT: batches in flight *)
+}
+
+let default_scenario ~n ~seed =
+  {
+    n;
+    t = Icc_crypto.Keygen.max_corrupt ~n;
+    seed;
+    delay = Icc_core.Runner.Fixed_delay 0.05;
+    duration = 30.;
+    block_size = 512;
+    crashed = [];
+    kill_at = [];
+    timeout = 1.0;
+    pipeline_window = 1;
+  }
+
+type result = {
+  metrics : Icc_sim.Metrics.t;
+  duration : float;
+  blocks_committed : int; (* decided by every honest replica *)
+  blocks_per_s : float;
+  mean_latency : float; (* propose -> all honest executed *)
+  safety_ok : bool; (* executed sequences prefix-consistent *)
+  outputs : (int * string list) list; (* replica, executed digests in order *)
+}
+
+let delay_model rng (spec : Icc_core.Runner.delay_spec) ~n :
+    Icc_sim.Network.delay_model =
+  match spec with
+  | Icc_core.Runner.Fixed_delay d -> Fixed d
+  | Icc_core.Runner.Uniform_delay (lo, hi) -> Uniform { rng; lo; hi }
+  | Icc_core.Runner.Wan { rtt_lo; rtt_hi } ->
+      Matrix (Icc_sim.Network.wan_matrix rng ~n ~rtt_lo ~rtt_hi)
+
+let prefix_consistent outputs =
+  let rec is_prefix a b =
+    match (a, b) with
+    | [], _ -> true
+    | _, [] -> false
+    | x :: xs, y :: ys -> String.equal x y && is_prefix xs ys
+  in
+  let rec pairs = function
+    | [] -> true
+    | (_, c1) :: rest ->
+        List.for_all
+          (fun (_, c2) -> is_prefix c1 c2 || is_prefix c2 c1)
+          rest
+        && pairs rest
+  in
+  pairs outputs
+
+(* Commit tracker shared by the baselines: a batch counts as decided when
+   every honest replica has executed it. *)
+type tracker = {
+  n_honest : int;
+  counts : (string, int) Hashtbl.t;
+  mutable decided : int;
+  mutable latencies : float list;
+  propose_times : (string, float) Hashtbl.t;
+}
+
+let tracker ~n_honest =
+  {
+    n_honest;
+    counts = Hashtbl.create 256;
+    decided = 0;
+    latencies = [];
+    propose_times = Hashtbl.create 256;
+  }
+
+let note_proposal tr ~digest ~time =
+  if not (Hashtbl.mem tr.propose_times digest) then
+    Hashtbl.add tr.propose_times digest time
+
+let note_execution tr ~digest ~time =
+  let c = 1 + Option.value ~default:0 (Hashtbl.find_opt tr.counts digest) in
+  Hashtbl.replace tr.counts digest c;
+  if c = tr.n_honest then begin
+    tr.decided <- tr.decided + 1;
+    match Hashtbl.find_opt tr.propose_times digest with
+    | Some t0 -> tr.latencies <- (time -. t0) :: tr.latencies
+    | None -> ()
+  end

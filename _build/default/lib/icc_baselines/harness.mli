@@ -1,0 +1,49 @@
+(** Shared scenario/result shapes for the baseline protocols (PBFT, chained
+    HotStuff), mirroring [Icc_core.Runner] so experiments can compare the
+    protocols on identical workloads and networks. *)
+
+type scenario = {
+  n : int;
+  t : int;
+  seed : int;
+  delay : Icc_core.Runner.delay_spec;
+  duration : float;
+  block_size : int;  (** Modeled batch payload bytes. *)
+  crashed : int list;
+  kill_at : (int * float) list;
+  timeout : float;  (** View-change / pacemaker timeout. *)
+  pipeline_window : int;  (** PBFT: batches in flight. *)
+}
+
+val default_scenario : n:int -> seed:int -> scenario
+
+type result = {
+  metrics : Icc_sim.Metrics.t;
+  duration : float;
+  blocks_committed : int;  (** Decided by every honest replica. *)
+  blocks_per_s : float;
+  mean_latency : float;  (** Propose → all honest executed. *)
+  safety_ok : bool;  (** Executed sequences prefix-consistent. *)
+  outputs : (int * string list) list;
+      (** Per honest replica, executed digests in order. *)
+}
+
+val delay_model :
+  Icc_sim.Rng.t -> Icc_core.Runner.delay_spec -> n:int ->
+  Icc_sim.Network.delay_model
+
+val prefix_consistent : (int * string list) list -> bool
+
+(** Commit tracking shared by the baselines: a batch counts as decided when
+    every honest replica has executed it. *)
+type tracker = {
+  n_honest : int;
+  counts : (string, int) Hashtbl.t;
+  mutable decided : int;
+  mutable latencies : float list;
+  propose_times : (string, float) Hashtbl.t;
+}
+
+val tracker : n_honest:int -> tracker
+val note_proposal : tracker -> digest:string -> time:float -> unit
+val note_execution : tracker -> digest:string -> time:float -> unit

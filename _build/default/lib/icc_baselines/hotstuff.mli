@@ -1,0 +1,13 @@
+(** Chained (pipelined) HotStuff [36] on the shared simulator substrate:
+    one block per view, votes as multisignature shares to the next leader,
+    QCs by aggregation, the two-chain lock / three-chain commit rule with
+    consecutive views, and a timeout pacemaker.
+
+    Baseline characteristics reproduced: 2δ reciprocal throughput, ~6–7δ
+    commit latency, and pacemaker stalls when a rotation leader has
+    crashed — including the n=4 pathology where one crashed replica leaves
+    alive-leader runs shorter than the four consecutive views a commit
+    needs, so nothing ever commits (cf. the paper's §1.1 remark on
+    fixed-rotation HotStuff under repeated leader failure). *)
+
+val run : Harness.scenario -> Harness.result

@@ -1,0 +1,12 @@
+(** PBFT (Castro–Liskov [13]) on the shared simulator substrate: the
+    three-phase happy path (pre-prepare / prepare / commit with quorums 2t
+    and n−t), in-order execution, and a view-change subprotocol carrying
+    prepared certificates.  Simplifications: no checkpointing or watermark
+    garbage collection (the log is unbounded, like the ICC pools).
+
+    Baseline characteristics reproduced: 3δ commit latency; the leader
+    transmits full batches to all n−1 replicas (the bottleneck the ICC
+    protocols attack); a crashed leader stalls progress for the view-change
+    timeout. *)
+
+val run : Harness.scenario -> Harness.result

@@ -1,0 +1,11 @@
+(** Tendermint [8] (simplified) on the shared simulator substrate: heights
+    with rounds, round-robin proposers, propose/prevote/precommit with
+    2t+1 quorums, value locking, nil votes on step timeouts, and the fixed
+    commit wait before each next height.
+
+    Baseline characteristic reproduced: Tendermint is {e not}
+    optimistically responsive — height duration is ~3δ + timeout, so the
+    block rate is governed by the timeout parameter even on a fast network
+    with honest proposers (the paper's §1.1 contrast). *)
+
+val run : Harness.scenario -> Harness.result

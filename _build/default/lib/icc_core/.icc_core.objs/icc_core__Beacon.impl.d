@@ -1,0 +1,1 @@
+lib/icc_core/beacon.ml: Array Hashtbl Icc_crypto Icc_sim List Option Pool Types

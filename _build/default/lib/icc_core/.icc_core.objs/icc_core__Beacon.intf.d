@@ -1,0 +1,1 @@
+lib/icc_core/beacon.mli: Icc_crypto Pool Types

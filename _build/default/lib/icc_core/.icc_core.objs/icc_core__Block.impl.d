@@ -1,0 +1,1 @@
+lib/icc_core/block.ml: Format Icc_crypto Printf String Types

@@ -1,0 +1,1 @@
+lib/icc_core/block.mli: Format Icc_crypto Types

@@ -1,0 +1,1 @@
+lib/icc_core/chain.ml: Block List Pool Types

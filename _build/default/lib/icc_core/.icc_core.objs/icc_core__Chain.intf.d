@@ -1,0 +1,1 @@
+lib/icc_core/chain.mli: Block Pool Types

@@ -1,0 +1,1 @@
+lib/icc_core/check.ml: Block Hashtbl Icc_crypto List Pool String

@@ -1,0 +1,1 @@
+lib/icc_core/codec.ml: Block Buffer Char Icc_crypto Int64 List Message String Types

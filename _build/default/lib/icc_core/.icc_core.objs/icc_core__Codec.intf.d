@@ -1,0 +1,1 @@
+lib/icc_core/codec.mli: Message

@@ -1,0 +1,1 @@
+lib/icc_core/config.mli: Types

@@ -1,0 +1,1 @@
+lib/icc_core/message.ml: Block Icc_crypto Types

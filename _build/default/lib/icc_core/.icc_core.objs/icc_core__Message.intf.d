@@ -1,0 +1,1 @@
+lib/icc_core/message.mli: Block Icc_crypto Types

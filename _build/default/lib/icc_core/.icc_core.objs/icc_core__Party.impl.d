@@ -1,0 +1,1 @@
+lib/icc_core/party.ml: Beacon Block Chain Config Icc_crypto Icc_sim List Message Pool Types

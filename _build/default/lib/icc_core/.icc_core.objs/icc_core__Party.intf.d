@@ -1,0 +1,1 @@
+lib/icc_core/party.mli: Block Config Icc_crypto Icc_sim Message Pool Types

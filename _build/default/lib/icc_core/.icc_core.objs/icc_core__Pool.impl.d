@@ -1,0 +1,1 @@
+lib/icc_core/pool.ml: Array Block Hashtbl Icc_crypto List Types

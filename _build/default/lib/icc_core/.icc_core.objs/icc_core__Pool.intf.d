@@ -1,0 +1,1 @@
+lib/icc_core/pool.mli: Block Icc_crypto Types

@@ -1,0 +1,1 @@
+lib/icc_core/runner.ml: Array Block Check Config Hashtbl Icc_crypto Icc_sim Int List Message Option Party Pool Set Types

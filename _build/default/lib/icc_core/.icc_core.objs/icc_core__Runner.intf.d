@@ -1,0 +1,1 @@
+lib/icc_core/runner.mli: Block Icc_crypto Icc_sim Message Party

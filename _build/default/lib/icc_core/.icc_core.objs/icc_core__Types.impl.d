@@ -1,0 +1,1 @@
+lib/icc_core/types.ml: Icc_crypto List Printf String

@@ -1,0 +1,1 @@
+lib/icc_core/types.mli: Icc_crypto

@@ -1,0 +1,35 @@
+(* Blocks and the special root (paper §3.4).
+
+   A round-k block is (block, k, alpha, phash, payload); its hash commits to
+   all four fields.  The root is its own notarization and finalization. *)
+
+type t = {
+  round : Types.round;
+  proposer : Types.party_id;
+  parent_hash : Icc_crypto.Sha256.t;
+  payload : Types.payload;
+}
+
+let root_hash = Icc_crypto.Sha256.digest_string "icc-root"
+
+let hash (b : t) =
+  Icc_crypto.Sha256.digest_string
+    (Printf.sprintf "block|%d|%d|%s|%s" b.round b.proposer
+       (Icc_crypto.Sha256.to_hex b.parent_hash)
+       (Icc_crypto.Sha256.to_hex (Types.payload_digest b.payload)))
+
+let create ~round ~proposer ~parent_hash ~payload =
+  if round < 1 then invalid_arg "Block.create: rounds start at 1";
+  { round; proposer; parent_hash; payload }
+
+let is_child_of_root (b : t) =
+  b.round = 1 && Icc_crypto.Sha256.equal b.parent_hash root_hash
+
+(* Modeled wire size: fixed header (round, proposer, parent hash, framing)
+   plus declared payload bytes. *)
+let header_wire_size = 64
+let wire_size (b : t) = header_wire_size + Types.payload_size b.payload
+
+let pp fmt (b : t) =
+  Format.fprintf fmt "B(k=%d p=%d h=%s)" b.round b.proposer
+    (String.sub (Icc_crypto.Sha256.to_hex (hash b)) 0 8)

@@ -1,0 +1,30 @@
+(** Blocks of the block-tree (paper §3.4): a round number, the proposer's
+    index, the parent's hash, and an application payload.  The special
+    root is represented only by {!root_hash}. *)
+
+type t = {
+  round : Types.round;
+  proposer : Types.party_id;
+  parent_hash : Icc_crypto.Sha256.t;
+  payload : Types.payload;
+}
+
+val root_hash : Icc_crypto.Sha256.t
+(** Hash standing in for the round-0 root block. *)
+
+val hash : t -> Icc_crypto.Sha256.t
+(** Commits to all four fields. *)
+
+val create :
+  round:Types.round -> proposer:Types.party_id ->
+  parent_hash:Icc_crypto.Sha256.t -> payload:Types.payload -> t
+(** Raises [Invalid_argument] for rounds below 1. *)
+
+val is_child_of_root : t -> bool
+
+val header_wire_size : int
+
+val wire_size : t -> int
+(** Modeled bytes on the wire: header plus declared payload size. *)
+
+val pp : Format.formatter -> t -> unit

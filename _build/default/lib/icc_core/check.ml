@@ -1,0 +1,74 @@
+(* Global correctness oracles evaluated over the honest parties' state after
+   a simulation: the paper's properties P1 (deadlock-freeness), P2 (safety)
+   and output consistency (atomic-broadcast safety). *)
+
+let block_key (b : Block.t) = (b.Block.round, Block.hash b)
+
+(* Output consistency: for every pair of honest parties, one committed chain
+   is a prefix of the other (§1 safety definition). *)
+let outputs_consistent (outputs : (int * Block.t list) list) =
+  let hashes chain = List.map (fun b -> Icc_crypto.Sha256.to_hex (Block.hash b)) chain in
+  let rec is_prefix a b =
+    match (a, b) with
+    | [], _ -> true
+    | _, [] -> false
+    | x :: xs, y :: ys -> String.equal x y && is_prefix xs ys
+  in
+  let rec pairs = function
+    | [] -> true
+    | (_, c1) :: rest ->
+        List.for_all
+          (fun (_, c2) ->
+            let h1 = hashes c1 and h2 = hashes c2 in
+            is_prefix h1 h2 || is_prefix h2 h1)
+          rest
+        && pairs rest
+  in
+  pairs outputs
+
+(* P2 across all honest pools: if any party holds a finalization for a
+   round-k block B, then no party holds a notarization for a different
+   round-k block. *)
+let no_conflicting_notarization (pools : Pool.t list) =
+  let finalized : (int, Icc_crypto.Sha256.t) Hashtbl.t = Hashtbl.create 64 in
+  let notarized : (int, Icc_crypto.Sha256.t list ref) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  List.iter
+    (fun pool ->
+      for round = 1 to Pool.max_round pool do
+        List.iter
+          (fun b ->
+            let _, h = block_key b in
+            if Pool.is_finalized pool (round, h) then Hashtbl.replace finalized round h;
+            if Pool.is_notarized pool (round, h) then
+              match Hashtbl.find_opt notarized round with
+              | Some l ->
+                  if not (List.exists (Icc_crypto.Sha256.equal h) !l) then
+                    l := h :: !l
+              | None -> Hashtbl.add notarized round (ref [ h ]))
+          (Pool.blocks_of_round pool round)
+      done)
+    pools;
+  Hashtbl.fold
+    (fun round fh acc ->
+      acc
+      &&
+      match Hashtbl.find_opt notarized round with
+      | None -> true
+      | Some l -> List.for_all (Icc_crypto.Sha256.equal fh) !l)
+    finalized true
+
+(* P1 up to [limit]: every round some honest party finished has at least one
+   notarized block in some honest pool. *)
+let every_round_notarized (pools : Pool.t list) ~limit =
+  let round_has_notarized round =
+    List.exists
+      (fun pool ->
+        List.exists
+          (fun b -> Pool.is_notarized pool (block_key b))
+          (Pool.blocks_of_round pool round))
+      pools
+  in
+  let rec go r = r > limit || (round_has_notarized r && go (r + 1)) in
+  go 1

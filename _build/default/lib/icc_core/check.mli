@@ -1,0 +1,14 @@
+(** Global correctness oracles evaluated over the honest parties' state
+    after a simulation: the paper's P1, P2 and atomic-broadcast safety. *)
+
+val outputs_consistent : (int * Block.t list) list -> bool
+(** For every pair of honest parties, one committed chain is a prefix of
+    the other (§1 safety). *)
+
+val no_conflicting_notarization : Pool.t list -> bool
+(** P2 across all honest pools: a finalized round-k block excludes any
+    other notarized round-k block. *)
+
+val every_round_notarized : Pool.t list -> limit:int -> bool
+(** P1 up to [limit]: every finished round has a notarized block in some
+    honest pool. *)

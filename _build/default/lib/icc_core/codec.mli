@@ -1,0 +1,9 @@
+(** Binary wire codec for {!Message.t}: deterministic, length-prefixed,
+    bounds-checked.  This is the format the ICC2 reliable broadcast
+    fragments and reassembles, so {!decode} is total on adversarial bytes
+    (returns [None], never raises). *)
+
+val encode : Message.t -> string
+
+val decode : string -> Message.t option
+(** [None] on any malformed, truncated or over-long input. *)

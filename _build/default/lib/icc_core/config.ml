@@ -1,0 +1,50 @@
+(* Protocol parameters, including the delay functions of Fig. 1.
+
+   The recommended instantiation (paper eq. (2)) is
+     delta_prop(r) = 2 * delta_bnd * r
+     delta_ntry(r) = 2 * delta_bnd * r + epsilon
+   which satisfies the liveness requirement 2*delta + delta_prop(0) <=
+   delta_ntry(1) whenever the network delay delta is at most delta_bnd.
+   epsilon is the "governor" that keeps the protocol from running too
+   fast. *)
+
+type t = {
+  n : int;
+  t : int; (* maximum corrupt parties; 3t < n *)
+  delta_bnd : float; (* partial-synchrony delay bound, seconds *)
+  epsilon : float; (* governor, seconds *)
+  delta_prop : Types.rank -> float;
+  delta_ntry : Types.rank -> float;
+  adaptive : bool; (* adapt delta_bnd to an unknown network delay (paper §1) *)
+  prune_depth : int option; (* keep this many rounds below kmax; None = keep all *)
+}
+
+let recommended ?(delta_bnd = 1.0) ?(epsilon = 0.0) ?(adaptive = false)
+    ?prune_depth ~n ~t () =
+  if not (n >= 1 && t >= 0 && 3 * t < n) then
+    invalid_arg "Config.recommended: need 3t < n";
+  {
+    n;
+    t;
+    delta_bnd;
+    epsilon;
+    delta_prop = (fun r -> 2. *. delta_bnd *. float_of_int r);
+    delta_ntry = (fun r -> (2. *. delta_bnd *. float_of_int r) +. epsilon);
+    adaptive;
+    prune_depth;
+  }
+
+(* A deliberately non-responsive variant (Tendermint-style): every party
+   waits the full delta_bnd before notarizing even the leader's block.  Used
+   by the optimistic-responsiveness experiment as a contrast. *)
+let non_responsive ?(delta_bnd = 1.0) ~n ~t () =
+  let c = recommended ~delta_bnd ~n ~t () in
+  {
+    c with
+    delta_ntry = (fun r -> (2. *. delta_bnd *. float_of_int r) +. delta_bnd);
+  }
+
+let quorum c = c.n - c.t (* n - t: notarization and finalization quorum *)
+
+let liveness_requirement_holds c ~delta =
+  (2. *. delta) +. c.delta_prop 0 <= c.delta_ntry 1

@@ -1,0 +1,41 @@
+(** Protocol parameters, including the delay functions of Fig. 1.
+
+    The recommended instantiation (paper eq. (2)) is
+    [delta_prop r = 2 * delta_bnd * r] and
+    [delta_ntry r = 2 * delta_bnd * r + epsilon]; it satisfies the
+    liveness requirement [2*delta + delta_prop 0 <= delta_ntry 1] whenever
+    the actual network delay is at most [delta_bnd]. *)
+
+type t = {
+  n : int;
+  t : int;  (** Maximum corrupt parties; [3t < n]. *)
+  delta_bnd : float;  (** Partial-synchrony delay bound, seconds. *)
+  epsilon : float;  (** The governor that paces the protocol. *)
+  delta_prop : Types.rank -> float;  (** Proposal delay by own rank. *)
+  delta_ntry : Types.rank -> float;  (** Notarization-share delay by rank. *)
+  adaptive : bool;
+      (** Adapt the delay bound to an unknown network delay (paper §1):
+          parties scale [delta_bnd] up when a round's leader path failed
+          and slowly back down otherwise.  Rank-0 behaviour — and hence
+          the happy path — is unaffected. *)
+  prune_depth : int option;
+      (** Keep only this many rounds of pool state below the finalization
+          cursor (paper §3.1's discard optimisation); [None] keeps all. *)
+}
+
+val recommended :
+  ?delta_bnd:float -> ?epsilon:float -> ?adaptive:bool -> ?prune_depth:int ->
+  n:int -> t:int -> unit -> t
+(** The paper's recommended delay functions.  Raises [Invalid_argument]
+    unless [3t < n]. *)
+
+val non_responsive : ?delta_bnd:float -> n:int -> t:int -> unit -> t
+(** A deliberately non-responsive (Tendermint-style) variant that waits the
+    full [delta_bnd] before notarizing even the leader's block; used as the
+    contrast in the optimistic-responsiveness experiment. *)
+
+val quorum : t -> int
+(** [n - t], the notarization and finalization quorum. *)
+
+val liveness_requirement_holds : t -> delta:float -> bool
+(** Whether [2*delta + delta_prop 0 <= delta_ntry 1] (paper §3.5). *)

@@ -1,0 +1,47 @@
+(* Wire messages of ICC0/ICC1 and their modeled sizes.
+
+   A proposal bundles the block, its authenticator and the notarization of
+   its parent — exactly what Fig. 1 broadcasts together when proposing or
+   echoing.  Sizes are modeled at production scale (48-byte BLS signatures /
+   multisignature cores, 32-byte hashes), independent of the simulation's
+   in-memory representation. *)
+
+type proposal = {
+  p_block : Block.t;
+  p_authenticator : Icc_crypto.Schnorr.signature;
+  p_parent_cert : Types.cert option; (* None iff round 1 (root parent) *)
+}
+
+type t =
+  | Proposal of proposal
+  | Notarization_share of Types.share_msg
+  | Notarization of Types.cert
+  | Finalization_share of Types.share_msg
+  | Finalization of Types.cert
+  | Beacon_share of {
+      b_round : Types.round;
+      b_signer : Types.party_id;
+      b_share : Icc_crypto.Threshold_vuf.signature_share;
+    }
+
+let share_msg_wire_size = 12 + 32 + Icc_crypto.Multisig.share_wire_size
+
+let cert_wire_size ~n = 12 + 32 + 48 + ((n + 7) / 8)
+
+let beacon_share_wire_size = 12 + Icc_crypto.Threshold_vuf.share_wire_size
+
+let wire_size ~n = function
+  | Proposal p ->
+      Block.wire_size p.p_block + Icc_crypto.Schnorr.signature_wire_size
+      + (match p.p_parent_cert with None -> 0 | Some _ -> cert_wire_size ~n)
+  | Notarization_share _ | Finalization_share _ -> share_msg_wire_size
+  | Notarization _ | Finalization _ -> cert_wire_size ~n
+  | Beacon_share _ -> beacon_share_wire_size
+
+let kind = function
+  | Proposal _ -> "proposal"
+  | Notarization_share _ -> "notarization-share"
+  | Notarization _ -> "notarization"
+  | Finalization_share _ -> "finalization-share"
+  | Finalization _ -> "finalization"
+  | Beacon_share _ -> "beacon-share"

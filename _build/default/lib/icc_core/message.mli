@@ -1,0 +1,34 @@
+(** Wire messages of ICC0/ICC1 and their modeled sizes.
+
+    A {!Proposal} bundles block + authenticator + parent notarization —
+    exactly what Fig. 1 broadcasts when proposing or echoing.  Sizes are
+    modeled at production scale (48-byte signatures, 32-byte hashes),
+    independent of the in-memory representation. *)
+
+type proposal = {
+  p_block : Block.t;
+  p_authenticator : Icc_crypto.Schnorr.signature;
+  p_parent_cert : Types.cert option;  (** [None] iff round 1 (root parent). *)
+}
+
+type t =
+  | Proposal of proposal
+  | Notarization_share of Types.share_msg
+  | Notarization of Types.cert
+  | Finalization_share of Types.share_msg
+  | Finalization of Types.cert
+  | Beacon_share of {
+      b_round : Types.round;
+      b_signer : Types.party_id;
+      b_share : Icc_crypto.Threshold_vuf.signature_share;
+    }
+
+val share_msg_wire_size : int
+val cert_wire_size : n:int -> int
+val beacon_share_wire_size : int
+
+val wire_size : n:int -> t -> int
+(** Modeled size in bytes for traffic accounting. *)
+
+val kind : t -> string
+(** Short label for per-kind metrics. *)

@@ -1,0 +1,566 @@
+(* One ICC0 party: the Tree-Building Subprotocol (Fig. 1) and Finalization
+   Subprotocol (Fig. 2), translated from the paper's blocking "wait for"
+   style into an event-driven state machine.
+
+   The translation: the guards of the wait-for alternatives (a)/(b)/(c) are
+   re-evaluated (to a fixpoint) whenever the pool gains information or a
+   delay-function timer edge passes.  All guard evaluations are monotone
+   (rounds only advance; N, D, kmax only grow), so the fixpoint loop
+   terminates.
+
+   Byzantine behaviours are composable deviations from the honest code
+   path; corrupt parties hold real keys and emit really-signed messages. *)
+
+type behavior = {
+  crashed : bool; (* sends and processes nothing *)
+  equivocate : bool; (* proposes two conflicting blocks, split delivery *)
+  promiscuous_shares : bool; (* notarization-shares every valid block, no delays *)
+  promiscuous_final : bool; (* finalization-shares every block it shared *)
+  silent_shares : bool; (* withholds all notarization/finalization shares *)
+  never_propose : bool; (* consistent failure: participates but never proposes *)
+}
+
+let honest =
+  {
+    crashed = false;
+    equivocate = false;
+    promiscuous_shares = false;
+    promiscuous_final = false;
+    silent_shares = false;
+    never_propose = false;
+  }
+
+let crashed = { honest with crashed = true }
+
+(* Noisy equivocator: tries to get conflicting blocks notarized by sharing
+   everything — the strongest safety attack. *)
+let byzantine_equivocator =
+  {
+    honest with
+    equivocate = true;
+    promiscuous_shares = true;
+    promiscuous_final = true;
+  }
+
+(* Stealthy equivocator: splits the honest parties between two blocks and
+   withholds its own shares, so neither side reaches quorum — the strongest
+   liveness/round-complexity attack (rounds it leads decide only later). *)
+let stealthy_equivocator =
+  { honest with equivocate = true; silent_shares = true }
+
+let lazy_participant = { honest with never_propose = true }
+
+type env = {
+  config : Config.t;
+  system : Icc_crypto.Keygen.system;
+  engine : Icc_sim.Engine.t;
+  send_broadcast : src:int -> Message.t -> unit;
+      (* the paper's only communication primitive; the transport behind it
+         is direct broadcast (ICC0), gossip (ICC1) or erasure-coded reliable
+         broadcast (ICC2) *)
+  send_unicast : src:int -> dst:int -> Message.t -> unit;
+      (* used only by Byzantine behaviours for split delivery *)
+  metrics : Icc_sim.Metrics.t;
+  get_payload :
+    pool:Pool.t -> parent:Block.t option -> round:int -> proposer:int ->
+    Types.payload;
+  on_output : party:int -> Block.t -> unit;
+      (* called once per block, in commit order, as Fig. 2 outputs it *)
+}
+
+type t = {
+  env : env;
+  id : Types.party_id;
+  keys : Icc_crypto.Keygen.party_keys;
+  mutable behavior : behavior; (* mutable so runs can crash parties mid-way *)
+  pool : Pool.t;
+  beacon : Beacon.t;
+  mutable round : Types.round;
+  mutable round_started : bool; (* beacon for [round] computed? *)
+  mutable t0 : float;
+  mutable n_shared : (Icc_crypto.Sha256.t * Types.rank) list; (* the set N *)
+  mutable disqualified : Types.rank list; (* the set D *)
+  mutable proposed : bool;
+  mutable round_done : bool;
+  mutable scheduled_ntry : Types.rank list; (* dedup for lazy timers *)
+  mutable kmax : Types.round; (* finalization subprotocol cursor *)
+  mutable output_log : Block.t list; (* committed blocks, newest first *)
+  mutable rounds_finished : int;
+  mutable delay_scale : float; (* adaptive delta_bnd multiplier (config.adaptive) *)
+}
+
+let create env ~id ~keys ~behavior =
+  {
+    env;
+    id;
+    keys;
+    behavior;
+    pool = Pool.create env.system;
+    beacon = Beacon.create env.system keys.Icc_crypto.Keygen.beacon_key;
+    round = 1;
+    round_started = false;
+    t0 = 0.;
+    n_shared = [];
+    disqualified = [];
+    proposed = false;
+    round_done = false;
+    scheduled_ntry = [];
+    kmax = 0;
+    output_log = [];
+    rounds_finished = 0;
+    delay_scale = 1.0;
+  }
+
+let output_chain p = List.rev p.output_log
+let pool p = p.pool
+let behavior p = p.behavior
+let set_behavior p b = p.behavior <- b
+let rounds_finished p = p.rounds_finished
+let current_round p = p.round
+let kmax p = p.kmax
+
+(* --- sending helpers --------------------------------------------------- *)
+
+let broadcast p msg = p.env.send_broadcast ~src:p.id msg
+let unicast p ~dst msg = p.env.send_unicast ~src:p.id ~dst msg
+
+let sign_notarization_share p ~(block : Block.t) =
+  let block_hash = Block.hash block in
+  let text =
+    Types.notarization_text ~round:block.Block.round
+      ~proposer:block.Block.proposer ~block_hash
+  in
+  Message.Notarization_share
+    {
+      Types.s_round = block.Block.round;
+      s_proposer = block.Block.proposer;
+      s_block_hash = block_hash;
+      s_share =
+        Icc_crypto.Multisig.sign_share p.env.system.Icc_crypto.Keygen.notary
+          p.keys.Icc_crypto.Keygen.notary_key text;
+    }
+
+let sign_finalization_share p ~(block : Block.t) =
+  let block_hash = Block.hash block in
+  let text =
+    Types.finalization_text ~round:block.Block.round
+      ~proposer:block.Block.proposer ~block_hash
+  in
+  Message.Finalization_share
+    {
+      Types.s_round = block.Block.round;
+      s_proposer = block.Block.proposer;
+      s_block_hash = block_hash;
+      s_share =
+        Icc_crypto.Multisig.sign_share p.env.system.Icc_crypto.Keygen.final
+          p.keys.Icc_crypto.Keygen.final_key text;
+    }
+
+let broadcast_beacon_share p ~round =
+  match Beacon.my_share p.beacon round with
+  | Some share ->
+      broadcast p (Message.Beacon_share { b_round = round; b_signer = p.id; b_share = share })
+  | None -> ()
+
+(* Bundle a block for (re)broadcast: block + authenticator + parent
+   notarization, as Fig. 1's propose and echo steps require. *)
+let proposal_bundle p (block : Block.t) ~authenticator =
+  let parent_cert =
+    if block.Block.round = 1 then None
+    else
+      Pool.notarization_cert p.pool
+        (block.Block.round - 1, block.Block.parent_hash)
+  in
+  Message.Proposal
+    { p_block = block; p_authenticator = authenticator; p_parent_cert = parent_cert }
+
+(* --- round machinery --------------------------------------------------- *)
+
+let now p = Icc_sim.Engine.now p.env.engine
+
+let in_n p block_hash =
+  List.exists (fun (h, _) -> Icc_crypto.Sha256.equal h block_hash) p.n_shared
+
+let n_has_rank p rank = List.exists (fun (_, r) -> r = rank) p.n_shared
+
+(* Effective delay functions: with [config.adaptive], the delay bound is
+   scaled by the party's current estimate multiplier (the paper's §1 note
+   that the protocols "can be modified to adaptively adjust to an unknown
+   communication-delay bound").  Rank 0 is unaffected in either case, so
+   the happy path stays optimistically responsive. *)
+let prop_delay p rank =
+  if p.env.config.Config.adaptive then
+    2. *. p.env.config.Config.delta_bnd *. p.delay_scale *. float_of_int rank
+  else p.env.config.Config.delta_prop rank
+
+let ntry_delay p rank =
+  if p.env.config.Config.adaptive then
+    (2. *. p.env.config.Config.delta_bnd *. p.delay_scale *. float_of_int rank)
+    +. p.env.config.Config.epsilon
+  else p.env.config.Config.delta_ntry rank
+
+let adaptive_scale_limits = (0.05, 16.)
+
+(* The adaptation signal is "did I notarization-share more than one block
+   this round?" — exactly the N-is-a-singleton predicate that gates
+   finalization shares.  A delay bound below the true network delay makes
+   every party share its own block before hearing better-ranked ones, so N
+   stops being a singleton and finalization starves; scaling the bound up
+   restores it.  A crashed leader does NOT trigger the signal (N holds just
+   the backup block), so crash-faults don't inflate the estimate; an
+   equivocating leader does — the conflation the paper's "some care must be
+   taken" alludes to, bounded here by the scale cap. *)
+let update_delay_scale p =
+  if p.env.config.Config.adaptive then begin
+    let lo, hi = adaptive_scale_limits in
+    let distinct_shared =
+      List.sort_uniq compare
+        (List.map (fun (h, _) -> Icc_crypto.Sha256.to_hex h) p.n_shared)
+    in
+    if List.length distinct_shared > 1 then
+      p.delay_scale <- min hi (p.delay_scale *. 2.)
+    else p.delay_scale <- max lo (p.delay_scale *. 0.9)
+  end
+
+let rank_of_block p (b : Block.t) =
+  match Beacon.rank_of p.beacon p.round b.Block.proposer with
+  | Some r -> r
+  | None -> invalid_arg "Party.rank_of_block: beacon unknown"
+
+let my_rank p =
+  match Beacon.rank_of p.beacon p.round p.id with
+  | Some r -> r
+  | None -> invalid_arg "Party.my_rank: beacon unknown"
+
+(* Forward declaration of the fixpoint driver so timers can call it. *)
+let rec step p =
+  if not p.behavior.crashed then begin
+    let progress = ref true in
+    while !progress do
+      progress := false;
+      if finalization_pass p then progress := true;
+      if (not p.round_started) && try_start_round p then progress := true;
+      if p.round_started && not p.round_done then begin
+        if condition_a p then progress := true
+        else begin
+          if condition_b p then progress := true;
+          if (not p.behavior.silent_shares) && condition_c p then
+            progress := true
+        end
+      end;
+      if p.behavior.promiscuous_shares && p.round_started && byzantine_share_pass p
+      then progress := true
+    done
+  end
+
+(* Start round [p.round] once its beacon is computable (the preliminary
+   wait-for of Fig. 1), then immediately release the share of the next
+   round's beacon — the pipelining step. *)
+and try_start_round p =
+  if Beacon.try_compute p.beacon p.pool p.round then begin
+    p.round_started <- true;
+    p.t0 <- now p;
+    p.n_shared <- [];
+    p.disqualified <- [];
+    p.proposed <- false;
+    p.round_done <- false;
+    p.scheduled_ntry <- [];
+    Icc_sim.Metrics.record_round_entry p.env.metrics ~round:p.round ~time:p.t0;
+    broadcast_beacon_share p ~round:(p.round + 1);
+    (* Timer for our own proposal delay. *)
+    (if not (p.behavior.never_propose || p.behavior.equivocate) then
+       let round = p.round in
+       let delay = prop_delay p (my_rank p) in
+       Icc_sim.Engine.schedule p.env.engine ~delay (fun () ->
+           if p.round = round then step p));
+    (if p.behavior.equivocate then
+       let round = p.round in
+       let delay = prop_delay p (my_rank p) in
+       Icc_sim.Engine.schedule p.env.engine ~delay (fun () ->
+           if p.round = round then equivocating_propose p));
+    true
+  end
+  else false
+
+(* Wait-for alternative (a): finish the round on a notarized block or a full
+   set of notarization shares. *)
+and condition_a p =
+  match Pool.round_completion p.pool p.round with
+  | None -> false
+  | Some completion ->
+      let block, cert =
+        match completion with
+        | Pool.Already_notarized (b, c) -> (b, c)
+        | Pool.Combinable (b, shares) -> (
+            let block_hash = Block.hash b in
+            let text =
+              Types.notarization_text ~round:b.Block.round
+                ~proposer:b.Block.proposer ~block_hash
+            in
+            match
+              Icc_crypto.Multisig.combine p.env.system.Icc_crypto.Keygen.notary
+                text shares
+            with
+            | None ->
+                (* Shares were verified on admission, so combining at quorum
+                   cannot fail. *)
+                assert false
+            | Some multisig ->
+                let cert =
+                  {
+                    Types.c_round = b.Block.round;
+                    c_proposer = b.Block.proposer;
+                    c_block_hash = block_hash;
+                    c_multisig = multisig;
+                  }
+                in
+                ignore (Pool.add_notarization p.pool cert);
+                (b, cert))
+      in
+      broadcast p (Message.Notarization cert);
+      p.round_done <- true;
+      p.rounds_finished <- p.rounds_finished + 1;
+      let block_hash = Block.hash block in
+      let n_subset_of_b =
+        List.for_all (fun (h, _) -> Icc_crypto.Sha256.equal h block_hash) p.n_shared
+      in
+      if n_subset_of_b && not p.behavior.silent_shares then
+        broadcast p (sign_finalization_share p ~block);
+      update_delay_scale p;
+      (* Proceed to the next round; its beacon shares are likely pooled
+         already thanks to the pipelining. *)
+      p.round <- p.round + 1;
+      p.round_started <- false;
+      true
+
+(* Wait-for alternative (b): propose our own block once delta_prop(r_me) has
+   elapsed. *)
+and condition_b p =
+  if
+    p.proposed || p.behavior.never_propose || p.behavior.equivocate
+    || now p < p.t0 +. prop_delay p (my_rank p) -. 1e-12
+  then false
+  else begin
+    let parent =
+      if p.round = 1 then None
+      else
+        match Pool.notarized_blocks p.pool (p.round - 1) with
+        | b :: _ -> Some b
+        | [] ->
+            (* The previous round only ended with a notarized block. *)
+            assert false
+    in
+    let payload =
+      p.env.get_payload ~pool:p.pool ~parent ~round:p.round ~proposer:p.id
+    in
+    let parent_hash =
+      match parent with Some b -> Block.hash b | None -> Block.root_hash
+    in
+    let block =
+      Block.create ~round:p.round ~proposer:p.id ~parent_hash ~payload
+    in
+    let block_hash = Block.hash block in
+    let authenticator =
+      Icc_crypto.Schnorr.sign p.keys.Icc_crypto.Keygen.auth
+        (Types.authenticator_text ~round:p.round ~proposer:p.id ~block_hash)
+    in
+    Icc_sim.Metrics.record_proposal p.env.metrics ~round:p.round ~time:(now p);
+    broadcast p (proposal_bundle p block ~authenticator);
+    p.proposed <- true;
+    true
+  end
+
+(* Wait-for alternative (c): echo the best-ranked valid block and either
+   notarization-share it or disqualify its rank. *)
+and condition_c p =
+  (* Valid round-k blocks annotated with ranks. *)
+  let valids =
+    List.map (fun b -> (rank_of_block p b, b)) (Pool.valid_blocks p.pool p.round)
+  in
+  let eligible =
+    List.filter (fun (r, _) -> not (List.mem r p.disqualified)) valids
+  in
+  match eligible with
+  | [] -> false
+  | _ ->
+      let best_rank =
+        List.fold_left (fun acc (r, _) -> min acc r) max_int eligible
+      in
+      (* Candidate blocks at the best non-disqualified rank, not yet in N. *)
+      let candidates =
+        List.filter
+          (fun (r, b) -> r = best_rank && not (in_n p (Block.hash b)))
+          eligible
+      in
+      if candidates = [] then false
+      else if now p < p.t0 +. ntry_delay p best_rank -. 1e-12 then begin
+        (* Timer edge not reached: arm it (once per rank per round). *)
+        if not (List.mem best_rank p.scheduled_ntry) then begin
+          p.scheduled_ntry <- best_rank :: p.scheduled_ntry;
+          let round = p.round in
+          let time = p.t0 +. ntry_delay p best_rank in
+          Icc_sim.Engine.schedule_at p.env.engine ~time (fun () ->
+              if p.round = round then step p)
+        end;
+        false
+      end
+      else begin
+        match candidates with
+        | [] -> false
+        | (rank, block) :: _ ->
+            let block_hash = Block.hash block in
+            (* Echo: rebroadcast block, authenticator, parent notarization —
+               unless it is our own proposal, which we already broadcast. *)
+            (if rank <> my_rank p then
+               match Pool.authenticator p.pool (p.round, block_hash) with
+               | Some authenticator ->
+                   broadcast p (proposal_bundle p block ~authenticator)
+               | None -> ());
+            if n_has_rank p rank then
+              p.disqualified <- rank :: p.disqualified
+            else begin
+              p.n_shared <- (block_hash, rank) :: p.n_shared;
+              broadcast p (sign_notarization_share p ~block)
+            end;
+            true
+      end
+
+(* Finalization Subprotocol (Fig. 2): runs across all rounds, independent of
+   the tree-building round. *)
+and finalization_pass p =
+  match Pool.finalization_step p.pool ~kmax:p.kmax with
+  | None -> false
+  | Some fstep ->
+      let block, cert =
+        match fstep with
+        | Pool.Final_cert (b, c) -> (b, c)
+        | Pool.Final_combinable (b, shares) -> (
+            let block_hash = Block.hash b in
+            let text =
+              Types.finalization_text ~round:b.Block.round
+                ~proposer:b.Block.proposer ~block_hash
+            in
+            match
+              Icc_crypto.Multisig.combine p.env.system.Icc_crypto.Keygen.final
+                text shares
+            with
+            | None -> assert false
+            | Some multisig ->
+                let cert =
+                  {
+                    Types.c_round = b.Block.round;
+                    c_proposer = b.Block.proposer;
+                    c_block_hash = block_hash;
+                    c_multisig = multisig;
+                  }
+                in
+                ignore (Pool.add_finalization p.pool cert);
+                (b, cert))
+      in
+      broadcast p (Message.Finalization cert);
+      let segment = Chain.segment p.pool block ~from_round:p.kmax in
+      List.iter
+        (fun blk ->
+          p.output_log <- blk :: p.output_log;
+          p.env.on_output ~party:p.id blk)
+        segment;
+      p.kmax <- block.Block.round;
+      (match p.env.config.Config.prune_depth with
+      | Some depth when p.kmax - depth >= 1 ->
+          Pool.prune p.pool ~below:(p.kmax - depth)
+      | Some _ | None -> ());
+      true
+
+(* Byzantine: notarization-share (and optionally finalization-share) every
+   valid current-round block immediately, ignoring delays, D and the
+   best-rank rule. *)
+and byzantine_share_pass p =
+  let fresh =
+    List.filter
+      (fun b -> not (in_n p (Block.hash b)))
+      (Pool.valid_blocks p.pool p.round)
+  in
+  match fresh with
+  | [] -> false
+  | b :: _ ->
+      p.n_shared <- (Block.hash b, rank_of_block p b) :: p.n_shared;
+      broadcast p (sign_notarization_share p ~block:b);
+      if p.behavior.promiscuous_final then
+        broadcast p (sign_finalization_share p ~block:b);
+      true
+
+(* Byzantine proposal: two conflicting blocks, each delivered to one half of
+   the parties (both really signed — equivocation, not forgery). *)
+and equivocating_propose p =
+  if p.proposed || not p.round_started then ()
+  else begin
+    p.proposed <- true;
+    let parent =
+      if p.round = 1 then None
+      else
+        match Pool.notarized_blocks p.pool (p.round - 1) with
+        | b :: _ -> Some b
+        | [] -> None
+    in
+    match (parent, p.round) with
+    | None, r when r > 1 -> ()
+    | _ ->
+        let parent_hash =
+          match parent with Some b -> Block.hash b | None -> Block.root_hash
+        in
+        let make filler =
+          let payload = { Types.commands = []; filler_size = filler } in
+          let block =
+            Block.create ~round:p.round ~proposer:p.id ~parent_hash ~payload
+          in
+          let authenticator =
+            Icc_crypto.Schnorr.sign p.keys.Icc_crypto.Keygen.auth
+              (Types.authenticator_text ~round:p.round ~proposer:p.id
+                 ~block_hash:(Block.hash block))
+          in
+          proposal_bundle p block ~authenticator
+        in
+        let bundle_a = make 1 and bundle_b = make 2 in
+        Icc_sim.Metrics.record_proposal p.env.metrics ~round:p.round ~time:(now p);
+        let n = p.env.config.Config.n in
+        for dst = 1 to n do
+          unicast p ~dst (if dst <= n / 2 then bundle_a else bundle_b)
+        done;
+        step p
+  end
+
+(* --- inbound ------------------------------------------------------------ *)
+
+let on_message p (msg : Message.t) =
+  if not p.behavior.crashed then begin
+    let changed =
+      match msg with
+      | Message.Proposal { p_block; p_authenticator; p_parent_cert } ->
+          let c1 =
+            match p_parent_cert with
+            | Some cert -> Pool.add_notarization p.pool cert
+            | None -> false
+          in
+          let c2 = Pool.add_block p.pool p_block in
+          let c3 =
+            Pool.add_authenticator p.pool ~round:p_block.Block.round
+              ~proposer:p_block.Block.proposer
+              ~block_hash:(Block.hash p_block) p_authenticator
+          in
+          c1 || c2 || c3
+      | Message.Notarization_share s -> Pool.add_notarization_share p.pool s
+      | Message.Notarization c -> Pool.add_notarization p.pool c
+      | Message.Finalization_share s -> Pool.add_finalization_share p.pool s
+      | Message.Finalization c -> Pool.add_finalization p.pool c
+      | Message.Beacon_share { b_round; b_share; _ } ->
+          Pool.add_beacon_share p.pool ~round:b_round b_share
+    in
+    if changed then step p
+  end
+
+(* Protocol start: release the round-1 beacon share, then run the guards. *)
+let start p =
+  if not p.behavior.crashed then begin
+    broadcast_beacon_share p ~round:1;
+    step p
+  end

@@ -1,0 +1,76 @@
+(** One ICC0 party: the Tree-Building Subprotocol (Fig. 1) and the
+    Finalization Subprotocol (Fig. 2), translated from the paper's blocking
+    "wait for" pseudocode into an event-driven state machine.
+
+    The wait-for alternatives (a)/(b)/(c) become guards re-evaluated (to a
+    fixpoint) on every pool change and delay-function timer edge.  All
+    guards are monotone — rounds only advance, the sets N and D and the
+    finalization cursor kmax only grow — so the fixpoint terminates.
+
+    Byzantine behaviours are composable deviations from the honest code
+    path; corrupt parties hold real keys and emit really-signed messages. *)
+
+(** Deviations from the honest protocol. *)
+type behavior = {
+  crashed : bool;  (** Sends and processes nothing. *)
+  equivocate : bool;  (** Proposes two conflicting blocks, split delivery. *)
+  promiscuous_shares : bool;
+      (** Notarization-shares every valid block immediately. *)
+  promiscuous_final : bool;  (** Finalization-shares every block it shared. *)
+  silent_shares : bool;  (** Withholds all notarization/finalization shares. *)
+  never_propose : bool;  (** Consistent failure: participates, never proposes. *)
+}
+
+val honest : behavior
+val crashed : behavior
+
+val byzantine_equivocator : behavior
+(** Noisy equivocator: also shares everything — the strongest safety attack
+    (tries to notarize and finalize conflicting blocks). *)
+
+val stealthy_equivocator : behavior
+(** Equivocates and withholds its own shares, splitting the honest quorum —
+    the strongest liveness attack: rounds it leads decide only later. *)
+
+val lazy_participant : behavior
+
+(** Shared immutable context; the send functions abstract the transport
+    (direct broadcast for ICC0, gossip for ICC1, erasure-coded reliable
+    broadcast for ICC2). *)
+type env = {
+  config : Config.t;
+  system : Icc_crypto.Keygen.system;
+  engine : Icc_sim.Engine.t;
+  send_broadcast : src:int -> Message.t -> unit;
+  send_unicast : src:int -> dst:int -> Message.t -> unit;
+  metrics : Icc_sim.Metrics.t;
+  get_payload :
+    pool:Pool.t -> parent:Block.t option -> round:int -> proposer:int ->
+    Types.payload;
+  on_output : party:int -> Block.t -> unit;
+      (** Called once per committed block, in order, as Fig. 2 outputs it. *)
+}
+
+type t
+
+val create :
+  env -> id:Types.party_id -> keys:Icc_crypto.Keygen.party_keys ->
+  behavior:behavior -> t
+
+val start : t -> unit
+(** Broadcast the round-1 beacon share and begin evaluating guards. *)
+
+val on_message : t -> Message.t -> unit
+(** Deliver one message into the party's pool and re-run the guards. *)
+
+(** {1 Inspection} *)
+
+val output_chain : t -> Block.t list
+(** Committed blocks in commit order. *)
+
+val pool : t -> Pool.t
+val behavior : t -> behavior
+val set_behavior : t -> behavior -> unit
+val rounds_finished : t -> int
+val current_round : t -> Types.round
+val kmax : t -> Types.round

@@ -1,0 +1,341 @@
+(* A party's message pool (paper §3.1, §3.4): the set of all messages it has
+   received, indexed so the block-classification predicates — authentic,
+   valid, notarized, finalized — can be evaluated incrementally.
+
+   Every signature is verified on admission; messages failing verification
+   are dropped.  Classification is monotone, so the pool maintains it by a
+   promotion cascade: a block becomes valid when it is authentic and its
+   parent is notarized; it becomes notarized/finalized when additionally a
+   certificate is present.  Promoting a block re-examines its children. *)
+
+type key = Types.round * Icc_crypto.Sha256.t
+
+type t = {
+  system : Icc_crypto.Keygen.system;
+  payload_valid : Block.t -> bool;
+  blocks : (key, Block.t) Hashtbl.t;
+  by_round : (Types.round, key list ref) Hashtbl.t;
+  children : (Icc_crypto.Sha256.t, key list ref) Hashtbl.t;
+  authentic : (key, Icc_crypto.Schnorr.signature) Hashtbl.t;
+  notar_shares : (key, Icc_crypto.Multisig.share list ref) Hashtbl.t;
+  notar_certs : (key, Types.cert) Hashtbl.t;
+  final_shares : (key, Icc_crypto.Multisig.share list ref) Hashtbl.t;
+  final_certs : (key, Types.cert) Hashtbl.t;
+  beacon_shares :
+    (Types.round, Icc_crypto.Threshold_vuf.signature_share list ref) Hashtbl.t;
+  valid : (key, unit) Hashtbl.t;
+  notarized : (key, unit) Hashtbl.t;
+  finalized : (key, unit) Hashtbl.t;
+  mutable max_round : Types.round;
+}
+
+let create ?(payload_valid = fun _ -> true) system =
+  {
+    system;
+    payload_valid;
+    blocks = Hashtbl.create 64;
+    by_round = Hashtbl.create 64;
+    children = Hashtbl.create 64;
+    authentic = Hashtbl.create 64;
+    notar_shares = Hashtbl.create 64;
+    notar_certs = Hashtbl.create 64;
+    final_shares = Hashtbl.create 64;
+    final_certs = Hashtbl.create 64;
+    beacon_shares = Hashtbl.create 64;
+    valid = Hashtbl.create 64;
+    notarized = Hashtbl.create 64;
+    finalized = Hashtbl.create 64;
+    max_round = 0;
+  }
+
+let multi_add tbl k v =
+  match Hashtbl.find_opt tbl k with
+  | Some l -> l := v :: !l
+  | None -> Hashtbl.add tbl k (ref [ v ])
+
+let multi_get tbl k =
+  match Hashtbl.find_opt tbl k with Some l -> !l | None -> []
+
+(* --- classification queries ------------------------------------------- *)
+
+let find_block t key = Hashtbl.find_opt t.blocks key
+let is_authentic t key = Hashtbl.mem t.authentic key
+let authenticator t key = Hashtbl.find_opt t.authentic key
+let is_valid t key = Hashtbl.mem t.valid key
+
+let is_notarized t ((round, h) as key) =
+  (round = 0 && Icc_crypto.Sha256.equal h Block.root_hash)
+  || Hashtbl.mem t.notarized key
+
+let is_finalized t ((round, h) as key) =
+  (round = 0 && Icc_crypto.Sha256.equal h Block.root_hash)
+  || Hashtbl.mem t.finalized key
+
+let blocks_of_round t round =
+  List.filter_map (find_block t) (multi_get t.by_round round)
+
+let valid_blocks t round =
+  List.filter_map
+    (fun key -> if is_valid t key then find_block t key else None)
+    (multi_get t.by_round round)
+
+let notarized_blocks t round =
+  List.filter_map
+    (fun key -> if is_notarized t key then find_block t key else None)
+    (multi_get t.by_round round)
+
+let notarization_cert t key = Hashtbl.find_opt t.notar_certs key
+let finalization_cert t key = Hashtbl.find_opt t.final_certs key
+let notar_share_count t key = List.length (multi_get t.notar_shares key)
+let notar_shares t key = multi_get t.notar_shares key
+let final_share_count t key = List.length (multi_get t.final_shares key)
+let final_shares t key = multi_get t.final_shares key
+let beacon_shares t round = multi_get t.beacon_shares round
+let max_round t = t.max_round
+
+(* --- promotion cascade ------------------------------------------------ *)
+
+let rec promote t ((round, _) as key) =
+  match find_block t key with
+  | None -> ()
+  | Some b ->
+      if
+        (not (is_valid t key))
+        && is_authentic t key
+        && is_notarized t (round - 1, b.Block.parent_hash)
+        && t.payload_valid b
+      then Hashtbl.replace t.valid key ();
+      if is_valid t key then begin
+        let newly_notarized =
+          (not (is_notarized t key)) && Hashtbl.mem t.notar_certs key
+        in
+        if newly_notarized then Hashtbl.replace t.notarized key ();
+        if (not (is_finalized t key)) && Hashtbl.mem t.final_certs key then
+          Hashtbl.replace t.finalized key ();
+        if newly_notarized then
+          List.iter (promote t)
+            (multi_get t.children (Block.hash b))
+      end
+
+(* --- admission -------------------------------------------------------- *)
+(* Each [add_*] returns true when the pool gained information. *)
+
+let add_block t (b : Block.t) =
+  let key = (b.Block.round, Block.hash b) in
+  if Hashtbl.mem t.blocks key then false
+  else begin
+    Hashtbl.replace t.blocks key b;
+    multi_add t.by_round b.Block.round key;
+    multi_add t.children b.Block.parent_hash key;
+    if b.Block.round > t.max_round then t.max_round <- b.Block.round;
+    promote t key;
+    true
+  end
+
+let add_authenticator t ~round ~proposer ~block_hash signature =
+  let key = (round, block_hash) in
+  if Hashtbl.mem t.authentic key then false
+  else if
+    proposer >= 1
+    && proposer <= t.system.Icc_crypto.Keygen.n
+    && Icc_crypto.Schnorr.verify
+         t.system.Icc_crypto.Keygen.auth_pub.(proposer - 1)
+         (Types.authenticator_text ~round ~proposer ~block_hash)
+         signature
+  then begin
+    Hashtbl.replace t.authentic key signature;
+    promote t key;
+    true
+  end
+  else false
+
+let verify_cert t ~text (c : Types.cert) =
+  Icc_crypto.Multisig.verify
+    (match text with
+    | `Notarization ->
+        t.system.Icc_crypto.Keygen.notary
+    | `Finalization -> t.system.Icc_crypto.Keygen.final)
+    (match text with
+    | `Notarization ->
+        Types.notarization_text ~round:c.Types.c_round ~proposer:c.Types.c_proposer
+          ~block_hash:c.Types.c_block_hash
+    | `Finalization ->
+        Types.finalization_text ~round:c.Types.c_round ~proposer:c.Types.c_proposer
+          ~block_hash:c.Types.c_block_hash)
+    c.Types.c_multisig
+
+let add_notarization t (c : Types.cert) =
+  let key = (c.Types.c_round, c.Types.c_block_hash) in
+  if Hashtbl.mem t.notar_certs key then false
+  else if verify_cert t ~text:`Notarization c then begin
+    Hashtbl.replace t.notar_certs key c;
+    promote t key;
+    true
+  end
+  else false
+
+let add_finalization t (c : Types.cert) =
+  let key = (c.Types.c_round, c.Types.c_block_hash) in
+  if Hashtbl.mem t.final_certs key then false
+  else if verify_cert t ~text:`Finalization c then begin
+    Hashtbl.replace t.final_certs key c;
+    promote t key;
+    true
+  end
+  else false
+
+let add_share t ~kind (s : Types.share_msg) =
+  let key = (s.Types.s_round, s.Types.s_block_hash) in
+  let table, params, text =
+    match kind with
+    | `Notarization ->
+        ( t.notar_shares,
+          t.system.Icc_crypto.Keygen.notary,
+          Types.notarization_text ~round:s.Types.s_round
+            ~proposer:s.Types.s_proposer ~block_hash:s.Types.s_block_hash )
+    | `Finalization ->
+        ( t.final_shares,
+          t.system.Icc_crypto.Keygen.final,
+          Types.finalization_text ~round:s.Types.s_round
+            ~proposer:s.Types.s_proposer ~block_hash:s.Types.s_block_hash )
+  in
+  let share = s.Types.s_share in
+  let already =
+    List.exists
+      (fun (sh : Icc_crypto.Multisig.share) ->
+        sh.Icc_crypto.Multisig.signer = share.Icc_crypto.Multisig.signer)
+      (multi_get table key)
+  in
+  if already then false
+  else if Icc_crypto.Multisig.verify_share params text share then begin
+    multi_add table key share;
+    true
+  end
+  else false
+
+let add_notarization_share t s = add_share t ~kind:`Notarization s
+let add_finalization_share t s = add_share t ~kind:`Finalization s
+
+let add_beacon_share t ~round (share : Icc_crypto.Threshold_vuf.signature_share) =
+  (* Shares are verifiable only once the previous beacon value is known, so
+     they are admitted unverified (deduplicated by signer) and checked by
+     {!Beacon.try_compute}. *)
+  let already =
+    List.exists
+      (fun (sh : Icc_crypto.Threshold_vuf.signature_share) ->
+        sh.Icc_crypto.Threshold_vuf.signer = share.Icc_crypto.Threshold_vuf.signer)
+      (multi_get t.beacon_shares round)
+  in
+  if already then false
+  else begin
+    multi_add t.beacon_shares round share;
+    true
+  end
+
+(* --- garbage collection ------------------------------------------------ *)
+
+let stored_blocks t = Hashtbl.length t.blocks
+
+(* Discard all per-round state for rounds below [below] (paper §3.1: "the
+   protocol can be optimized so that messages that are no longer relevant
+   may [be] discarded", with checkpointing as in PBFT).  Safe once every
+   round below the horizon is finalized: new blocks only ever extend
+   notarized blocks at the current frontier, and Fig. 2 only outputs
+   segments above kmax. *)
+let prune t ~below =
+  let doomed_rounds =
+    Hashtbl.fold
+      (fun round _ acc -> if round < below then round :: acc else acc)
+      t.by_round []
+  in
+  List.iter
+    (fun round ->
+      let keys = multi_get t.by_round round in
+      List.iter
+        (fun ((_, h) as key) ->
+          (match Hashtbl.find_opt t.blocks key with
+          | Some b -> Hashtbl.remove t.children b.Block.parent_hash
+          | None -> ());
+          Hashtbl.remove t.children h;
+          Hashtbl.remove t.blocks key;
+          Hashtbl.remove t.authentic key;
+          Hashtbl.remove t.notar_shares key;
+          Hashtbl.remove t.notar_certs key;
+          Hashtbl.remove t.final_shares key;
+          Hashtbl.remove t.final_certs key;
+          Hashtbl.remove t.valid key;
+          Hashtbl.remove t.notarized key;
+          Hashtbl.remove t.finalized key)
+        keys;
+      Hashtbl.remove t.by_round round;
+      Hashtbl.remove t.beacon_shares round)
+    doomed_rounds
+
+(* --- condition-(a) and finalization-subprotocol queries ---------------- *)
+
+let quorum t = t.system.Icc_crypto.Keygen.n - t.system.Icc_crypto.Keygen.t
+
+(* A way to finish round k: either a notarized block, or a valid
+   non-notarized block holding a full set of notarization shares. *)
+type completion =
+  | Already_notarized of Block.t * Types.cert
+  | Combinable of Block.t * Icc_crypto.Multisig.share list
+
+let round_completion t round =
+  let keys = multi_get t.by_round round in
+  let notarized =
+    List.find_map
+      (fun key ->
+        if is_notarized t key then
+          match (find_block t key, notarization_cert t key) with
+          | Some b, Some c -> Some (Already_notarized (b, c))
+          | _ -> None
+        else None)
+      keys
+  in
+  match notarized with
+  | Some _ as r -> r
+  | None ->
+      List.find_map
+        (fun key ->
+          if
+            is_valid t key
+            && (not (is_notarized t key))
+            && notar_share_count t key >= quorum t
+          then
+            match find_block t key with
+            | Some b -> Some (Combinable (b, notar_shares t key))
+            | None -> None
+          else None)
+        keys
+
+(* Finalization subprotocol (Fig. 2): the smallest round above [kmax] that
+   can be finished, either via a finalization certificate on a valid block
+   or via a full set of finalization shares on a valid block. *)
+type finalization_step =
+  | Final_cert of Block.t * Types.cert
+  | Final_combinable of Block.t * Icc_crypto.Multisig.share list
+
+let finalization_step t ~kmax =
+  let rec scan round =
+    if round > t.max_round then None
+    else
+      let keys = multi_get t.by_round round in
+      let hit =
+        List.find_map
+          (fun key ->
+            if not (is_valid t key) then None
+            else if is_finalized t key then
+              match (find_block t key, finalization_cert t key) with
+              | Some b, Some c -> Some (Final_cert (b, c))
+              | _ -> None
+            else if final_share_count t key >= quorum t then
+              match find_block t key with
+              | Some b -> Some (Final_combinable (b, final_shares t key))
+              | None -> None
+            else None)
+          keys
+      in
+      match hit with Some _ as r -> r | None -> scan (round + 1)
+  in
+  scan (kmax + 1)

@@ -1,0 +1,88 @@
+(** A party's message pool (paper §3.1, §3.4): all received messages,
+    indexed for incremental evaluation of the block-classification
+    predicates {e authentic}, {e valid}, {e notarized}, {e finalized}.
+
+    Every signature is verified on admission; messages failing verification
+    are dropped.  Classification is monotone and maintained by a promotion
+    cascade (a block becomes valid when authentic with a notarized parent;
+    promoting a block re-examines its children). *)
+
+type key = Types.round * Icc_crypto.Sha256.t
+
+type t
+
+val create : ?payload_valid:(Block.t -> bool) -> Icc_crypto.Keygen.system -> t
+(** [payload_valid] is the application-specific validity hook (default
+    accepts everything). *)
+
+(** {1 Admission} — each returns [true] when the pool gained information. *)
+
+val add_block : t -> Block.t -> bool
+
+val add_authenticator :
+  t -> round:Types.round -> proposer:Types.party_id ->
+  block_hash:Icc_crypto.Sha256.t -> Icc_crypto.Schnorr.signature -> bool
+
+val add_notarization : t -> Types.cert -> bool
+val add_finalization : t -> Types.cert -> bool
+val add_notarization_share : t -> Types.share_msg -> bool
+val add_finalization_share : t -> Types.share_msg -> bool
+
+val add_beacon_share :
+  t -> round:Types.round -> Icc_crypto.Threshold_vuf.signature_share -> bool
+(** Beacon shares are admitted unverified (deduplicated by signer); they
+    become verifiable only once the previous beacon value is known and are
+    checked by {!Beacon.try_compute}. *)
+
+(** {1 Classification queries} *)
+
+val find_block : t -> key -> Block.t option
+val is_authentic : t -> key -> bool
+val authenticator : t -> key -> Icc_crypto.Schnorr.signature option
+val is_valid : t -> key -> bool
+
+val is_notarized : t -> key -> bool
+(** The root [(0, root_hash)] is always notarized. *)
+
+val is_finalized : t -> key -> bool
+
+val blocks_of_round : t -> Types.round -> Block.t list
+val valid_blocks : t -> Types.round -> Block.t list
+val notarized_blocks : t -> Types.round -> Block.t list
+
+val notarization_cert : t -> key -> Types.cert option
+val finalization_cert : t -> key -> Types.cert option
+val notar_share_count : t -> key -> int
+val notar_shares : t -> key -> Icc_crypto.Multisig.share list
+val final_share_count : t -> key -> int
+val final_shares : t -> key -> Icc_crypto.Multisig.share list
+val beacon_shares : t -> Types.round -> Icc_crypto.Threshold_vuf.signature_share list
+val max_round : t -> Types.round
+val quorum : t -> int
+
+(** {1 Garbage collection} *)
+
+val stored_blocks : t -> int
+
+val prune : t -> below:Types.round -> unit
+(** Discard all per-round state for rounds below [below] (paper §3.1's
+    message-discarding optimisation / PBFT-style checkpointing).  Only call
+    with [below <= kmax]: every discarded round must already be finalized. *)
+
+(** {1 Protocol-step queries} *)
+
+(** A way to finish a round (Fig. 1 alternative (a)). *)
+type completion =
+  | Already_notarized of Block.t * Types.cert
+  | Combinable of Block.t * Icc_crypto.Multisig.share list
+      (** A valid, non-notarized block holding a full share set. *)
+
+val round_completion : t -> Types.round -> completion option
+
+(** A way to advance the finalization subprotocol (Fig. 2). *)
+type finalization_step =
+  | Final_cert of Block.t * Types.cert
+  | Final_combinable of Block.t * Icc_crypto.Multisig.share list
+
+val finalization_step : t -> kmax:Types.round -> finalization_step option
+(** The smallest finishable round above [kmax]. *)

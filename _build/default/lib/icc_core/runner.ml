@@ -1,0 +1,397 @@
+(* Scenario runner for Protocol ICC0: builds keys, network, workload and
+   parties, runs the discrete-event simulation, and evaluates the global
+   correctness oracles. *)
+
+type delay_spec =
+  | Fixed_delay of float
+  | Uniform_delay of float * float
+  | Wan of { rtt_lo : float; rtt_hi : float } (* paper: RTT 6–110 ms *)
+
+(* The dissemination layer under the protocol.  ICC0 broadcasts directly;
+   ICC1 (icc_gossip) and ICC2 (icc_rbc) plug in their sub-layers here. *)
+type transport_ctx = {
+  tr_engine : Icc_sim.Engine.t;
+  tr_metrics : Icc_sim.Metrics.t;
+  tr_n : int;
+  tr_t : int;
+  tr_rng : Icc_sim.Rng.t;
+  tr_delay_model : Icc_sim.Network.delay_model;
+  tr_async_until : float;
+  tr_is_active : int -> bool; (* false once a party has crashed *)
+  tr_deliver : dst:int -> Message.t -> unit;
+  tr_system : Icc_crypto.Keygen.system;
+  tr_keys : Icc_crypto.Keygen.party_keys array;
+      (* index 0 = party 1; a transport sub-layer conceptually runs inside
+         each party's process and may use that party's keys *)
+}
+
+type transport_impl = {
+  tx_broadcast : src:int -> Message.t -> unit;
+  tx_unicast : src:int -> dst:int -> Message.t -> unit;
+}
+
+type transport = transport_ctx -> transport_impl
+
+type workload =
+  | No_load (* management filler only, paper Table 1 scenario 1 *)
+  | Load of { rate_per_s : float; cmd_size : int } (* Table 1 scenario 2 *)
+  | Fixed_block_size of int (* leader-bottleneck experiments *)
+  | Tagged_load of {
+      rate_per_s : float;
+      cmd_size : int;
+      make_tag : int -> string; (* application payload per command id *)
+    }
+
+type scenario = {
+  n : int;
+  t_corrupt : int;
+  seed : int;
+  delta_bnd : float;
+  epsilon : float;
+  delay : delay_spec;
+  behaviors : (int * Party.behavior) list; (* unlisted parties are honest *)
+  kill_at : (int * float) list; (* (party, time): crash mid-run *)
+  duration : float;
+  max_rounds : int option; (* stop once some party commits this round *)
+  workload : workload;
+  non_responsive : bool;
+  async_until : float; (* adversarial asynchrony at the start of the run *)
+  transport : transport option; (* None = ICC0 direct broadcast *)
+  adaptive : bool; (* adaptive delay-bound estimation (paper §1) *)
+  prune_depth : int option; (* pool garbage collection below kmax *)
+}
+
+let default_scenario ~n ~seed =
+  {
+    n;
+    t_corrupt = Icc_crypto.Keygen.max_corrupt ~n;
+    seed;
+    delta_bnd = 1.0;
+    epsilon = 0.2;
+    delay = Fixed_delay 0.05;
+    behaviors = [];
+    kill_at = [];
+    duration = 60.;
+    max_rounds = None;
+    workload = No_load;
+    non_responsive = false;
+    async_until = 0.;
+    transport = None;
+    adaptive = false;
+    prune_depth = None;
+  }
+
+(* ICC0's transport: one broadcast network, messages accounted at their
+   modeled wire sizes. *)
+let direct_transport ctx =
+  let net =
+    Icc_sim.Network.create ctx.tr_engine ~n:ctx.tr_n ~metrics:ctx.tr_metrics
+      ~delay_model:ctx.tr_delay_model
+  in
+  if ctx.tr_async_until > 0. then
+    Icc_sim.Network.hold_all_until net ctx.tr_async_until;
+  Icc_sim.Network.set_handler net (fun ~dst ~src:_ msg -> ctx.tr_deliver ~dst msg);
+  {
+    tx_broadcast =
+      (fun ~src msg ->
+        Icc_sim.Network.broadcast net ~src
+          ~size:(Message.wire_size ~n:ctx.tr_n msg)
+          ~kind:(Message.kind msg) msg);
+    tx_unicast =
+      (fun ~src ~dst msg ->
+        Icc_sim.Network.unicast net ~src ~dst
+          ~size:(Message.wire_size ~n:ctx.tr_n msg)
+          ~kind:(Message.kind msg) msg);
+  }
+
+type result = {
+  metrics : Icc_sim.Metrics.t;
+  duration : float; (* simulated time actually elapsed *)
+  outputs : (int * Block.t list) list; (* honest parties' committed chains *)
+  safety_ok : bool; (* output consistency /\ P2 *)
+  p1_ok : bool;
+  rounds_decided : int; (* highest round committed by every honest party *)
+  directly_finalized : int list;
+      (* rounds for which some honest pool holds a finalization certificate:
+         rounds decided in the round itself rather than by a descendant *)
+  blocks_per_s : float;
+  mean_latency : float; (* propose -> all-honest-commit, honest proposals *)
+  honest : int list;
+  commands_committed : int;
+  mean_command_latency : float;
+}
+
+let management_filler = 120
+
+module Int_set = Set.Make (Int)
+
+(* Command ids already committed on the chain ending at [parent], memoised
+   by block hash: payload deduplication for getPayload (paper §3.3).
+   Persistent sets share structure along the chain, so the memo stays
+   linear in the number of commands. *)
+let make_dedup pool_cache =
+  let rec ids_of pool (b : Block.t) =
+    let h = Block.hash b in
+    match Hashtbl.find_opt pool_cache h with
+    | Some s -> s
+    | None ->
+        let parent_ids =
+          if b.Block.round = 1 then Int_set.empty
+          else
+            match Pool.find_block pool (b.Block.round - 1, b.Block.parent_hash) with
+            | Some p -> ids_of pool p
+            | None -> Int_set.empty
+        in
+        let s =
+          List.fold_left
+            (fun acc c -> Int_set.add c.Types.cmd_id acc)
+            parent_ids b.Block.payload.Types.commands
+        in
+        Hashtbl.replace pool_cache h s;
+        s
+  in
+  ids_of
+
+let behavior_of scenario id =
+  match List.assoc_opt id scenario.behaviors with
+  | Some b -> b
+  | None -> Party.honest
+
+let run scenario =
+  let n = scenario.n and t = scenario.t_corrupt in
+  let rng = Icc_sim.Rng.create scenario.seed in
+  let key_rng = Icc_sim.Rng.split rng in
+  let net_rng = Icc_sim.Rng.split rng in
+  let load_rng = Icc_sim.Rng.split rng in
+  let system, keys = Icc_crypto.Keygen.generate ~n ~t (fun () -> Icc_sim.Rng.bits61 key_rng) in
+  let config =
+    if scenario.non_responsive then
+      Config.non_responsive ~delta_bnd:scenario.delta_bnd ~n ~t ()
+    else
+      Config.recommended ~delta_bnd:scenario.delta_bnd ~epsilon:scenario.epsilon
+        ~adaptive:scenario.adaptive ?prune_depth:scenario.prune_depth ~n ~t ()
+  in
+  let engine = Icc_sim.Engine.create () in
+  let metrics = Icc_sim.Metrics.create n in
+  let delay_model : Icc_sim.Network.delay_model =
+    match scenario.delay with
+    | Fixed_delay d -> Fixed d
+    | Uniform_delay (lo, hi) -> Uniform { rng = net_rng; lo; hi }
+    | Wan { rtt_lo; rtt_hi } ->
+        Matrix (Icc_sim.Network.wan_matrix net_rng ~n ~rtt_lo ~rtt_hi)
+  in
+  (* Client workload: commands are submitted to every party (clients
+     broadcast); client->replica traffic is not consensus traffic and is not
+     accounted. *)
+  let pending : Types.command list ref = ref [] in
+  let next_cmd_id = ref 0 in
+  let submit_command ?tag ~size ~time () =
+    incr next_cmd_id;
+    pending :=
+      Types.command ?tag ~cmd_id:!next_cmd_id ~cmd_size:size ~submitted_at:time
+        ()
+      :: !pending
+  in
+  let arrivals ~rate_per_s ~submit =
+    let dt = 1. /. rate_per_s in
+    let rec arrival time =
+      if time <= scenario.duration then
+        Icc_sim.Engine.schedule_at engine ~time (fun () ->
+            submit ~time;
+            (* jittered next arrival around the nominal rate *)
+            arrival (time +. (dt *. Icc_sim.Rng.float_range load_rng 0.5 1.5)))
+    in
+    arrival (dt *. Icc_sim.Rng.float load_rng 1.)
+  in
+  (match scenario.workload with
+  | Load { rate_per_s; cmd_size } ->
+      arrivals ~rate_per_s ~submit:(fun ~time ->
+          submit_command ~size:cmd_size ~time ())
+  | Tagged_load { rate_per_s; cmd_size; make_tag } ->
+      arrivals ~rate_per_s ~submit:(fun ~time ->
+          submit_command ~tag:(make_tag (!next_cmd_id + 1)) ~size:cmd_size
+            ~time ())
+  | No_load | Fixed_block_size _ -> ());
+
+  let dedup_cache = Hashtbl.create 256 in
+  let chain_ids = make_dedup dedup_cache in
+  let get_payload ~pool ~parent ~round:_ ~proposer:_ =
+    match scenario.workload with
+    | No_load -> { Types.commands = []; filler_size = management_filler }
+    | Fixed_block_size size -> { Types.commands = []; filler_size = size }
+    | Load _ | Tagged_load _ ->
+        let included =
+          match parent with Some b -> chain_ids pool b | None -> Int_set.empty
+        in
+        let fresh =
+          List.filter
+            (fun c -> not (Int_set.mem c.Types.cmd_id included))
+            !pending
+        in
+        { Types.commands = fresh; filler_size = management_filler }
+  in
+
+  (* Commit tracking: a block counts as decided when every honest party has
+     output it; latency is measured from its proposal broadcast. *)
+  let honest_ids =
+    List.init n (fun i -> i + 1)
+    |> List.filter (fun id -> behavior_of scenario id = Party.honest)
+    |> List.filter (fun id -> not (List.mem_assoc id scenario.kill_at))
+  in
+  let n_honest = List.length honest_ids in
+  let commit_count : (Types.round * Icc_crypto.Sha256.t, int) Hashtbl.t =
+    Hashtbl.create 256
+  in
+  let committed_cmds = ref 0 in
+  let cmd_latencies = ref [] in
+  let stop_requested = ref false in
+  let on_output ~party (b : Block.t) =
+    if List.mem party honest_ids then begin
+      let key = (b.Block.round, Block.hash b) in
+      let c = 1 + Option.value ~default:0 (Hashtbl.find_opt commit_count key) in
+      Hashtbl.replace commit_count key c;
+      if c = n_honest then begin
+        let nowt = Icc_sim.Engine.now engine in
+        Icc_sim.Metrics.record_finalization metrics ~round:b.Block.round ~time:nowt;
+        (match List.assoc_opt b.Block.round metrics.Icc_sim.Metrics.proposal_times with
+        | Some t0 -> Icc_sim.Metrics.record_latency metrics (nowt -. t0)
+        | None -> ());
+        List.iter
+          (fun c ->
+            incr committed_cmds;
+            cmd_latencies := (nowt -. c.Types.submitted_at) :: !cmd_latencies)
+          b.Block.payload.Types.commands;
+        (* Committed commands leave the clients' pending set. *)
+        (let committed =
+           List.fold_left
+             (fun acc c -> Int_set.add c.Types.cmd_id acc)
+             Int_set.empty b.Block.payload.Types.commands
+         in
+         if not (Int_set.is_empty committed) then
+           pending :=
+             List.filter
+               (fun c -> not (Int_set.mem c.Types.cmd_id committed))
+               !pending);
+        (match scenario.max_rounds with
+        | Some r when b.Block.round >= r -> stop_requested := true
+        | _ -> ())
+      end
+    end
+  in
+
+  (* Transport and parties are mutually referential (delivery dispatches to
+     parties; parties send through the transport): tie the knot with a
+     forward reference. *)
+  let parties_ref = ref [||] in
+  let deliver ~dst msg =
+    let parties = !parties_ref in
+    if dst >= 1 && dst <= Array.length parties then begin
+      Party.on_message parties.(dst - 1) msg;
+      if !stop_requested then Icc_sim.Engine.stop engine
+    end
+  in
+  let ctx =
+    {
+      tr_engine = engine;
+      tr_metrics = metrics;
+      tr_n = n;
+      tr_t = t;
+      tr_rng = Icc_sim.Rng.split rng;
+      tr_delay_model = delay_model;
+      tr_async_until = scenario.async_until;
+      tr_is_active =
+        (fun id ->
+          not (Party.behavior (!parties_ref).(id - 1)).Party.crashed);
+      tr_deliver = deliver;
+      tr_system = system;
+      tr_keys = Array.of_list keys;
+    }
+  in
+  let impl =
+    (match scenario.transport with
+    | None -> direct_transport
+    | Some transport -> transport)
+      ctx
+  in
+  let env =
+    {
+      Party.config;
+      system;
+      engine;
+      send_broadcast = impl.tx_broadcast;
+      send_unicast = impl.tx_unicast;
+      metrics;
+      get_payload;
+      on_output;
+    }
+  in
+  let parties =
+    Array.init n (fun i ->
+        let id = i + 1 in
+        Party.create env ~id
+          ~keys:(List.nth keys i)
+          ~behavior:(behavior_of scenario id))
+  in
+  parties_ref := parties;
+  List.iter
+    (fun (id, time) ->
+      Icc_sim.Engine.schedule_at engine ~time (fun () ->
+          Party.set_behavior parties.(id - 1) Party.crashed))
+    scenario.kill_at;
+  Array.iter Party.start parties;
+  Icc_sim.Engine.run ~until:scenario.duration engine;
+
+  let elapsed = Icc_sim.Engine.now engine in
+  let outputs =
+    List.map (fun id -> (id, Party.output_chain parties.(id - 1))) honest_ids
+  in
+  let honest_pools =
+    List.map (fun id -> Party.pool parties.(id - 1)) honest_ids
+  in
+  let rounds_decided =
+    match outputs with
+    | [] -> 0
+    | _ ->
+        List.fold_left
+          (fun acc (_, chain) ->
+            min acc
+              (List.fold_left (fun m b -> max m b.Block.round) 0 chain))
+          max_int outputs
+  in
+  let min_finished =
+    List.fold_left
+      (fun acc id ->
+        min acc (Party.rounds_finished parties.(id - 1)))
+      max_int honest_ids
+  in
+  let directly_finalized =
+    let limit = if rounds_decided = max_int then 0 else rounds_decided in
+    List.filter
+      (fun round ->
+        List.exists
+          (fun pool ->
+            List.exists
+              (fun b ->
+                Pool.is_finalized pool (round, Block.hash b))
+              (Pool.blocks_of_round pool round))
+          honest_pools)
+      (List.init limit (fun i -> i + 1))
+  in
+  {
+    metrics;
+    duration = elapsed;
+    outputs;
+    safety_ok =
+      Check.outputs_consistent outputs
+      && Check.no_conflicting_notarization honest_pools;
+    p1_ok =
+      Check.every_round_notarized honest_pools
+        ~limit:(if min_finished = max_int then 0 else min_finished);
+    rounds_decided;
+    directly_finalized;
+    blocks_per_s = Icc_sim.Metrics.blocks_per_second metrics ~window:elapsed;
+    mean_latency = Icc_sim.Metrics.mean_latency metrics;
+    honest = honest_ids;
+    commands_committed = !committed_cmds;
+    mean_command_latency = Icc_sim.Metrics.mean !cmd_latencies;
+  }

@@ -1,0 +1,78 @@
+(* Shared identifiers, commands, wire messages and signed-text encodings for
+   the ICC protocols (paper §3.4).
+
+   Every signature in the protocol is over one of the canonical strings
+   built here, so authenticators, notarizations, finalizations and beacon
+   shares are domain-separated and bound to (round, proposer, block hash)
+   exactly as in the paper. *)
+
+type party_id = int (* 1-based *)
+type round = int (* >= 1 for real blocks; 0 is the root *)
+type rank = int (* 0 = leader *)
+
+type command = {
+  cmd_id : int;
+  cmd_size : int; (* modeled payload bytes *)
+  submitted_at : float;
+  tag : string; (* opaque application data, e.g. an SMR operation *)
+}
+
+let command ?(tag = "") ~cmd_id ~cmd_size ~submitted_at () =
+  { cmd_id; cmd_size; submitted_at; tag }
+
+type payload = {
+  commands : command list;
+  filler_size : int; (* extra modeled bytes (management data) *)
+}
+
+let empty_payload = { commands = []; filler_size = 0 }
+
+let payload_size p =
+  List.fold_left (fun acc c -> acc + c.cmd_size) p.filler_size p.commands
+
+let payload_digest p =
+  Icc_crypto.Sha256.digest_string
+    (String.concat ","
+       (string_of_int p.filler_size
+       :: List.map
+            (fun c -> Printf.sprintf "%d:%s" c.cmd_id c.tag)
+            p.commands))
+
+(* Signed-text encodings (paper §3.4): the tuples
+   (authenticator|notarization|finalization, k, alpha, H(B)). *)
+
+let authenticator_text ~round ~proposer ~block_hash =
+  Printf.sprintf "authenticator|%d|%d|%s" round proposer
+    (Icc_crypto.Sha256.to_hex block_hash)
+
+let notarization_text ~round ~proposer ~block_hash =
+  Printf.sprintf "notarization|%d|%d|%s" round proposer
+    (Icc_crypto.Sha256.to_hex block_hash)
+
+let finalization_text ~round ~proposer ~block_hash =
+  Printf.sprintf "finalization|%d|%d|%s" round proposer
+    (Icc_crypto.Sha256.to_hex block_hash)
+
+(* The random beacon chain: R_k is the unique threshold signature on a text
+   binding round number and R_{k-1} (paper §2.3). *)
+
+let beacon_genesis = "icc-beacon-genesis"
+
+let beacon_text ~round ~prev_sigma =
+  Printf.sprintf "beacon|%d|%s" round prev_sigma
+
+(* Certificates and shares carried on the wire. *)
+
+type cert = {
+  c_round : round;
+  c_proposer : party_id;
+  c_block_hash : Icc_crypto.Sha256.t;
+  c_multisig : Icc_crypto.Multisig.signature;
+}
+
+type share_msg = {
+  s_round : round;
+  s_proposer : party_id;
+  s_block_hash : Icc_crypto.Sha256.t;
+  s_share : Icc_crypto.Multisig.share;
+}

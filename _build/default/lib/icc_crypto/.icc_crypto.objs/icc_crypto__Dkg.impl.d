@@ -1,0 +1,1 @@
+lib/icc_crypto/dkg.ml: Array Fp Fun Group List Shamir Threshold_vuf

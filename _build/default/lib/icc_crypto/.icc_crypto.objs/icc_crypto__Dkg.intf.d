@@ -1,0 +1,1 @@
+lib/icc_crypto/dkg.mli: Group Threshold_vuf

@@ -1,0 +1,1 @@
+lib/icc_crypto/dleq.ml: Group Printf Sha256

@@ -1,0 +1,1 @@
+lib/icc_crypto/dleq.mli: Group

@@ -1,0 +1,1 @@
+lib/icc_crypto/group.ml: Format Fp Int Sha256

@@ -1,0 +1,1 @@
+lib/icc_crypto/group.mli: Format Sha256

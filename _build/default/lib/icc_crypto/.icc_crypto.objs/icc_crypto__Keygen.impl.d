@@ -1,0 +1,1 @@
+lib/icc_crypto/keygen.ml: Array List Multisig Schnorr Threshold_vuf

@@ -1,0 +1,1 @@
+lib/icc_crypto/keygen.mli: Multisig Schnorr Threshold_vuf

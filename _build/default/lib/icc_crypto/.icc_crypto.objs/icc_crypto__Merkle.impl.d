@@ -1,0 +1,1 @@
+lib/icc_crypto/merkle.ml: Array List Sha256

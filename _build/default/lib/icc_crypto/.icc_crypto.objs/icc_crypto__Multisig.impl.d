@@ -1,0 +1,1 @@
+lib/icc_crypto/multisig.ml: Array List Schnorr

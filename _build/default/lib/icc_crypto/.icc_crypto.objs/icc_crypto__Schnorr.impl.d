@@ -1,0 +1,1 @@
+lib/icc_crypto/schnorr.ml: Group Printf Sha256

@@ -1,0 +1,1 @@
+lib/icc_crypto/sha256.ml: Array Buffer Bytes Char Format Int32 Printf String

@@ -1,0 +1,1 @@
+lib/icc_crypto/sha256.mli: Bytes Format

@@ -1,0 +1,1 @@
+lib/icc_crypto/shamir.mli: Group

@@ -1,0 +1,1 @@
+lib/icc_crypto/threshold_vuf.ml: Array Dleq Group List Printf Sha256 Shamir

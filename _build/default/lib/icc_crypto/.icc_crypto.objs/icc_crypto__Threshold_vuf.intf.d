@@ -1,0 +1,1 @@
+lib/icc_crypto/threshold_vuf.mli: Dleq Group Sha256

@@ -1,0 +1,133 @@
+(* Distributed key generation for the random-beacon scheme S_beacon.
+
+   The paper (§3.1) requires the correlated beacon keys to be "set up by a
+   trusted party or a secure distributed key generation protocol"; {!Keygen}
+   implements the trusted dealer, this module the DKG — a joint-Feldman
+   construction (Pedersen's DKG):
+
+     1. Deal: every party i samples a degree-t polynomial f_i, broadcasts
+        Feldman commitments C_{i,k} = g^{a_{i,k}} to its coefficients, and
+        privately sends party j the share s_{i,j} = f_i(j).
+     2. Verify/complain: party j checks each received share against the
+        dealer's commitments (g^{s_{i,j}} = prod_k C_{i,k}^{j^k}) and
+        broadcasts a complaint against dealers whose share fails.
+     3. Qualify: dealers with more than t complaints are disqualified; the
+        qualified set Q must contain at least t+1 dealers.
+     4. Derive: party j's beacon key is sk_j = sum_{i in Q} s_{i,j}; the
+        global public key is prod_{i in Q} C_{i,0} and each verification
+        key vk_j = prod_{i in Q} prod_k C_{i,k}^{j^k} — all computable from
+        broadcast data alone, so every party derives identical parameters.
+
+   The secret is the sum of the qualified dealers' secrets: as long as one
+   qualified dealer is honest, no coalition of at most t parties learns it.
+   (The full Gennaro et al. fix for biased key distribution — Pedersen
+   commitments in phase 1 — is out of scope here, as it is for the paper.)
+
+   The module is written in explicit message-passing style (deal/receive/
+   complain/finalize) so it can be driven over the simulated network, plus
+   a one-call [run] for in-process setup. *)
+
+type dealing = {
+  dealer : int; (* 1-based *)
+  commitments : Group.elt array; (* C_{i,k} = g^{a_{i,k}}, k = 0..t *)
+  shares : Group.scalar array; (* s_{i,j} for j = 1..n; PRIVATE: entry j-1
+                                  must only be sent to party j *)
+}
+
+let deal ~threshold_t ~n ~dealer rand_bits =
+  let secret = Group.random_scalar rand_bits in
+  let coeffs, shares = Shamir.deal ~threshold_t ~n ~secret rand_bits in
+  {
+    dealer;
+    commitments = Array.map Group.base_pow coeffs;
+    shares = Array.of_list (List.map (fun (s : Shamir.share) -> s.value) shares);
+  }
+
+(* Evaluate the commitment polynomial at point j in the exponent:
+   prod_k C_k^(j^k) = g^(f(j)). *)
+let commitment_eval commitments j =
+  let q = Group.q in
+  let acc = ref Group.one and power = ref 1 in
+  Array.iter
+    (fun c ->
+      acc := Group.mul !acc (Group.pow c !power);
+      power := Fp.mul !power (Fp.reduce j q) q)
+    commitments;
+  !acc
+
+(* Party j's check of dealer i's share (step 2). *)
+let share_valid ~commitments ~receiver ~share =
+  Group.elt_equal (Group.base_pow share) (commitment_eval commitments receiver)
+
+type complaint = { complainer : int; against : int }
+
+let verify_dealing ~receiver (d : dealing) : complaint option =
+  if
+    receiver >= 1
+    && receiver <= Array.length d.shares
+    && share_valid ~commitments:d.commitments ~receiver
+         ~share:d.shares.(receiver - 1)
+  then None
+  else Some { complainer = receiver; against = d.dealer }
+
+(* Step 3/4: given all broadcast commitments and each party's received
+   shares, compute the qualified set and derive parameters and secrets. *)
+let finalize ~threshold_t ~n ~(dealings : dealing list)
+    ~(complaints : complaint list) :
+    (Threshold_vuf.params * Threshold_vuf.secret_share list, string) result =
+  let complaint_count dealer =
+    List.length
+      (List.sort_uniq compare
+         (List.filter_map
+            (fun c -> if c.against = dealer then Some c.complainer else None)
+            complaints))
+  in
+  let qualified =
+    List.filter (fun d -> complaint_count d.dealer <= threshold_t) dealings
+  in
+  if List.length qualified < threshold_t + 1 then
+    Error "Dkg.finalize: fewer than t+1 qualified dealers"
+  else begin
+    let global_pk =
+      List.fold_left
+        (fun acc (d : dealing) -> Group.mul acc d.commitments.(0))
+        Group.one qualified
+    in
+    let verification_keys =
+      Array.init n (fun j ->
+          List.fold_left
+            (fun acc (d : dealing) ->
+              Group.mul acc (commitment_eval d.commitments (j + 1)))
+            Group.one qualified)
+    in
+    let secrets =
+      List.init n (fun j ->
+          {
+            Threshold_vuf.owner = j + 1;
+            sk_i =
+              List.fold_left
+                (fun acc (d : dealing) -> Group.scalar_add acc d.shares.(j))
+                0 qualified;
+          })
+    in
+    Ok
+      ( { Threshold_vuf.threshold_t; n; global_pk; verification_keys },
+        secrets )
+  end
+
+(* One-call honest execution (every party deals, verifies, no complaints). *)
+let run ~threshold_t ~n rand_bits =
+  let dealings =
+    List.init n (fun i -> deal ~threshold_t ~n ~dealer:(i + 1) rand_bits)
+  in
+  let complaints =
+    List.concat_map
+      (fun d ->
+        List.filter_map
+          (fun j -> verify_dealing ~receiver:(j + 1) d)
+          (List.init n Fun.id))
+      dealings
+  in
+  match finalize ~threshold_t ~n ~dealings ~complaints with
+  | Ok r -> r
+  | Error e -> failwith e

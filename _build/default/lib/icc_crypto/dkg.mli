@@ -1,0 +1,39 @@
+(** Distributed key generation for the random-beacon scheme [S_beacon]
+    (paper §3.1): Pedersen's joint-Feldman DKG.  Produces the same
+    {!Threshold_vuf} parameters and secret shares as the trusted dealer in
+    {!Keygen}, but from [n] mutually distrusting dealers: every party deals
+    a Shamir sharing with Feldman commitments, invalid shares draw
+    complaints, dealers with more than [t] complaints are disqualified, and
+    the key is the sum over the qualified set. *)
+
+type dealing = {
+  dealer : int;
+  commitments : Group.elt array;
+      (** Broadcast: [C_k = g^(a_k)] for the dealer's polynomial. *)
+  shares : Group.scalar array;
+      (** PRIVATE: entry [j-1] must be sent only to party [j]. *)
+}
+
+val deal : threshold_t:int -> n:int -> dealer:int -> (unit -> int) -> dealing
+
+val share_valid :
+  commitments:Group.elt array -> receiver:int -> share:Group.scalar -> bool
+(** Feldman check: [g^share = prod_k C_k^(receiver^k)]. *)
+
+type complaint = { complainer : int; against : int }
+
+val verify_dealing : receiver:int -> dealing -> complaint option
+(** [None] when the receiver's share verifies; a complaint otherwise. *)
+
+val finalize :
+  threshold_t:int -> n:int -> dealings:dealing list ->
+  complaints:complaint list ->
+  (Threshold_vuf.params * Threshold_vuf.secret_share list, string) result
+(** Disqualify over-complained dealers, then derive parameters (from
+    broadcast commitments alone) and per-party secrets.  [Error] when fewer
+    than [t+1] dealers qualify. *)
+
+val run :
+  threshold_t:int -> n:int -> (unit -> int) ->
+  Threshold_vuf.params * Threshold_vuf.secret_share list
+(** One-call honest execution. *)

@@ -1,0 +1,23 @@
+(** Chaum–Pedersen non-interactive discrete-log-equality proofs, used to
+    verify random-beacon signature shares. *)
+
+type proof = {
+  challenge : Group.scalar;
+  response : Group.scalar;
+}
+
+val prove :
+  base1:Group.elt ->
+  base2:Group.elt ->
+  exponent:int ->
+  msg_tag:string ->
+  proof
+(** [prove ~base1 ~base2 ~exponent ~msg_tag] proves that
+    [base1^exponent] and [base2^exponent] share the exponent.  [msg_tag]
+    only seeds the deterministic nonce. *)
+
+val verify :
+  base1:Group.elt -> base2:Group.elt -> a:Group.elt -> b:Group.elt ->
+  proof -> bool
+(** [verify ~base1 ~base2 ~a ~b proof] checks that [a = base1^x] and
+    [b = base2^x] for a common (unknown) [x]. *)

@@ -1,0 +1,61 @@
+(* Modular arithmetic on native ints for odd moduli below 2^61.
+
+   All values are canonical representatives in [0, m).  Since m < 2^61 and
+   OCaml's native int has 63 bits, [a + b] for canonical a, b never wraps,
+   so addition-based double-and-add multiplication is exact. *)
+
+let max_modulus_bits = 61
+
+let check_modulus m =
+  if m < 3 || m land 1 = 0 || m >= 1 lsl max_modulus_bits then
+    invalid_arg "Fp.check_modulus: modulus must be odd, in [3, 2^61)"
+
+let reduce a m =
+  let r = a mod m in
+  if r < 0 then r + m else r
+
+let add a b m =
+  let s = a + b in
+  if s >= m then s - m else s
+
+let sub a b m =
+  let d = a - b in
+  if d < 0 then d + m else d
+
+let neg a m = if a = 0 then 0 else m - a
+
+(* Double-and-add product; O(log b) additions, exact for any m < 2^61. *)
+let mul a b m =
+  let rec go acc a b =
+    if b = 0 then acc
+    else
+      let acc = if b land 1 = 1 then add acc a m else acc in
+      go acc (add a a m) (b lsr 1)
+  in
+  if a = 0 || b = 0 then 0 else go 0 a b
+
+let pow base e m =
+  if e < 0 then invalid_arg "Fp.pow: negative exponent";
+  let rec go acc base e =
+    if e = 0 then acc
+    else
+      let acc = if e land 1 = 1 then mul acc base m else acc in
+      go acc (mul base base m) (e lsr 1)
+  in
+  go 1 (reduce base m) e
+
+(* Extended Euclid; returns x with a*x = gcd(a,m) (mod m). *)
+let inv a m =
+  let rec go r0 r1 s0 s1 =
+    if r1 = 0 then (r0, s0)
+    else
+      let q = r0 / r1 in
+      go r1 (r0 - (q * r1)) s1 (s0 - (q * s1))
+  in
+  let a = reduce a m in
+  if a = 0 then invalid_arg "Fp.inv: zero has no inverse";
+  let g, x = go m a 0 1 in
+  if g <> 1 then invalid_arg "Fp.inv: element not invertible";
+  reduce x m
+
+let divide a b m = mul a (inv b m) m

@@ -1,0 +1,63 @@
+(* The cyclic group used by every signature scheme in this library: the
+   subgroup of quadratic residues of Z_p^* for a safe prime p = 2q + 1.
+   The subgroup has prime order q, so every non-identity element (such as
+   g = 4 = 2^2) generates it.
+
+   Parameters are fixed, simulation-scale (61-bit) values; see DESIGN.md
+   §1.3 for why production-scale curves are substituted. *)
+
+let p = 2305843009213691579
+let q = (p - 1) / 2
+let g = 4
+
+let () =
+  (* Cheap self-checks at module initialisation. *)
+  Fp.check_modulus p;
+  assert (p = (2 * q) + 1);
+  assert (Fp.pow g q p = 1)
+
+type elt = int (* canonical representative in [1, p), member of QR(p) *)
+type scalar = int (* canonical representative in [0, q) *)
+
+let one = 1
+let generator = g
+
+let elt_equal = Int.equal
+let scalar_equal = Int.equal
+
+let is_element x = x > 0 && x < p && Fp.pow x q p = 1
+
+let mul a b = Fp.mul a b p
+let elt_inv a = Fp.inv a p
+let pow base e = Fp.pow base (Fp.reduce e q) p
+let base_pow e = pow g e
+
+(* Scalar field Z_q helpers. *)
+let scalar_add a b = Fp.add a b q
+let scalar_sub a b = Fp.sub a b q
+let scalar_mul a b = Fp.mul a b q
+let scalar_inv a = Fp.inv a q
+let scalar_reduce a = Fp.reduce a q
+
+let scalar_of_hash (d : Sha256.t) = Fp.reduce (Sha256.to_int61 d) q
+
+(* Hash a message into the group: square the hash-derived residue.  Squaring
+   maps Z_p^* onto the QR subgroup, giving a proper hash-to-group for the
+   threshold-VUF beacon (the CKS-style coin needs H2G with unknown dlog). *)
+let hash_to_group (d : Sha256.t) : elt =
+  let x = 2 + (Sha256.to_int61 d mod (p - 3)) in
+  (* x in [2, p-1]: never 0, never 1, so x^2 is a non-identity QR unless
+     x = p - 1; nudge that single bad case. *)
+  let x = if x = p - 1 then 2 else x in
+  Fp.mul x x p
+
+let random_scalar rand_bits : scalar =
+  (* rand_bits yields uniformly random 61-bit non-negative ints. *)
+  let rec draw () =
+    let v = rand_bits () in
+    if v >= 0 && v < q then v else draw ()
+  in
+  draw ()
+
+let elt_to_string (e : elt) = string_of_int e
+let pp_elt fmt (e : elt) = Format.pp_print_int fmt e

@@ -1,0 +1,40 @@
+(** Prime-order group for all signature schemes: the quadratic-residue
+    subgroup of [Z_p^*] for the fixed 61-bit safe prime [p], with
+    generator [g = 4] and order [q = (p-1)/2]. *)
+
+type elt = int
+(** Canonical representative in [\[1, p)], member of the QR subgroup. *)
+
+type scalar = int
+(** Canonical representative in [\[0, q)]. *)
+
+val p : int
+val q : int
+
+val one : elt
+val generator : elt
+
+val elt_equal : elt -> elt -> bool
+val scalar_equal : scalar -> scalar -> bool
+val is_element : int -> bool
+
+val mul : elt -> elt -> elt
+val elt_inv : elt -> elt
+val pow : elt -> int -> elt
+val base_pow : int -> elt
+
+val scalar_add : scalar -> scalar -> scalar
+val scalar_sub : scalar -> scalar -> scalar
+val scalar_mul : scalar -> scalar -> scalar
+val scalar_inv : scalar -> scalar
+val scalar_reduce : int -> scalar
+
+val scalar_of_hash : Sha256.t -> scalar
+val hash_to_group : Sha256.t -> elt
+
+val random_scalar : (unit -> int) -> scalar
+(** [random_scalar rand_bits] draws a uniform scalar given a source of
+    uniform 61-bit non-negative ints. *)
+
+val elt_to_string : elt -> string
+val pp_elt : Format.formatter -> elt -> unit

@@ -1,0 +1,45 @@
+(* Deterministic Miller–Rabin for the 62-bit range used by this library.
+
+   The witness set {2,3,5,7,11,13,17,19,23,29,31,37} is known to be a
+   deterministic primality certificate for all n < 3.3 * 10^24, which covers
+   every value representable here. *)
+
+let witnesses = [ 2; 3; 5; 7; 11; 13; 17; 19; 23; 29; 31; 37 ]
+
+let is_prime n =
+  if n < 2 then false
+  else if List.mem n witnesses then true
+  else if List.exists (fun p -> n mod p = 0) witnesses then false
+  else begin
+    (* n - 1 = d * 2^r with d odd *)
+    let d = ref (n - 1) and r = ref 0 in
+    while !d land 1 = 0 do
+      d := !d lsr 1;
+      incr r
+    done;
+    let composite_witness a =
+      let x = Fp.pow a !d n in
+      if x = 1 || x = n - 1 then false
+      else begin
+        let x = ref x and still_composite = ref true in
+        (let i = ref 1 in
+         while !still_composite && !i < !r do
+           x := Fp.mul !x !x n;
+           if !x = n - 1 then still_composite := false;
+           incr i
+        done);
+        !still_composite
+      end
+    in
+    not (List.exists composite_witness witnesses)
+  end
+
+let is_safe_prime p = p > 5 && is_prime p && is_prime ((p - 1) / 2)
+
+let next_safe_prime_below start =
+  let p = ref (if start land 1 = 0 then start - 1 else start) in
+  while not (is_safe_prime !p) do
+    p := !p - 2;
+    if !p < 7 then invalid_arg "Primes.next_safe_prime_below: exhausted"
+  done;
+  !p

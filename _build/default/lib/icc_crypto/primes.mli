@@ -1,0 +1,11 @@
+(** Deterministic primality testing for the 62-bit range. *)
+
+val is_prime : int -> bool
+(** Deterministic Miller–Rabin with the 12 smallest prime witnesses
+    (a proven certificate for all inputs below 3.3e24). *)
+
+val is_safe_prime : int -> bool
+(** [is_safe_prime p] holds when both [p] and [(p-1)/2] are prime. *)
+
+val next_safe_prime_below : int -> int
+(** Largest safe prime ≤ the given odd bound. *)

@@ -1,0 +1,56 @@
+(* Shamir secret sharing over the scalar field Z_q of {!Group} (paper §2.3,
+   approach (iii); Shamir [34]).
+
+   A degree-t polynomial f with f(0) = secret is sampled; party i (1-based)
+   receives the share f(i).  Any t+1 shares reconstruct by Lagrange
+   interpolation at 0; t shares reveal nothing. *)
+
+type share = {
+  index : int; (* 1-based party index, the evaluation point *)
+  value : Group.scalar;
+}
+
+let eval_poly coeffs x =
+  (* Horner evaluation over Z_q; coeffs.(0) is the constant term. *)
+  let q = Group.q in
+  let acc = ref 0 in
+  for i = Array.length coeffs - 1 downto 0 do
+    acc := Fp.add (Fp.mul !acc x q) coeffs.(i) q
+  done;
+  !acc
+
+let deal ~threshold_t ~n ~secret rand_bits =
+  if threshold_t < 0 || n < 1 || threshold_t >= n then
+    invalid_arg "Shamir.deal: need 0 <= t < n";
+  let coeffs = Array.make (threshold_t + 1) 0 in
+  coeffs.(0) <- Group.scalar_reduce secret;
+  for i = 1 to threshold_t do
+    coeffs.(i) <- Group.random_scalar rand_bits
+  done;
+  (coeffs, List.init n (fun i -> { index = i + 1; value = eval_poly coeffs (i + 1) }))
+
+(* Lagrange coefficient λ_i at x = 0 for the set of indices [idxs]:
+   λ_i = Π_{j ≠ i} j / (j - i)  (mod q). *)
+let lagrange_coeff_at_zero idxs i =
+  let q = Group.q in
+  let num, den =
+    List.fold_left
+      (fun (num, den) j ->
+        if j = i then (num, den)
+        else
+          ( Fp.mul num (Fp.reduce j q) q,
+            Fp.mul den (Fp.reduce (j - i) q) q ))
+      (1, 1) idxs
+  in
+  Fp.divide num den q
+
+let reconstruct shares =
+  let idxs = List.map (fun s -> s.index) shares in
+  let distinct = List.sort_uniq compare idxs in
+  if List.length distinct <> List.length idxs then
+    invalid_arg "Shamir.reconstruct: duplicate share indices";
+  List.fold_left
+    (fun acc s ->
+      Group.scalar_add acc
+        (Group.scalar_mul (lagrange_coeff_at_zero idxs s.index) s.value))
+    0 shares

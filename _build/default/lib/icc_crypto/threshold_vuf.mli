@@ -1,0 +1,50 @@
+(** (t, t+1, n)-threshold unique signatures backing the random beacon
+    ([S_beacon], paper §2.3 approach (iii) / §3.2): the DDH-based threshold
+    coin of Cachin–Kursawe–Shoup, a pairing-free analogue of threshold BLS.
+
+    The signature on [m] is the unique group element [H2G(m)^s] for the
+    Shamir-shared secret [s]; shares carry Chaum–Pedersen proofs. *)
+
+type params = {
+  threshold_t : int;
+  n : int;
+  global_pk : Group.elt;
+  verification_keys : Group.elt array;
+}
+
+type secret_share = {
+  owner : int;  (** 1-based party index. *)
+  sk_i : Group.scalar;
+}
+
+type signature_share = {
+  signer : int;
+  value : Group.elt;
+  proof : Dleq.proof;
+}
+
+type signature = {
+  sigma : Group.elt;
+  certificate : signature_share list;
+}
+
+val setup : threshold_t:int -> n:int -> (unit -> int) -> params * secret_share list
+(** Trusted-dealer key generation. *)
+
+val sign_share : params -> secret_share -> string -> signature_share
+val verify_share : params -> string -> signature_share -> bool
+
+val combine : params -> string -> signature_share list -> signature option
+(** Returns [None] when fewer than [t+1] distinct valid shares are given;
+    invalid or duplicate shares are filtered, not fatal. *)
+
+val verify : params -> string -> signature -> bool
+(** Full verification: checks the (t+1)-share certificate and that the
+    claimed value equals its interpolation.  Uniqueness: any two signatures
+    on the same message that verify have equal [sigma]. *)
+
+val randomness : string -> signature -> Sha256.t
+(** The beacon output: a hash binding message and unique signature. *)
+
+val share_wire_size : int
+val signature_wire_size : int

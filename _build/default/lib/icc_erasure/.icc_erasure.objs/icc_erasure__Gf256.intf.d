@@ -1,0 +1,1 @@
+lib/icc_erasure/gf256.mli:

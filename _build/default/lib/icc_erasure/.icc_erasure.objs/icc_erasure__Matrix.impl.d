@@ -1,0 +1,1 @@
+lib/icc_erasure/matrix.ml: Array Gf256

@@ -1,0 +1,1 @@
+lib/icc_erasure/matrix.mli:

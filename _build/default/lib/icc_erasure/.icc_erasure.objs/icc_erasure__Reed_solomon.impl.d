@@ -1,0 +1,1 @@
+lib/icc_erasure/reed_solomon.ml: Array Bytes Char Gf256 List Matrix String

@@ -1,0 +1,1 @@
+lib/icc_erasure/reed_solomon.mli:

@@ -1,0 +1,10 @@
+(** GF(2^8) arithmetic (AES polynomial 0x11b). Values are ints in [\[0,255]]. *)
+
+val order : int
+val check : int -> unit
+val add : int -> int -> int
+val sub : int -> int -> int
+val mul : int -> int -> int
+val inv : int -> int
+val div : int -> int -> int
+val pow : int -> int -> int

@@ -1,0 +1,1 @@
+lib/icc_experiments/adaptivity.ml: Icc_core Icc_sim List Printf

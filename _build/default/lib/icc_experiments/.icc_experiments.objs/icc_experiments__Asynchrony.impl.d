@@ -1,0 +1,1 @@
+lib/icc_experiments/asynchrony.ml: Icc_core Icc_sim List Printf String

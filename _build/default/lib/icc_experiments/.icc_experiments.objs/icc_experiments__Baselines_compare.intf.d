@@ -1,0 +1,1 @@
+lib/icc_experiments/baselines_compare.mli:

@@ -1,0 +1,1 @@
+lib/icc_experiments/leader_bottleneck.ml: Icc_core Icc_gossip Icc_rbc Icc_sim List Printf

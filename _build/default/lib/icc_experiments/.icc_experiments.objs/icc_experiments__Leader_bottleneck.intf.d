@@ -1,0 +1,1 @@
+lib/icc_experiments/leader_bottleneck.mli:

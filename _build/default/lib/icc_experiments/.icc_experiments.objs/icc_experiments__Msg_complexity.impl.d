@@ -1,0 +1,1 @@
+lib/icc_experiments/msg_complexity.ml: Icc_core Icc_crypto Icc_sim List Printf

@@ -1,0 +1,1 @@
+lib/icc_experiments/msg_complexity.mli:

@@ -1,0 +1,1 @@
+lib/icc_experiments/robustness.ml: Icc_core Icc_sim List Printf

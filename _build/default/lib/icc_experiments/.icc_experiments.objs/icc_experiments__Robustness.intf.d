@@ -1,0 +1,1 @@
+lib/icc_experiments/robustness.mli:

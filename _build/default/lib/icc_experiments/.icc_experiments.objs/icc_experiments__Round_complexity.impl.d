@@ -1,0 +1,1 @@
+lib/icc_experiments/round_complexity.ml: Icc_core Icc_crypto List Printf

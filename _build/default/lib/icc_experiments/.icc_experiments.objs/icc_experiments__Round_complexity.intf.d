@@ -1,0 +1,1 @@
+lib/icc_experiments/round_complexity.mli:

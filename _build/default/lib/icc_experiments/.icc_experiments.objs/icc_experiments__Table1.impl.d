@@ -1,0 +1,1 @@
+lib/icc_experiments/table1.ml: Icc_core Icc_crypto Icc_gossip Icc_sim List Printf String

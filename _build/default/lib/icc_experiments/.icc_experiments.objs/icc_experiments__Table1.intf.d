@@ -1,0 +1,1 @@
+lib/icc_experiments/table1.mli:

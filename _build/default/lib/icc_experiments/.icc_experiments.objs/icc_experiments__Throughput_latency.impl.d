@@ -1,0 +1,1 @@
+lib/icc_experiments/throughput_latency.ml: Icc_core Icc_gossip Icc_rbc List Printf

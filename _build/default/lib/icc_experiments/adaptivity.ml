@@ -1,0 +1,82 @@
+(* Experiment E9 (extension ablation) — adapting to an unknown delay bound
+   (paper §1):
+
+     "the ICC protocols can be modified to adaptively adjust to an unknown
+      communication-delay bound.  However, some care must be taken in this."
+
+   With the configured delta_bnd an order of magnitude below the true
+   network delay, every party notarization-shares its own block before the
+   leader's arrives, N stops being a singleton, and no finalization share is
+   ever cast: the tree grows (P1) but nothing commits — P3 needs the
+   delay-function requirement.  The adaptive variant scales its local bound
+   up whenever N wasn't a singleton and decays it otherwise, recovering
+   commits and the normal message rate within a few rounds. *)
+
+type row = {
+  variant : string;
+  delta : float;
+  delta_bnd : float;
+  rounds_decided : int;
+  proposals_per_round : float;
+  msgs_per_round : float;
+  safety : bool;
+}
+
+let run_one ~quick ~adaptive ~delta ~delta_bnd =
+  let scenario =
+    {
+      (Icc_core.Runner.default_scenario ~n:7 ~seed:23) with
+      Icc_core.Runner.duration = (if quick then 30. else 90.);
+      delay = Icc_core.Runner.Fixed_delay delta;
+      delta_bnd;
+      epsilon = 0.02;
+      adaptive;
+    }
+  in
+  let r = Icc_core.Runner.run scenario in
+  (* normalise by wall rounds (the tree keeps growing even when nothing
+     commits), approximated by the max pool round across honest parties via
+     finalization times when available, else message volume *)
+  let rounds =
+    max r.Icc_core.Runner.rounds_decided
+      (int_of_float (r.Icc_core.Runner.duration /. (2. *. delta)))
+  in
+  {
+    variant = (if adaptive then "adaptive" else "static");
+    delta;
+    delta_bnd;
+    rounds_decided = r.Icc_core.Runner.rounds_decided;
+    proposals_per_round =
+      float_of_int (Icc_sim.Metrics.msgs_of_kind r.Icc_core.Runner.metrics "proposal")
+      /. 6. /. float_of_int (max 1 rounds);
+    msgs_per_round =
+      float_of_int (Icc_sim.Metrics.total_msgs r.Icc_core.Runner.metrics)
+      /. float_of_int (max 1 rounds);
+    safety = r.Icc_core.Runner.safety_ok;
+  }
+
+let run ?(quick = false) () =
+  List.concat_map
+    (fun (delta, delta_bnd) ->
+      [
+        run_one ~quick ~adaptive:false ~delta ~delta_bnd;
+        run_one ~quick ~adaptive:true ~delta ~delta_bnd;
+      ])
+    [ (0.1, 0.01) (* bound 10x too small *); (0.05, 0.1) (* bound adequate *) ]
+
+let print rows =
+  print_endline
+    "== E9 (extension): adapting to an unknown delay bound ==";
+  Printf.printf "%-10s %9s %11s %10s %12s %12s %8s\n" "variant" "delta(s)"
+    "bound(s)" "decided" "props/round" "msgs/round" "safety";
+  List.iter
+    (fun r ->
+      Printf.printf "%-10s %9.3f %11.3f %10d %12.1f %12.0f %8b\n" r.variant
+        r.delta r.delta_bnd r.rounds_decided r.proposals_per_round
+        r.msgs_per_round r.safety)
+    rows;
+  print_endline
+    "  claim: a static bound far below the true delay starves finalization\n\
+    \  entirely (0 decided) while the tree still grows; the adaptive variant\n\
+    \  recovers commits and the ~1 proposal/round steady state.  With an\n\
+    \  adequate bound both behave identically."

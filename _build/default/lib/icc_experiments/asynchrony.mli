@@ -1,0 +1,15 @@
+(** Experiment E8 — intermittent synchrony: adversarial asynchrony for the
+    first third of the run; commits resume at full rate within one round of
+    synchrony returning, safety throughout.  See EXPERIMENTS.md §E8. *)
+
+type row = { window_start : float; window_end : float; finalizations : int }
+
+type outcome = {
+  rows : row list;
+  safety : bool;
+  p1 : bool;
+  async_until : float;
+}
+
+val run : ?quick:bool -> unit -> outcome
+val print : outcome -> unit

@@ -1,0 +1,121 @@
+(* Experiment E6 — comparison against the related-work baselines (paper
+   §1.1): PBFT [13] and chained HotStuff [36] on the identical simulated
+   network.
+
+   Claims to reproduce in shape:
+     - HotStuff matches ICC's 2-delta reciprocal throughput but pays ~6-7
+       delta commit latency versus ICC0's 3 delta;
+     - PBFT commits in 3 delta but (unpipelined) sustains one batch per
+       3 delta;
+     - Tendermint's height duration is timeout-governed (~3 delta + T), so
+       it is not optimistically responsive;
+     - under a crashed leader, PBFT stalls for its view-change timeout and
+       HotStuff for its pacemaker timeout on every rotation hit, while ICC0
+       keeps one block per round with only per-round delay inflation. *)
+
+type row = {
+  protocol : string;
+  condition : string;
+  blocks_per_s : float;
+  latency : float;
+  latency_in_delta : float;
+}
+
+let delta = 0.04
+let n = 7
+
+let icc_scenario ~quick ~behaviors ~seed =
+  {
+    (Icc_core.Runner.default_scenario ~n ~seed) with
+    Icc_core.Runner.duration = (if quick then 20. else 60.);
+    delay = Icc_core.Runner.Fixed_delay delta;
+    epsilon = 1e-3;
+    delta_bnd = 0.5;
+    behaviors;
+  }
+
+let baseline_scenario ~quick ~crashed ~seed =
+  {
+    (Icc_baselines.Harness.default_scenario ~n ~seed) with
+    Icc_baselines.Harness.duration = (if quick then 20. else 60.);
+    delay = Icc_core.Runner.Fixed_delay delta;
+    block_size = 512;
+    timeout = 1.0;
+    crashed;
+  }
+
+let run ?(quick = false) () =
+  let fault_free =
+    let icc = Icc_core.Runner.run (icc_scenario ~quick ~behaviors:[] ~seed:3) in
+    let pbft = Icc_baselines.Pbft.run (baseline_scenario ~quick ~crashed:[] ~seed:3) in
+    let hs = Icc_baselines.Hotstuff.run (baseline_scenario ~quick ~crashed:[] ~seed:3) in
+    let tm = Icc_baselines.Tendermint.run (baseline_scenario ~quick ~crashed:[] ~seed:3) in
+    [
+      { protocol = "ICC0"; condition = "fault-free";
+        blocks_per_s = icc.Icc_core.Runner.blocks_per_s;
+        latency = icc.Icc_core.Runner.mean_latency;
+        latency_in_delta = icc.Icc_core.Runner.mean_latency /. delta };
+      { protocol = "PBFT"; condition = "fault-free";
+        blocks_per_s = pbft.Icc_baselines.Harness.blocks_per_s;
+        latency = pbft.Icc_baselines.Harness.mean_latency;
+        latency_in_delta = pbft.Icc_baselines.Harness.mean_latency /. delta };
+      { protocol = "HotStuff"; condition = "fault-free";
+        blocks_per_s = hs.Icc_baselines.Harness.blocks_per_s;
+        latency = hs.Icc_baselines.Harness.mean_latency;
+        latency_in_delta = hs.Icc_baselines.Harness.mean_latency /. delta };
+      { protocol = "Tendermint"; condition = "fault-free";
+        blocks_per_s = tm.Icc_baselines.Harness.blocks_per_s;
+        latency = tm.Icc_baselines.Harness.mean_latency;
+        latency_in_delta = tm.Icc_baselines.Harness.mean_latency /. delta };
+    ]
+  in
+  let crashed_leader =
+    (* PBFT's leader is static (replica 1 in view 1), so to make the fault
+       comparable we crash a party that actually leads: replica 1 for PBFT
+       (forcing a view change), a rotation member for HotStuff and ICC0. *)
+    let icc =
+      Icc_core.Runner.run
+        (icc_scenario ~quick ~behaviors:[ (2, Icc_core.Party.crashed) ] ~seed:4)
+    in
+    let pbft = Icc_baselines.Pbft.run (baseline_scenario ~quick ~crashed:[ 1 ] ~seed:4) in
+    let hs = Icc_baselines.Hotstuff.run (baseline_scenario ~quick ~crashed:[ 2 ] ~seed:4) in
+    let tm = Icc_baselines.Tendermint.run (baseline_scenario ~quick ~crashed:[ 2 ] ~seed:4) in
+    [
+      { protocol = "ICC0"; condition = "one crashed";
+        blocks_per_s = icc.Icc_core.Runner.blocks_per_s;
+        latency = icc.Icc_core.Runner.mean_latency;
+        latency_in_delta = icc.Icc_core.Runner.mean_latency /. delta };
+      { protocol = "PBFT"; condition = "one crashed";
+        blocks_per_s = pbft.Icc_baselines.Harness.blocks_per_s;
+        latency = pbft.Icc_baselines.Harness.mean_latency;
+        latency_in_delta = pbft.Icc_baselines.Harness.mean_latency /. delta };
+      { protocol = "HotStuff"; condition = "one crashed";
+        blocks_per_s = hs.Icc_baselines.Harness.blocks_per_s;
+        latency = hs.Icc_baselines.Harness.mean_latency;
+        latency_in_delta = hs.Icc_baselines.Harness.mean_latency /. delta };
+      { protocol = "Tendermint"; condition = "one crashed";
+        blocks_per_s = tm.Icc_baselines.Harness.blocks_per_s;
+        latency = tm.Icc_baselines.Harness.mean_latency;
+        latency_in_delta = tm.Icc_baselines.Harness.mean_latency /. delta };
+    ]
+  in
+  fault_free @ crashed_leader
+
+let print rows =
+  Printf.printf
+    "== E6: ICC0 vs PBFT vs HotStuff vs Tendermint (n=%d, delta=%.0f ms) ==\n" n
+    (delta *. 1000.);
+  Printf.printf "%-10s %-13s %10s %12s %15s\n" "protocol" "condition"
+    "blocks/s" "latency(s)" "latency/delta";
+  List.iter
+    (fun r ->
+      Printf.printf "%-10s %-13s %10.2f %12.3f %15.1f\n" r.protocol
+        r.condition r.blocks_per_s r.latency r.latency_in_delta)
+    rows;
+  print_endline
+    "  claims: latency ICC0 ~3 delta, PBFT ~3 delta, HotStuff ~6-7 delta;\n\
+    \  Tendermint commits in ~3 delta but paces heights on its timeout\n\
+    \  (non-responsive, ~1/(3 delta + T) blocks/s);\n\
+    \  throughput ICC0/HotStuff ~1/(2 delta), PBFT ~1/(3 delta); with one\n\
+    \  crashed replica the baselines repeatedly stall on pacemaker/view\n\
+    \  timeouts while ICC0 degrades only by the per-round delay functions."

@@ -1,0 +1,69 @@
+(* Experiment E7 — robust consensus (paper §1 "Robust consensus" and Table 1
+   scenario 3): with up to n/3 parties refusing to participate, throughput
+   degrades gracefully — to roughly the fraction of rounds with honest
+   leaders, each corrupt-leader round finishing in O(delta_bnd) — and never
+   to zero.  We crash n/3 parties halfway through the run and compare the
+   block rate in the two halves. *)
+
+type row = {
+  protocol : string;
+  before_blocks_per_s : float;
+  after_blocks_per_s : float;
+  degradation : float;
+  safety : bool;
+}
+
+let n = 13
+
+let split_rate (times : (int * float) list) ~mid ~duration =
+  let before = List.length (List.filter (fun (_, t) -> t < mid) times) in
+  let after = List.length (List.filter (fun (_, t) -> t >= mid) times) in
+  ( float_of_int before /. mid,
+    float_of_int after /. (duration -. mid) )
+
+let run ?(quick = false) () =
+  let duration = if quick then 60. else 240. in
+  let mid = duration /. 2. in
+  let kill_at =
+    List.init (n / 3) (fun i -> ((3 * i) + 2, mid))
+  in
+  let icc =
+    Icc_core.Runner.run
+      {
+        (Icc_core.Runner.default_scenario ~n ~seed:99) with
+        Icc_core.Runner.duration;
+        delay = Icc_core.Runner.Fixed_delay 0.04;
+        epsilon = 0.4;
+        delta_bnd = 1.0;
+        kill_at;
+      }
+  in
+  let before, after =
+    split_rate icc.Icc_core.Runner.metrics.Icc_sim.Metrics.finalization_times
+      ~mid ~duration:icc.Icc_core.Runner.duration
+  in
+  [
+    {
+      protocol = "ICC0";
+      before_blocks_per_s = before;
+      after_blocks_per_s = after;
+      degradation = after /. before;
+      safety = icc.Icc_core.Runner.safety_ok;
+    };
+  ]
+
+let print rows =
+  Printf.printf
+    "== E7: graceful degradation — n/3 of %d parties crash mid-run ==\n" n;
+  Printf.printf "%-10s %18s %18s %14s %8s\n" "protocol" "blk/s before"
+    "blk/s after" "after/before" "safety";
+  List.iter
+    (fun r ->
+      Printf.printf "%-10s %18.2f %18.2f %14.2f %8b\n" r.protocol
+        r.before_blocks_per_s r.after_blocks_per_s r.degradation r.safety)
+    rows;
+  print_endline
+    "  claim (paper Table 1): with one third of nodes failed the block rate\n\
+    \  drops to ~0.4x (0.45/1.10 small subnet, 0.16/0.41 large) — corrupt-\n\
+    \  leader rounds finish in O(delta_bnd) instead of O(delta), throughput\n\
+    \  never reaches zero."

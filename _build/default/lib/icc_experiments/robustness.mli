@@ -1,0 +1,15 @@
+(** Experiment E7 — robust consensus: n/3 parties crash mid-run; the block
+    rate degrades to roughly the honest-leader fraction and never to zero.
+    See EXPERIMENTS.md §E7. *)
+
+type row = {
+  protocol : string;
+  before_blocks_per_s : float;
+  after_blocks_per_s : float;
+  degradation : float;
+  safety : bool;
+}
+
+val n : int
+val run : ?quick:bool -> unit -> row list
+val print : row list -> unit

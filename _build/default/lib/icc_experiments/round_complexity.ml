@@ -1,0 +1,76 @@
+(* Experiment E3 — round complexity (paper §1):
+
+     "For a static adversary, this complexity is O(1) for the ICC protocols
+      in expectation and O(log n) with high probability."
+
+   A round's block is finalized immediately when its leader is honest and no
+   honest party notarization-shared a conflicting block.  With a fraction
+   beta of equivocating Byzantine parties, each round independently has an
+   honest leader with probability 1 - beta, so the number of rounds until a
+   directly-finalized round is geometric: expectation 1/(1-beta) = O(1).
+   Rounds led by equivocators may split notarization shares and decide only
+   in a later round (the paper's "a decision for this round will be taken in
+   a later round").  We measure the fraction of directly finalized rounds
+   and the longest gap. *)
+
+type row = {
+  n : int;
+  beta : float; (* equivocating fraction *)
+  rounds : int;
+  finalized_fraction : float;
+  max_gap : int; (* longest run of rounds without a finalization *)
+  blocks_per_s : float;
+}
+
+let run_one ~quick ~n ~beta =
+  let corrupt = int_of_float (beta *. float_of_int n) in
+  let scenario =
+    {
+      (Icc_core.Runner.default_scenario ~n ~seed:(31 + corrupt)) with
+      Icc_core.Runner.duration = (if quick then 25. else 90.);
+      delay = Icc_core.Runner.Fixed_delay 0.04;
+      epsilon = 0.15;
+      delta_bnd = 0.3;
+      t_corrupt = Icc_crypto.Keygen.max_corrupt ~n;
+      behaviors =
+        List.init corrupt (fun i ->
+            ((3 * i) + 1, Icc_core.Party.stealthy_equivocator));
+    }
+  in
+  let r = Icc_core.Runner.run scenario in
+  let finalized_rounds = r.Icc_core.Runner.directly_finalized in
+  let rounds = r.Icc_core.Runner.rounds_decided in
+  let max_gap =
+    let rec go prev gaps = function
+      | [] -> gaps
+      | k :: rest -> go k (max gaps (k - prev - 1)) rest
+    in
+    go 0 0 finalized_rounds
+  in
+  {
+    n;
+    beta;
+    rounds;
+    finalized_fraction =
+      float_of_int (List.length finalized_rounds) /. float_of_int (max 1 rounds);
+    max_gap;
+    blocks_per_s = r.Icc_core.Runner.blocks_per_s;
+  }
+
+let run ?(quick = false) () =
+  let n = 13 in
+  List.map (fun beta -> run_one ~quick ~n ~beta) [ 0.0; 0.08; 0.16; 0.30 ]
+
+let print rows =
+  print_endline
+    "== E3: round complexity under equivocating fractions (n=13) ==";
+  Printf.printf "%-6s %-7s %8s %20s %9s %10s\n" "n" "beta" "rounds"
+    "finalized fraction" "max gap" "blocks/s";
+  List.iter
+    (fun r ->
+      Printf.printf "%-6d %-7.2f %8d %20.2f %9d %10.2f\n" r.n r.beta r.rounds
+        r.finalized_fraction r.max_gap r.blocks_per_s)
+    rows;
+  print_endline
+    "  claim: expected rounds-to-decision O(1) — the finalized fraction\n\
+    \  stays near 1-beta and gaps stay O(log n) even at beta ~ 1/3."

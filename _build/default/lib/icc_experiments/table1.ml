@@ -1,0 +1,110 @@
+(* Experiment E1 — the paper's Table 1: average block rate and sent traffic
+   per node, for a small (13-node) and a large (40-node) subnet under three
+   scenarios: no client load, 100 state-changing requests/s of 1 KB each,
+   and the same load with one third of the nodes refusing to participate.
+
+   Parametrization: the paper notes "the current parametrization leads to
+   1.1 blocks/s on small subnets and about 0.4 blocks/s on large subnets" —
+   a deployment choice.  We mirror it through the governor epsilon (larger
+   subnets pace rounds slower) and the delay bound delta_bnd, with the
+   observed 6–110 ms inter-datacenter RTT range.  ICC1 (gossip transport,
+   fanout 4) is used, matching the Internet Computer's dissemination layer.
+
+   What must reproduce (shape): the small/large block-rate ratio; the drop
+   to ~0.4x block rate with n/3 failures; traffic that grows by roughly the
+   gossip-amplified payload rate under load and *falls* under failures.
+   Absolute Mb/s are lower than the paper's: its numbers include client
+   traffic, key resharing, logs and metrics, which are out of protocol
+   scope (see EXPERIMENTS.md). *)
+
+type row = {
+  subnet : int;
+  scenario : string;
+  blocks_per_s : float;
+  mbit_per_node_s : float;
+}
+
+let paper =
+  [
+    (13, "without load", 1.09, 1.64);
+    (13, "with load", 1.10, 4.72);
+    (13, "load + failures", 0.45, 4.39);
+    (40, "without load", 0.41, 4.63);
+    (40, "with load", 0.41, 7.32);
+    (40, "load + failures", 0.16, 5.06);
+  ]
+
+let subnet_params = function
+  | 13 -> (0.80, 1.3) (* epsilon, delta_bnd *)
+  | 40 -> (2.30, 3.5)
+  | n -> (0.1 *. float_of_int n, 0.1 *. float_of_int n)
+
+let run_one ~quick ~n ~scenario_name =
+  let epsilon, delta_bnd = subnet_params n in
+  let duration = if quick then 60. else 180. in
+  let base =
+    {
+      (Icc_core.Runner.default_scenario ~n ~seed:(1000 + n)) with
+      Icc_core.Runner.duration;
+      delay = Icc_core.Runner.Wan { rtt_lo = 0.006; rtt_hi = 0.110 };
+      epsilon;
+      delta_bnd;
+      t_corrupt = Icc_crypto.Keygen.max_corrupt ~n;
+    }
+  in
+  let scenario =
+    match scenario_name with
+    | "without load" -> base
+    | "with load" ->
+        { base with
+          Icc_core.Runner.workload =
+            Icc_core.Runner.Load { rate_per_s = 100.; cmd_size = 1024 } }
+    | "load + failures" ->
+        let failed = n / 3 in
+        {
+          base with
+          Icc_core.Runner.workload =
+            Icc_core.Runner.Load { rate_per_s = 100.; cmd_size = 1024 };
+          behaviors =
+            List.init failed (fun i -> (3 * (i + 1), Icc_core.Party.crashed));
+        }
+    | s -> invalid_arg ("Table1.run_one: unknown scenario " ^ s)
+  in
+  let r = Icc_gossip.Icc1.run ~fanout:4 scenario in
+  {
+    subnet = n;
+    scenario = scenario_name;
+    blocks_per_s = r.Icc_core.Runner.blocks_per_s;
+    mbit_per_node_s =
+      Icc_sim.Metrics.mean_bytes_per_party_per_second
+        r.Icc_core.Runner.metrics ~window:r.Icc_core.Runner.duration
+      *. 8. /. 1e6;
+  }
+
+let run ?(quick = false) () =
+  List.concat_map
+    (fun n ->
+      List.map
+        (fun s -> run_one ~quick ~n ~scenario_name:s)
+        [ "without load"; "with load"; "load + failures" ])
+    [ 13; 40 ]
+
+let print rows =
+  print_endline
+    "== E1 / Table 1: block rate and consensus traffic per node (ICC1, WAN) ==";
+  Printf.printf "%-8s %-17s %14s %14s %16s %16s\n" "subnet" "scenario"
+    "blocks/s" "paper blk/s" "Mb/s per node" "paper Mb/s*";
+  List.iter
+    (fun r ->
+      let _, _, pb, pm =
+        List.find
+          (fun (n, s, _, _) -> n = r.subnet && String.equal s r.scenario)
+          paper
+      in
+      Printf.printf "%-8d %-17s %14.2f %14.2f %16.2f %16.2f\n" r.subnet
+        r.scenario r.blocks_per_s pb r.mbit_per_node_s pm)
+    rows;
+  print_endline
+    "  (*) paper traffic includes non-consensus flows (client requests, key\n\
+    \      resharing, logs, metrics); this harness accounts consensus-layer\n\
+    \      traffic only, so compare deltas and ratios, not absolutes."

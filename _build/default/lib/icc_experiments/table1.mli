@@ -1,0 +1,22 @@
+(** Experiment E1 — the paper's Table 1: average block rate and consensus
+    traffic per node for 13- and 40-node subnets under no load, 100 req/s
+    of 1 KB, and the same load with n/3 failed nodes; ICC1 over the WAN
+    delay model.  See EXPERIMENTS.md §E1. *)
+
+type row = {
+  subnet : int;
+  scenario : string;
+  blocks_per_s : float;
+  mbit_per_node_s : float;
+}
+
+val paper : (int * string * float * float) list
+(** The paper's Table 1 values: (subnet, scenario, blocks/s, Mb/s). *)
+
+val subnet_params : int -> float * float
+(** The deployment constants (epsilon, delta_bnd) mirroring "the current
+    parametrization" per subnet size. *)
+
+val run_one : quick:bool -> n:int -> scenario_name:string -> row
+val run : ?quick:bool -> unit -> row list
+val print : row list -> unit

@@ -1,0 +1,1 @@
+lib/icc_gossip/gossip.ml: Array Hashtbl Icc_core Icc_crypto Icc_sim List Printf

@@ -1,0 +1,1 @@
+lib/icc_gossip/gossip.mli: Icc_core Icc_sim

@@ -1,0 +1,1 @@
+lib/icc_gossip/icc1.ml: Gossip Icc_core

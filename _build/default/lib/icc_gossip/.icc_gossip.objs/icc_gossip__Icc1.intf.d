@@ -1,0 +1,1 @@
+lib/icc_gossip/icc1.mli: Icc_core

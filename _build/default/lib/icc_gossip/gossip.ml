@@ -1,0 +1,183 @@
+(* Peer-to-peer gossip sub-layer (paper §1 and [17]), the dissemination
+   substrate of Protocol ICC1.
+
+   Artifacts travel over a bounded-degree peer graph:
+     - large artifacts (block proposals) use advert -> request -> deliver,
+       so each node transmits a block to at most [fanout] peers instead of
+       the proposer unicasting it to all n-1 — this is what relieves the
+       leader bottleneck;
+     - small artifacts (signature shares, certificates, beacon shares) are
+       flooded: pushed to all peers, re-pushed on first receipt.
+
+   The known/requested sets are per party; the tables here are indexed by
+   party id, so the state remains logically distributed. *)
+
+type artifact_id = string
+
+type wire =
+  | Advert of { id : artifact_id }
+  | Request of { id : artifact_id }
+  | Deliver of { id : artifact_id; msg : Icc_core.Message.t }
+  | Push of { id : artifact_id; msg : Icc_core.Message.t }
+
+let advert_wire_size = 48
+let request_wire_size = 48
+let header_wire_size = 16
+
+type t = {
+  n : int;
+  fanout : int;
+  net : wire Icc_sim.Network.t;
+  peers : int list array; (* 1-based; peers.(0) unused *)
+  known : (int * artifact_id, unit) Hashtbl.t;
+  requested : (int * artifact_id, unit) Hashtbl.t;
+  store : (int * artifact_id, Icc_core.Message.t) Hashtbl.t;
+  is_active : int -> bool;
+  deliver_up : dst:int -> Icc_core.Message.t -> unit;
+}
+
+(* A connected random graph: ring + [fanout - 2] random chords per node,
+   symmetrised. *)
+let build_peer_graph rng ~n ~fanout =
+  let adj = Array.make (n + 1) [] in
+  let add a b =
+    if a <> b && not (List.mem b adj.(a)) then begin
+      adj.(a) <- b :: adj.(a);
+      adj.(b) <- a :: adj.(b)
+    end
+  in
+  for i = 1 to n do
+    add i ((i mod n) + 1)
+  done;
+  for i = 1 to n do
+    for _ = 1 to max 0 (fanout - 2) do
+      add i (1 + Icc_sim.Rng.int rng n)
+    done
+  done;
+  adj
+
+let artifact_id_of (msg : Icc_core.Message.t) =
+  match msg with
+  | Icc_core.Message.Proposal p ->
+      let b = p.Icc_core.Message.p_block in
+      Printf.sprintf "prop|%d|%s" b.Icc_core.Block.round
+        (Icc_crypto.Sha256.to_hex (Icc_core.Block.hash b))
+  | Icc_core.Message.Notarization_share s ->
+      Printf.sprintf "ns|%d|%s|%d" s.Icc_core.Types.s_round
+        (Icc_crypto.Sha256.to_hex s.Icc_core.Types.s_block_hash)
+        s.Icc_core.Types.s_share.Icc_crypto.Multisig.signer
+  | Icc_core.Message.Notarization c ->
+      Printf.sprintf "nz|%d|%s" c.Icc_core.Types.c_round
+        (Icc_crypto.Sha256.to_hex c.Icc_core.Types.c_block_hash)
+  | Icc_core.Message.Finalization_share s ->
+      Printf.sprintf "fs|%d|%s|%d" s.Icc_core.Types.s_round
+        (Icc_crypto.Sha256.to_hex s.Icc_core.Types.s_block_hash)
+        s.Icc_core.Types.s_share.Icc_crypto.Multisig.signer
+  | Icc_core.Message.Finalization c ->
+      Printf.sprintf "fz|%d|%s" c.Icc_core.Types.c_round
+        (Icc_crypto.Sha256.to_hex c.Icc_core.Types.c_block_hash)
+  | Icc_core.Message.Beacon_share { b_round; b_signer; _ } ->
+      Printf.sprintf "bs|%d|%d" b_round b_signer
+
+let is_large = function Icc_core.Message.Proposal _ -> true | _ -> false
+
+let wire_size t = function
+  | Advert _ -> advert_wire_size
+  | Request _ -> request_wire_size
+  | Deliver { msg; _ } | Push { msg; _ } ->
+      header_wire_size + Icc_core.Message.wire_size ~n:t.n msg
+
+let wire_kind = function
+  | Advert _ -> "gossip-advert"
+  | Request _ -> "gossip-request"
+  | Deliver _ -> "gossip-deliver"
+  | Push _ -> "gossip-push"
+
+let send t ~src ~dst w =
+  Icc_sim.Network.unicast t.net ~src ~dst ~size:(wire_size t w)
+    ~kind:(wire_kind w) w
+
+let mark_known t party id = Hashtbl.replace t.known (party, id) ()
+let knows t party id = Hashtbl.mem t.known (party, id)
+
+(* First acquisition of an artifact at [party]: hand it to the protocol
+   layer and propagate. *)
+let acquire t ~party ~from_peer id msg =
+  if not (knows t party id) then begin
+    mark_known t party id;
+    Hashtbl.replace t.store (party, id) msg;
+    t.deliver_up ~dst:party msg;
+    if t.is_active party then
+      List.iter
+        (fun peer ->
+          if peer <> from_peer then
+            if is_large msg then send t ~src:party ~dst:peer (Advert { id })
+            else send t ~src:party ~dst:peer (Push { id; msg }))
+        t.peers.(party)
+  end
+
+let on_wire t ~dst ~src w =
+  if t.is_active dst then
+    match w with
+    | Advert { id } ->
+        if (not (knows t dst id)) && not (Hashtbl.mem t.requested (dst, id))
+        then begin
+          Hashtbl.replace t.requested (dst, id) ();
+          send t ~src:dst ~dst:src (Request { id })
+        end
+    | Request { id } -> (
+        match Hashtbl.find_opt t.store (dst, id) with
+        | Some msg -> send t ~src:dst ~dst:src (Deliver { id; msg })
+        | None -> ())
+    | Deliver { id; msg } | Push { id; msg } ->
+        acquire t ~party:dst ~from_peer:src id msg
+
+let create ~engine ~metrics ~n ~rng ~delay_model ~fanout ~is_active ~deliver_up =
+  let net = Icc_sim.Network.create engine ~n ~metrics ~delay_model in
+  let t =
+    {
+      n;
+      fanout;
+      net;
+      peers = build_peer_graph rng ~n ~fanout;
+      known = Hashtbl.create 1024;
+      requested = Hashtbl.create 1024;
+      store = Hashtbl.create 1024;
+      is_active;
+      deliver_up;
+    }
+  in
+  Icc_sim.Network.set_handler net (fun ~dst ~src w -> on_wire t ~dst ~src w);
+  t
+
+let hold_all_until t time = Icc_sim.Network.hold_all_until t.net time
+
+(* The protocol's "broadcast": publish into the gossip network.  The
+   publisher delivers to itself immediately (its pool holds its own
+   messages). *)
+let publish t ~src msg =
+  let id = artifact_id_of msg in
+  if not (knows t src id) then begin
+    mark_known t src id;
+    Hashtbl.replace t.store (src, id) msg;
+    t.deliver_up ~dst:src msg;
+    List.iter
+      (fun peer ->
+        if is_large msg then send t ~src ~dst:peer (Advert { id })
+        else send t ~src ~dst:peer (Push { id; msg }))
+      t.peers.(src)
+  end
+
+(* Byzantine split delivery: hand an artifact directly to one party, outside
+   the advert/request discipline.  The receiver re-gossips as usual. *)
+let inject t ~src ~dst msg =
+  let id = artifact_id_of msg in
+  if dst = src then publish t ~src msg
+  else begin
+    (* sender remembers its own artifact *)
+    mark_known t src id;
+    Hashtbl.replace t.store (src, id) msg;
+    send t ~src ~dst (Deliver { id; msg })
+  end
+
+let peers t party = t.peers.(party)

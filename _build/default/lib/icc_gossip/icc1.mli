@@ -1,0 +1,13 @@
+(** Protocol ICC1: the ICC0 round logic running over the peer-to-peer
+    gossip sub-layer of {!Gossip}.  Blocks spread by advert/request over
+    the peer graph, trading one-hop latency for a bounded per-node
+    dissemination cost (the leader-bottleneck relief of paper §1). *)
+
+val default_fanout : int
+
+val transport : ?fanout:int -> unit -> Icc_core.Runner.transport
+
+val run :
+  ?fanout:int -> Icc_core.Runner.scenario -> Icc_core.Runner.result
+(** Run an ICC0 scenario with gossip dissemination.  The scenario's
+    [delta_bnd] should account for multi-hop delivery. *)

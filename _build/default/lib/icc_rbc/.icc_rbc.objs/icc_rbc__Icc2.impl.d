@@ -1,0 +1,1 @@
+lib/icc_rbc/icc2.ml: Icc_core Rbc

@@ -1,0 +1,1 @@
+lib/icc_rbc/icc2.mli: Icc_core

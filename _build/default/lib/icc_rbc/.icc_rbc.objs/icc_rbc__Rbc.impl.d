@@ -1,0 +1,1 @@
+lib/icc_rbc/rbc.ml: Array Hashtbl Icc_core Icc_crypto Icc_erasure Icc_sim List Option Printf

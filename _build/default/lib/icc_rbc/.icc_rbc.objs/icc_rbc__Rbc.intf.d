@@ -1,0 +1,1 @@
+lib/icc_rbc/rbc.mli: Icc_core Icc_crypto Icc_sim

@@ -1,0 +1,8 @@
+(** Protocol ICC2: the ICC round logic over the erasure-coded reliable
+    broadcast of {!Rbc} (paper §1).  Expected versus ICC0 under an honest
+    leader and synchrony: reciprocal throughput 3δ (one extra δ for the
+    fragment echo), latency 4δ, and O(S) per-party dissemination bits for
+    blocks of size S = Ω(n·λ·log n). *)
+
+val transport : unit -> Icc_core.Runner.transport
+val run : Icc_core.Runner.scenario -> Icc_core.Runner.result

@@ -1,0 +1,279 @@
+(* Erasure-coded reliable broadcast — the block-dissemination subprotocol of
+   Protocol ICC2 (paper §1: "a low-communication reliable broadcast
+   subprotocol ... based on erasure codes", in the lineage of
+   Cachin–Tessaro [11] with one less round of latency).
+
+   To broadcast a block bundle of modeled size S among n parties with at
+   most t corruptions:
+
+     1. Send: the proposer Reed–Solomon-encodes the serialized bundle with
+        k = t+1 data fragments out of n total, builds a Merkle tree over
+        the fragments, signs the root, and sends party i its fragment i
+        with an inclusion proof.
+     2. Echo: on first receipt of its own valid fragment, each party
+        forwards that fragment (with proof) to all parties.
+     3. Reconstruct: holding k root-consistent fragments, a party decodes,
+        re-encodes, and compares the recomputed Merkle root to the signed
+        root; on success the bundle is delivered to the ICC round logic.
+        A mismatch marks the instance bad and nothing is delivered.
+
+   Per-party cost: n fragments of ~S/(t+1) ≈ 3S/n bytes in each direction,
+   i.e. O(S) bits per party once S = Ω(n λ log n) — the paper's ICC2 bound.
+   The ICC notarization share plays the role of the usual "ready" phase,
+   which is where the integration with the consensus layer saves latency.
+
+   Each party echoes at most two instances per (round, proposer), the
+   RBC analogue of Fig. 1's at-most-two-echoes-per-rank rule, so equivocating
+   proposers cannot inflate traffic.
+
+   Small messages (shares, certificates, beacon shares) bypass the RBC and
+   are broadcast directly. *)
+
+type frag = {
+  f_round : int;
+  f_proposer : int;
+  f_root : Icc_crypto.Sha256.t;
+  f_index : int; (* 0-based fragment index; party i holds index i-1 *)
+  f_data_size : int; (* real serialized byte length *)
+  f_modeled_total : int; (* modeled bundle wire size, for traffic accounting *)
+  f_bytes : string;
+  f_proof : Icc_crypto.Merkle.proof;
+  f_sig : Icc_crypto.Schnorr.signature; (* proposer's signature binding the root *)
+}
+
+type wire = Core of Icc_core.Message.t | Frag of frag
+
+type instance_key = int * int * string (* round, proposer, root hex *)
+
+type instance = {
+  mutable fragments : (int * string) list; (* index, bytes; proof-verified *)
+  mutable echoed : bool;
+  mutable delivered : bool;
+  mutable bad : bool;
+}
+
+type t = {
+  n : int;
+  k : int; (* t + 1 data fragments *)
+  system : Icc_crypto.Keygen.system;
+  keys : Icc_crypto.Keygen.party_keys array;
+  net : wire Icc_sim.Network.t;
+  instances : (int * instance_key, instance) Hashtbl.t; (* keyed by party *)
+  echo_budget : (int * int * int, int) Hashtbl.t;
+      (* (party, round, proposer) -> instances echoed so far (max 2) *)
+  rbc_delivered : (int * int * string, unit) Hashtbl.t;
+      (* (party, round, block hash hex): blocks this party obtained through
+         the RBC, whose totality the fragment echo already guarantees *)
+  is_active : int -> bool;
+  deliver_up : dst:int -> Icc_core.Message.t -> unit;
+}
+
+let root_text ~round ~proposer root =
+  Printf.sprintf "rbc|%d|%d|%s" round proposer (Icc_crypto.Sha256.to_hex root)
+
+let serialize = Icc_core.Codec.encode
+let deserialize = Icc_core.Codec.decode
+
+(* Modeled wire size of one fragment: header + data slice + Merkle proof +
+   root signature. *)
+let frag_wire_size t (f : frag) =
+  24
+  + ((f.f_modeled_total + t.k - 1) / t.k)
+  + Icc_crypto.Merkle.proof_wire_size ~n_leaves:t.n
+  + Icc_crypto.Schnorr.signature_wire_size
+
+let wire_size t = function
+  | Core m -> Icc_core.Message.wire_size ~n:t.n m
+  | Frag f -> frag_wire_size t f
+
+let wire_kind = function
+  | Core m -> Icc_core.Message.kind m
+  | Frag _ -> "rbc-fragment"
+
+let send t ~src ~dst w =
+  Icc_sim.Network.unicast t.net ~src ~dst ~size:(wire_size t w)
+    ~kind:(wire_kind w) w
+
+let broadcast_wire t ~src w =
+  Icc_sim.Network.broadcast t.net ~src ~size:(wire_size t w)
+    ~kind:(wire_kind w) w
+
+let instance_of t ~party key =
+  match Hashtbl.find_opt t.instances (party, key) with
+  | Some i -> i
+  | None ->
+      let i = { fragments = []; echoed = false; delivered = false; bad = false } in
+      Hashtbl.add t.instances (party, key) i;
+      i
+
+(* The proposer's Send step (and self-delivery of the full bundle). *)
+let disseminate t ~src (msg : Icc_core.Message.t) =
+  let data = serialize msg in
+  let coded = Icc_erasure.Reed_solomon.encode ~k:t.k ~n:t.n data in
+  let leaves = Array.to_list coded.Icc_erasure.Reed_solomon.fragments in
+  let root = Icc_crypto.Merkle.root_of_leaves leaves in
+  let round, proposer =
+    match msg with
+    | Icc_core.Message.Proposal p ->
+        (p.p_block.Icc_core.Block.round, p.p_block.Icc_core.Block.proposer)
+    | _ -> invalid_arg "Rbc.disseminate: only proposals use the RBC"
+  in
+  (* Signed with the sender's key over (round, proposer, root): receivers
+     verify against the *proposer's* public key, so only the real proposer
+     can open an RBC instance in its name. *)
+  let f_sig =
+    Icc_crypto.Schnorr.sign
+      t.keys.(src - 1).Icc_crypto.Keygen.auth
+      (root_text ~round ~proposer root)
+  in
+  let modeled_total = Icc_core.Message.wire_size ~n:t.n msg in
+  (* Self-delivery; mark the instance so echoes can't deliver it twice. *)
+  let key = (round, proposer, Icc_crypto.Sha256.to_hex root) in
+  let inst = instance_of t ~party:src key in
+  inst.delivered <- true;
+  (match msg with
+  | Icc_core.Message.Proposal p ->
+      Hashtbl.replace t.rbc_delivered
+        ( src,
+          p.p_block.Icc_core.Block.round,
+          Icc_crypto.Sha256.to_hex (Icc_core.Block.hash p.p_block) )
+        ()
+  | _ -> ());
+  t.deliver_up ~dst:src msg;
+  for dst = 1 to t.n do
+    if dst <> src then
+      send t ~src ~dst
+        (Frag
+           {
+             f_round = round;
+             f_proposer = proposer;
+             f_root = root;
+             f_index = dst - 1;
+             f_data_size = coded.Icc_erasure.Reed_solomon.data_size;
+             f_modeled_total = modeled_total;
+             f_bytes = coded.Icc_erasure.Reed_solomon.fragments.(dst - 1);
+             f_proof = Icc_crypto.Merkle.prove leaves (dst - 1);
+             f_sig;
+           })
+  done
+
+let frag_valid t (f : frag) =
+  f.f_proposer >= 1 && f.f_proposer <= t.n
+  && f.f_index >= 0 && f.f_index < t.n
+  && Icc_crypto.Schnorr.verify
+       t.system.Icc_crypto.Keygen.auth_pub.(f.f_proposer - 1)
+       (root_text ~round:f.f_round ~proposer:f.f_proposer f.f_root)
+       f.f_sig
+  && Icc_crypto.Merkle.verify ~root:f.f_root ~leaf:f.f_bytes f.f_proof
+
+let try_reconstruct t ~party key (inst : instance) (f : frag) =
+  if (not inst.delivered) && (not inst.bad)
+     && List.length inst.fragments >= t.k
+  then begin
+    match
+      Icc_erasure.Reed_solomon.decode ~k:t.k ~n:t.n
+        ~data_size:f.f_data_size inst.fragments
+    with
+    | None -> ()
+    | Some data -> (
+        (* Full consistency check: the reconstructed data must re-encode to
+           a fragment set with the signed Merkle root. *)
+        let coded = Icc_erasure.Reed_solomon.encode ~k:t.k ~n:t.n data in
+        let root' =
+          Icc_crypto.Merkle.root_of_leaves
+            (Array.to_list coded.Icc_erasure.Reed_solomon.fragments)
+        in
+        if not (Icc_crypto.Sha256.equal root' f.f_root) then inst.bad <- true
+        else
+          match deserialize data with
+          | None -> inst.bad <- true
+          | Some msg ->
+              inst.delivered <- true;
+              ignore key;
+              (match msg with
+              | Icc_core.Message.Proposal p ->
+                  Hashtbl.replace t.rbc_delivered
+                    ( party,
+                      p.p_block.Icc_core.Block.round,
+                      Icc_crypto.Sha256.to_hex
+                        (Icc_core.Block.hash p.p_block) )
+                    ()
+              | _ -> ());
+              t.deliver_up ~dst:party msg)
+  end
+
+let on_frag t ~dst (f : frag) =
+  if t.is_active dst && frag_valid t f then begin
+    let key =
+      (f.f_round, f.f_proposer, Icc_crypto.Sha256.to_hex f.f_root)
+    in
+    let inst = instance_of t ~party:dst key in
+    if not (List.mem_assoc f.f_index inst.fragments) then begin
+      inst.fragments <- (f.f_index, f.f_bytes) :: inst.fragments;
+      (* Echo step: forward our own fragment once, within the per-proposer
+         budget of two instances. *)
+      if f.f_index = dst - 1 && not inst.echoed then begin
+        let bkey = (dst, f.f_round, f.f_proposer) in
+        let used = Option.value ~default:0 (Hashtbl.find_opt t.echo_budget bkey) in
+        if used < 2 then begin
+          Hashtbl.replace t.echo_budget bkey (used + 1);
+          inst.echoed <- true;
+          broadcast_wire t ~src:dst (Frag f)
+        end
+      end;
+      try_reconstruct t ~party:dst key inst f
+    end
+  end
+
+let create ~engine ~metrics ~n ~t:t_corrupt ~delay_model ~async_until
+    ~is_active ~deliver_up ~system ~keys =
+  let net = Icc_sim.Network.create engine ~n ~metrics ~delay_model in
+  if async_until > 0. then Icc_sim.Network.hold_all_until net async_until;
+  let t =
+    {
+      n;
+      k = t_corrupt + 1;
+      system;
+      keys;
+      net;
+      instances = Hashtbl.create 256;
+      echo_budget = Hashtbl.create 256;
+      rbc_delivered = Hashtbl.create 256;
+      is_active;
+      deliver_up;
+    }
+  in
+  Icc_sim.Network.set_handler net (fun ~dst ~src:_ w ->
+      match w with
+      | Core msg -> t.deliver_up ~dst msg
+      | Frag f -> on_frag t ~dst f);
+  t
+
+(* The transport interface: a proposer's own proposal flows through the RBC;
+   everything else is broadcast directly.
+
+   The round logic's echo (Fig. 1 condition (c)) of a block that arrived
+   through the RBC is a no-op: the fragment-echo step already guarantees
+   totality (if any honest party reconstructed, every honest party holds
+   enough fragments to).  A block that arrived *outside* the RBC — a
+   Byzantine proposer's direct split delivery — still needs the classical
+   full echo for deadlock-freeness. *)
+let tx_broadcast t ~src msg =
+  match msg with
+  | Icc_core.Message.Proposal p ->
+      let b = p.Icc_core.Message.p_block in
+      if b.Icc_core.Block.proposer = src then disseminate t ~src msg
+      else if
+        Hashtbl.mem t.rbc_delivered
+          ( src,
+            b.Icc_core.Block.round,
+            Icc_crypto.Sha256.to_hex (Icc_core.Block.hash b) )
+      then () (* totality already ensured by the fragment echo *)
+      else broadcast_wire t ~src (Core msg)
+  | _ -> broadcast_wire t ~src (Core msg)
+
+(* Byzantine split delivery: ship the full bundle directly (accounted at
+   full size); the receiver's round logic takes it from there. *)
+let tx_unicast t ~src ~dst msg =
+  if dst = src then t.deliver_up ~dst msg
+  else send t ~src ~dst (Core msg)

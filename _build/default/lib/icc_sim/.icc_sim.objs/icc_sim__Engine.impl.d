@@ -1,0 +1,1 @@
+lib/icc_sim/engine.ml: Heap Printf

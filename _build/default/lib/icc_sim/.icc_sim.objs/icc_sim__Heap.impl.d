@@ -1,0 +1,1 @@
+lib/icc_sim/heap.ml: Array

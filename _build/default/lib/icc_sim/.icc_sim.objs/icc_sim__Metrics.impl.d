@@ -1,0 +1,1 @@
+lib/icc_sim/metrics.ml: Array Hashtbl List Option

@@ -1,0 +1,1 @@
+lib/icc_sim/network.ml: Array Engine Metrics Rng

@@ -1,0 +1,1 @@
+lib/icc_sim/network.mli: Engine Metrics Rng

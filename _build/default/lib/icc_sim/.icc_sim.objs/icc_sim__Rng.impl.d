@@ -1,0 +1,1 @@
+lib/icc_sim/rng.ml: Array Char Int64 List String

@@ -1,0 +1,53 @@
+(* Discrete-event simulation engine: a clock plus an ordered queue of
+   thunks.  Handlers run strictly in (time, insertion) order; a handler may
+   schedule further events at or after the current time. *)
+
+type t = {
+  mutable now : float;
+  queue : (unit -> unit) Heap.t;
+  mutable seq : int;
+  mutable processed : int;
+}
+
+let create () = { now = 0.; queue = Heap.create (); seq = 0; processed = 0 }
+
+let now t = t.now
+let pending t = Heap.length t.queue
+let processed t = t.processed
+
+let schedule_at t ~time action =
+  if time < t.now then
+    invalid_arg
+      (Printf.sprintf "Engine.schedule_at: time %.6f is in the past (now %.6f)"
+         time t.now);
+  Heap.push t.queue ~time ~seq:t.seq action;
+  t.seq <- t.seq + 1
+
+let schedule t ~delay action =
+  if delay < 0. then invalid_arg "Engine.schedule: negative delay";
+  schedule_at t ~time:(t.now +. delay) action
+
+exception Stopped
+
+let stop _t = raise Stopped
+
+let run ?(until = infinity) ?(max_events = max_int) t =
+  try
+    let continue = ref true in
+    while !continue do
+      if t.processed >= max_events then continue := false
+      else
+        match Heap.peek t.queue with
+        | None -> continue := false
+        | Some e when e.time > until ->
+            t.now <- until;
+            continue := false
+        | Some _ ->
+            (match Heap.pop t.queue with
+            | None -> assert false
+            | Some e ->
+                t.now <- e.time;
+                t.processed <- t.processed + 1;
+                e.payload ())
+    done
+  with Stopped -> ()

@@ -1,0 +1,76 @@
+(* Binary min-heap keyed by (time, sequence number): the event queue of the
+   discrete-event engine.  Ties in time break by insertion order, which keeps
+   executions deterministic. *)
+
+type 'a entry = { time : float; seq : int; payload : 'a }
+
+type 'a t = {
+  mutable data : 'a entry array;
+  mutable size : int;
+}
+
+let create () = { data = [||]; size = 0 }
+
+let length h = h.size
+let is_empty h = h.size = 0
+
+let before a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let grow h =
+  let cap = Array.length h.data in
+  if h.size = cap then begin
+    let ncap = max 16 (2 * cap) in
+    let nd = Array.make ncap h.data.(0) in
+    Array.blit h.data 0 nd 0 h.size;
+    h.data <- nd
+  end
+
+let push h ~time ~seq payload =
+  let e = { time; seq; payload } in
+  if Array.length h.data = 0 then h.data <- Array.make 16 e;
+  grow h;
+  h.data.(h.size) <- e;
+  h.size <- h.size + 1;
+  (* sift up *)
+  let i = ref (h.size - 1) in
+  while
+    !i > 0
+    &&
+    let parent = (!i - 1) / 2 in
+    before h.data.(!i) h.data.(parent)
+  do
+    let parent = (!i - 1) / 2 in
+    let tmp = h.data.(!i) in
+    h.data.(!i) <- h.data.(parent);
+    h.data.(parent) <- tmp;
+    i := parent
+  done
+
+let peek h = if h.size = 0 then None else Some h.data.(0)
+
+let pop h =
+  if h.size = 0 then None
+  else begin
+    let top = h.data.(0) in
+    h.size <- h.size - 1;
+    if h.size > 0 then begin
+      h.data.(0) <- h.data.(h.size);
+      (* sift down *)
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let smallest = ref !i in
+        if l < h.size && before h.data.(l) h.data.(!smallest) then smallest := l;
+        if r < h.size && before h.data.(r) h.data.(!smallest) then smallest := r;
+        if !smallest = !i then continue := false
+        else begin
+          let tmp = h.data.(!i) in
+          h.data.(!i) <- h.data.(!smallest);
+          h.data.(!smallest) <- tmp;
+          i := !smallest
+        end
+      done
+    end;
+    Some top
+  end

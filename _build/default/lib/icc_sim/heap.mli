@@ -1,0 +1,12 @@
+(** Binary min-heap keyed by [(time, seq)]; ties in time break by insertion
+    order for deterministic executions. *)
+
+type 'a entry = { time : float; seq : int; payload : 'a }
+type 'a t
+
+val create : unit -> 'a t
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+val push : 'a t -> time:float -> seq:int -> 'a -> unit
+val peek : 'a t -> 'a entry option
+val pop : 'a t -> 'a entry option

@@ -1,0 +1,80 @@
+(* Per-party traffic and protocol metrics for one simulation run.
+
+   Traffic is accounted at modeled wire sizes (see DESIGN.md): callers pass
+   the byte size of each message explicitly. *)
+
+type t = {
+  n : int;
+  msgs_sent : int array; (* per party, network messages (unicast count) *)
+  bytes_sent : int array;
+  msgs_by_kind : (string, int) Hashtbl.t;
+  mutable finalized_blocks : int;
+  mutable finalization_times : (int * float) list; (* round, time *)
+  mutable proposal_times : (int * float) list; (* round, first proposal time *)
+  mutable latencies : float list; (* propose -> finalize, per finalized block *)
+  mutable round_entry_times : (int * float) list; (* round, first party entry *)
+}
+
+let create n =
+  {
+    n;
+    msgs_sent = Array.make (n + 1) 0;
+    bytes_sent = Array.make (n + 1) 0;
+    msgs_by_kind = Hashtbl.create 16;
+    finalized_blocks = 0;
+    finalization_times = [];
+    proposal_times = [];
+    latencies = [];
+    round_entry_times = [];
+  }
+
+let record_send t ~src ~size ~kind ~copies =
+  if src >= 1 && src <= t.n then begin
+    t.msgs_sent.(src) <- t.msgs_sent.(src) + copies;
+    t.bytes_sent.(src) <- t.bytes_sent.(src) + (size * copies)
+  end;
+  let cur = Option.value ~default:0 (Hashtbl.find_opt t.msgs_by_kind kind) in
+  Hashtbl.replace t.msgs_by_kind kind (cur + copies)
+
+let record_finalization t ~round ~time =
+  t.finalized_blocks <- t.finalized_blocks + 1;
+  t.finalization_times <- (round, time) :: t.finalization_times
+
+let record_proposal t ~round ~time =
+  if not (List.mem_assoc round t.proposal_times) then
+    t.proposal_times <- (round, time) :: t.proposal_times
+
+let record_latency t dt = t.latencies <- dt :: t.latencies
+
+let record_round_entry t ~round ~time =
+  if not (List.mem_assoc round t.round_entry_times) then
+    t.round_entry_times <- (round, time) :: t.round_entry_times
+
+let total_msgs t = Array.fold_left ( + ) 0 t.msgs_sent
+let total_bytes t = Array.fold_left ( + ) 0 t.bytes_sent
+
+let max_bytes_per_party t = Array.fold_left max 0 t.bytes_sent
+
+let msgs_of_kind t kind =
+  Option.value ~default:0 (Hashtbl.find_opt t.msgs_by_kind kind)
+
+let mean = function
+  | [] -> nan
+  | l -> List.fold_left ( +. ) 0. l /. float_of_int (List.length l)
+
+let percentile p l =
+  match List.sort compare l with
+  | [] -> nan
+  | sorted ->
+      let n = List.length sorted in
+      let idx = int_of_float (ceil (p /. 100. *. float_of_int n)) - 1 in
+      List.nth sorted (max 0 (min (n - 1) idx))
+
+let mean_latency t = mean t.latencies
+
+let blocks_per_second t ~window =
+  if window <= 0. then nan else float_of_int t.finalized_blocks /. window
+
+let mean_bytes_per_party_per_second t ~window =
+  if window <= 0. || t.n = 0 then nan
+  else float_of_int (total_bytes t) /. float_of_int t.n /. window

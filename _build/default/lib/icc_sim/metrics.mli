@@ -1,0 +1,36 @@
+(** Per-party traffic and protocol metrics for one simulation run.
+    Traffic is accounted at modeled wire sizes supplied by the caller. *)
+
+type t = {
+  n : int;
+  msgs_sent : int array;
+  bytes_sent : int array;
+  msgs_by_kind : (string, int) Hashtbl.t;
+  mutable finalized_blocks : int;
+  mutable finalization_times : (int * float) list;
+  mutable proposal_times : (int * float) list;
+  mutable latencies : float list;
+  mutable round_entry_times : (int * float) list;
+}
+
+val create : int -> t
+
+val record_send : t -> src:int -> size:int -> kind:string -> copies:int -> unit
+(** [copies] is the number of unicast transmissions (e.g. [n-1] for a
+    broadcast). *)
+
+val record_finalization : t -> round:int -> time:float -> unit
+val record_proposal : t -> round:int -> time:float -> unit
+val record_latency : t -> float -> unit
+val record_round_entry : t -> round:int -> time:float -> unit
+
+val total_msgs : t -> int
+val total_bytes : t -> int
+val max_bytes_per_party : t -> int
+val msgs_of_kind : t -> string -> int
+
+val mean : float list -> float
+val percentile : float -> float list -> float
+val mean_latency : t -> float
+val blocks_per_second : t -> window:float -> float
+val mean_bytes_per_party_per_second : t -> window:float -> float

@@ -1,0 +1,109 @@
+(* Simulated message-passing network between n parties (1-based ids).
+
+   The model follows the paper's assumptions (§1, §3.1):
+     - the only primitive is broadcast (unicast is exposed for the gossip
+       and erasure-RBC sub-layers, which the paper's ICC1/ICC2 use);
+     - every message from an honest party is eventually delivered;
+     - the adversary schedules delivery: per-link delays are sampled from a
+       pluggable model, and asynchronous intervals hold messages (released
+       when the interval ends), modeling partial synchrony.
+
+   A party's broadcast is delivered to itself with zero delay (its own pool
+   holds its own messages) and is not counted as network traffic. *)
+
+type delay_model =
+  | Fixed of float
+  | Uniform of { rng : Rng.t; lo : float; hi : float }
+  | Matrix of float array array (* one-way delay, indices 1..n *)
+  | Jitter of { rng : Rng.t; base : float; jitter : float }
+
+type 'msg t = {
+  engine : Engine.t;
+  n : int;
+  metrics : Metrics.t;
+  mutable delay_model : delay_model;
+  mutable hold_until : float; (* global asynchronous interval end *)
+  mutable link_hold : (int -> int -> float) option; (* partition model *)
+  mutable handler : dst:int -> src:int -> 'msg -> unit;
+  mutable delivered : int;
+}
+
+let create engine ~n ~metrics ~delay_model =
+  {
+    engine;
+    n;
+    metrics;
+    delay_model;
+    hold_until = neg_infinity;
+    link_hold = None;
+    handler = (fun ~dst:_ ~src:_ _ -> ());
+    delivered = 0;
+  }
+
+let set_handler t handler = t.handler <- handler
+let set_delay_model t m = t.delay_model <- m
+
+let hold_all_until t time = t.hold_until <- time
+let set_link_hold t f = t.link_hold <- Some f
+let clear_link_hold t = t.link_hold <- None
+
+let sample_delay t ~src ~dst =
+  match t.delay_model with
+  | Fixed d -> d
+  | Uniform { rng; lo; hi } -> Rng.float_range rng lo hi
+  | Matrix m -> m.(src).(dst)
+  | Jitter { rng; base; jitter } -> base +. Rng.float rng jitter
+
+let delivery_time t ~src ~dst =
+  let now = Engine.now t.engine in
+  let d = sample_delay t ~src ~dst in
+  let release =
+    let global = max now t.hold_until in
+    match t.link_hold with
+    | None -> global
+    | Some f -> max global (f src dst)
+  in
+  release +. d
+
+(* Deliver without traffic accounting: self-delivery path. *)
+let deliver_self t ~src msg =
+  Engine.schedule t.engine ~delay:0. (fun () -> t.handler ~dst:src ~src msg)
+
+let unicast t ~src ~dst ~size ~kind msg =
+  if dst < 1 || dst > t.n then invalid_arg "Network.unicast: bad destination";
+  if dst = src then deliver_self t ~src msg
+  else begin
+    Metrics.record_send t.metrics ~src ~size ~kind ~copies:1;
+    let time = delivery_time t ~src ~dst in
+    Engine.schedule_at t.engine ~time (fun () ->
+        t.delivered <- t.delivered + 1;
+        t.handler ~dst ~src msg)
+  end
+
+let broadcast t ~src ~size ~kind msg =
+  (* Same message to all parties; self copy is free and immediate. *)
+  Metrics.record_send t.metrics ~src ~size ~kind ~copies:(t.n - 1);
+  for dst = 1 to t.n do
+    if dst = src then deliver_self t ~src msg
+    else
+      let time = delivery_time t ~src ~dst in
+      Engine.schedule_at t.engine ~time (fun () ->
+          t.delivered <- t.delivered + 1;
+          t.handler ~dst ~src msg)
+  done
+
+let delivered t = t.delivered
+
+(* An RTT matrix in the paper's observed range (6–110 ms ping RTT between
+   data centers): one-way delay = RTT/2, symmetric, diagonal ~0.2 ms. *)
+let wan_matrix rng ~n ~rtt_lo ~rtt_hi =
+  let m = Array.make_matrix (n + 1) (n + 1) 0. in
+  for i = 1 to n do
+    for j = i + 1 to n do
+      let d = Rng.float_range rng (rtt_lo /. 2.) (rtt_hi /. 2.) in
+      m.(i).(j) <- d;
+      m.(j).(i) <- d
+    done;
+    m.(i).(i) <- 0.0002
+  done;
+  m

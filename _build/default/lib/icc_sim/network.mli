@@ -1,0 +1,38 @@
+(** Simulated message-passing network between [n] parties (1-based ids),
+    with pluggable delay models and adversary-controlled asynchronous
+    intervals (partial synchrony, paper §1/§3.1).
+
+    Self-delivery is immediate and free (a party's pool holds its own
+    broadcasts); all other transmissions are accounted at the caller's
+    modeled wire size. *)
+
+type delay_model =
+  | Fixed of float
+  | Uniform of { rng : Rng.t; lo : float; hi : float }
+  | Matrix of float array array
+  | Jitter of { rng : Rng.t; base : float; jitter : float }
+
+type 'msg t
+
+val create :
+  Engine.t -> n:int -> metrics:Metrics.t -> delay_model:delay_model -> 'msg t
+
+val set_handler : 'msg t -> (dst:int -> src:int -> 'msg -> unit) -> unit
+val set_delay_model : 'msg t -> delay_model -> unit
+
+val hold_all_until : 'msg t -> float -> unit
+(** Adversarial asynchrony: messages sent while [now < time] are released at
+    [time] (plus their sampled delay). *)
+
+val set_link_hold : 'msg t -> (int -> int -> float) -> unit
+(** Per-link release floor (absolute time), e.g. for partitions. *)
+
+val clear_link_hold : 'msg t -> unit
+
+val unicast : 'msg t -> src:int -> dst:int -> size:int -> kind:string -> 'msg -> unit
+val broadcast : 'msg t -> src:int -> size:int -> kind:string -> 'msg -> unit
+val delivered : 'msg t -> int
+
+val wan_matrix : Rng.t -> n:int -> rtt_lo:float -> rtt_hi:float -> float array array
+(** Symmetric one-way delay matrix sampled from RTT ~ U[[rtt_lo], [rtt_hi]]
+    (the paper's observed 6–110 ms inter-datacenter range). *)

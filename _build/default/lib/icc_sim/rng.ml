@@ -1,0 +1,69 @@
+(* Deterministic SplitMix64 pseudo-random stream.
+
+   Every source of randomness in the repository (key generation, delay
+   sampling, workloads, adversary choices) flows from one of these, so any
+   experiment is reproducible bit-for-bit from its seed. *)
+
+type t = { mutable state : int64 }
+
+let create seed = { state = Int64.of_int seed }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let next_int64 t =
+  t.state <- Int64.add t.state golden;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(* Uniform non-negative 61-bit int; the shape {!Icc_crypto} key generation
+   expects. *)
+let bits61 t = Int64.to_int (Int64.shift_right_logical (next_int64 t) 3)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Rejection sampling to avoid modulo bias. *)
+  let limit = (1 lsl 61) / bound * bound in
+  let rec draw () =
+    let v = bits61 t in
+    if v < limit then v mod bound else draw ()
+  in
+  draw ()
+
+let float t bound =
+  if bound < 0. then invalid_arg "Rng.float: bound must be non-negative";
+  Int64.to_float (Int64.shift_right_logical (next_int64 t) 11)
+  /. 9007199254740992. (* 2^53 *)
+  *. bound
+
+let float_range t lo hi =
+  if hi < lo then invalid_arg "Rng.float_range: empty range";
+  lo +. float t (hi -. lo)
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+
+let shuffle_in_place t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+let split t = create (Int64.to_int (next_int64 t))
+
+(* Derive a stream deterministically from a 32-byte digest prefix; used to
+   turn a beacon output into a rank permutation. *)
+let of_string_seed s =
+  let v = ref 0L in
+  String.iteri
+    (fun i c ->
+      if i < 8 then v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int (Char.code c)))
+    s;
+  { state = !v }
+
+let pick t l =
+  match l with
+  | [] -> invalid_arg "Rng.pick: empty list"
+  | _ -> List.nth l (int t (List.length l))

@@ -1,0 +1,1 @@
+lib/icc_smr/command.ml: Printf String

@@ -1,0 +1,1 @@
+lib/icc_smr/command.mli:

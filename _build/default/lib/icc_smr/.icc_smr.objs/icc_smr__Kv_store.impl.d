@@ -1,0 +1,1 @@
+lib/icc_smr/kv_store.ml: Buffer Command Icc_crypto Map String

@@ -1,0 +1,1 @@
+lib/icc_smr/kv_store.mli: Command

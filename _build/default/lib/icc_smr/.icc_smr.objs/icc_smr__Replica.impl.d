@@ -1,0 +1,1 @@
+lib/icc_smr/replica.ml: Command Icc_core Int Kv_store List Set String

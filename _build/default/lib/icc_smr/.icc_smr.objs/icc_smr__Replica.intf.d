@@ -1,0 +1,1 @@
+lib/icc_smr/replica.mli: Icc_core Int Kv_store Set

@@ -1,0 +1,1 @@
+lib/icc_smr/workload.ml: Command Icc_core List Printf Replica

@@ -1,0 +1,1 @@
+lib/icc_smr/workload.mli: Icc_core Replica

@@ -1,0 +1,42 @@
+(* The replicated state machine: a deterministic key-value store.  Replicas
+   that apply the same command sequence end in the same state; the state
+   digest makes that checkable. *)
+
+module String_map = Map.Make (String)
+
+type t = {
+  mutable data : string String_map.t;
+  mutable applied : int; (* commands applied *)
+}
+
+let create () = { data = String_map.empty; applied = 0 }
+
+let get t k = String_map.find_opt k t.data
+
+let apply t (op : Command.op) =
+  (match op with
+  | Command.Set (k, v) -> t.data <- String_map.add k v t.data
+  | Command.Delete k -> t.data <- String_map.remove k t.data
+  | Command.Increment k ->
+      let v =
+        match String_map.find_opt k t.data with
+        | Some s -> ( match int_of_string_opt s with Some i -> i | None -> 0)
+        | None -> 0
+      in
+      t.data <- String_map.add k (string_of_int (v + 1)) t.data
+  | Command.Noop -> ());
+  t.applied <- t.applied + 1
+
+let size t = String_map.cardinal t.data
+let applied t = t.applied
+
+let digest t =
+  let buf = Buffer.create 256 in
+  String_map.iter
+    (fun k v ->
+      Buffer.add_string buf k;
+      Buffer.add_char buf '=';
+      Buffer.add_string buf v;
+      Buffer.add_char buf ';')
+    t.data;
+  Icc_crypto.Sha256.to_hex (Icc_crypto.Sha256.digest_string (Buffer.contents buf))

@@ -1,0 +1,12 @@
+(** The replicated state machine: a deterministic key-value store.
+    Replicas applying the same command sequence end in the same state,
+    checkable via {!digest}. *)
+
+type t
+
+val create : unit -> t
+val get : t -> string -> string option
+val apply : t -> Command.op -> unit
+val size : t -> int
+val applied : t -> int
+val digest : t -> string

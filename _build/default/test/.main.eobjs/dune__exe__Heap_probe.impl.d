@@ -1,0 +1,1 @@
+test/heap_probe.ml: Icc_sim List

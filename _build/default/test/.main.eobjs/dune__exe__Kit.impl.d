@@ -1,0 +1,1 @@
+test/kit.ml: Array Icc_core Icc_crypto Icc_sim List

@@ -1,0 +1,1 @@
+test/test_beacon.ml: Alcotest Array Icc_core Icc_crypto Kit List Option String

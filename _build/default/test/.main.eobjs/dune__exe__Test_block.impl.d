@@ -1,0 +1,1 @@
+test/test_block.ml: Alcotest Icc_core Icc_crypto Kit List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_codec.ml: Alcotest Array Bytes Char Icc_core Icc_crypto Kit List Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_dleq.ml: Alcotest Icc_crypto Icc_sim QCheck QCheck_alcotest

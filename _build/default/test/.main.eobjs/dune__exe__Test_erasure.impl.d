@@ -1,0 +1,1 @@
+test/test_erasure.ml: Alcotest Array Char Icc_erasure Icc_sim List Printf QCheck QCheck_alcotest String

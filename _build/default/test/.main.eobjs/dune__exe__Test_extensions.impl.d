@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Icc_core Icc_crypto Icc_sim Kit List Printf

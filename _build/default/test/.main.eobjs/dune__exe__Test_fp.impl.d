@@ -1,0 +1,1 @@
+test/test_fp.ml: Alcotest Icc_crypto Printf QCheck QCheck_alcotest

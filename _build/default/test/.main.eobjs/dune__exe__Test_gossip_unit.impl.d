@@ -1,0 +1,1 @@
+test/test_gossip_unit.ml: Alcotest Hashtbl Icc_core Icc_gossip Icc_sim Kit List Printf

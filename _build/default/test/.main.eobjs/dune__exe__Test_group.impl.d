@@ -1,0 +1,1 @@
+test/test_group.ml: Alcotest Icc_crypto Icc_sim Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_icc0.ml: Alcotest Icc_core Icc_crypto Icc_sim List Printf QCheck QCheck_alcotest

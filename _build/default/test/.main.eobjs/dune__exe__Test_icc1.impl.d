@@ -1,0 +1,1 @@
+test/test_icc1.ml: Alcotest Array Icc_core Icc_crypto Icc_gossip Icc_sim List Printf Queue

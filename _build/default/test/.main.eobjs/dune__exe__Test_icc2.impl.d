@@ -1,0 +1,1 @@
+test/test_icc2.ml: Alcotest Icc_core Icc_crypto Icc_rbc Icc_sim Kit List Printf

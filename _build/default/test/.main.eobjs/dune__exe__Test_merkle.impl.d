@@ -1,0 +1,1 @@
+test/test_merkle.ml: Alcotest Fun Icc_crypto List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_multisig.ml: Alcotest Array Icc_crypto Icc_sim List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_party.ml: Alcotest Icc_core Icc_sim List Printf

@@ -1,0 +1,1 @@
+test/test_pool.ml: Alcotest Icc_core Icc_crypto Kit List

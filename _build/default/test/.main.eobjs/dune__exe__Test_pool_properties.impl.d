@@ -1,0 +1,1 @@
+test/test_pool_properties.ml: Array Icc_core Icc_sim Kit List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_primes.ml: Alcotest Icc_crypto List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_rbc_unit.ml: Alcotest Char Hashtbl Icc_core Icc_erasure Icc_rbc Icc_sim Kit List Printf String

@@ -1,0 +1,1 @@
+test/test_schnorr.ml: Alcotest Icc_crypto Icc_sim QCheck QCheck_alcotest

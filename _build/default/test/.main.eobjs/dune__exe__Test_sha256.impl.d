@@ -1,0 +1,1 @@
+test/test_sha256.ml: Alcotest Bytes Icc_crypto List QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Fun Heap_probe Icc_sim List QCheck QCheck_alcotest

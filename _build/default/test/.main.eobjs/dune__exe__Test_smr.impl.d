@@ -1,0 +1,1 @@
+test/test_smr.ml: Alcotest Icc_core Icc_smr List Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_tendermint.ml: Alcotest Icc_baselines Icc_core Printf

@@ -1,0 +1,1 @@
+test/test_vuf.ml: Alcotest Array Icc_crypto Icc_sim List Printf QCheck QCheck_alcotest

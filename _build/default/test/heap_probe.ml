@@ -1,0 +1,16 @@
+(* Small helper exposing heap behaviour to the test suite. *)
+
+let make entries =
+  let h = Icc_sim.Heap.create () in
+  List.iteri
+    (fun seq (time, payload) -> Icc_sim.Heap.push h ~time ~seq payload)
+    entries;
+  h
+
+let drain h =
+  let rec go acc =
+    match Icc_sim.Heap.pop h with
+    | None -> List.rev acc
+    | Some e -> go (e.Icc_sim.Heap.payload :: acc)
+  in
+  go []

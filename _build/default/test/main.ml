@@ -1,0 +1,33 @@
+let () =
+  Alcotest.run "icc"
+    [
+      ("fp", Test_fp.suite);
+      ("primes", Test_primes.suite);
+      ("sha256", Test_sha256.suite);
+      ("group", Test_group.suite);
+      ("schnorr", Test_schnorr.suite);
+      ("shamir", Test_shamir.suite);
+      ("dleq", Test_dleq.suite);
+      ("vuf", Test_vuf.suite);
+      ("multisig", Test_multisig.suite);
+      ("dkg", Test_dkg.suite);
+      ("merkle", Test_merkle.suite);
+      ("sim", Test_sim.suite);
+      ("erasure", Test_erasure.suite);
+      ("block", Test_block.suite);
+      ("pool", Test_pool.suite);
+      ("codec", Test_codec.suite);
+      ("pool-properties", Test_pool_properties.suite);
+      ("check", Test_check.suite);
+      ("beacon", Test_beacon.suite);
+      ("icc0", Test_icc0.suite);
+      ("party", Test_party.suite);
+      ("extensions", Test_extensions.suite);
+      ("gossip-unit", Test_gossip_unit.suite);
+      ("rbc-unit", Test_rbc_unit.suite);
+      ("icc1", Test_icc1.suite);
+      ("icc2", Test_icc2.suite);
+      ("baselines", Test_baselines.suite);
+      ("tendermint", Test_tendermint.suite);
+      ("smr", Test_smr.suite);
+    ]

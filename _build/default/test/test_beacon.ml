@@ -1,0 +1,121 @@
+(* Random beacon chain tests (paper §2.3, §3.2). *)
+
+let kit = Kit.make ~n:4 ~t:1 ()
+
+let beacon_for i =
+  Icc_core.Beacon.create kit.Kit.system (Kit.key kit i).Icc_crypto.Keygen.beacon_key
+
+let feed_round pool ~round ~msg signers =
+  List.iter
+    (fun i ->
+      let share =
+        Icc_crypto.Threshold_vuf.sign_share kit.Kit.system.Icc_crypto.Keygen.beacon
+          (Kit.key kit i).Icc_crypto.Keygen.beacon_key msg
+      in
+      ignore (Icc_core.Pool.add_beacon_share pool ~round share))
+    signers
+
+let test_round1_computation () =
+  let pool = Icc_core.Pool.create kit.Kit.system in
+  let beacon = beacon_for 1 in
+  Alcotest.(check bool) "round0 known" true (Icc_core.Beacon.known beacon 0);
+  Alcotest.(check bool) "round1 unknown" false (Icc_core.Beacon.known beacon 1);
+  let msg =
+    Option.get (Icc_core.Beacon.message_for_round beacon 1)
+  in
+  (* one share (t = 1 needs t+1 = 2) is not enough *)
+  feed_round pool ~round:1 ~msg [ 1 ];
+  Alcotest.(check bool) "1 share insufficient" false
+    (Icc_core.Beacon.try_compute beacon pool 1);
+  feed_round pool ~round:1 ~msg [ 3 ];
+  Alcotest.(check bool) "2 shares compute" true
+    (Icc_core.Beacon.try_compute beacon pool 1);
+  Alcotest.(check bool) "now known" true (Icc_core.Beacon.known beacon 1)
+
+let test_all_parties_agree () =
+  let pool = Icc_core.Pool.create kit.Kit.system in
+  let beacons = List.map beacon_for [ 1; 2; 3; 4 ] in
+  let msg = Option.get (Icc_core.Beacon.message_for_round (List.hd beacons) 1) in
+  feed_round pool ~round:1 ~msg [ 2; 4 ];
+  List.iter
+    (fun b -> Alcotest.(check bool) "computes" true (Icc_core.Beacon.try_compute b pool 1))
+    beacons;
+  let perms =
+    List.map (fun b -> Option.get (Icc_core.Beacon.permutation b 1)) beacons
+  in
+  List.iter
+    (fun p ->
+      Alcotest.(check (array int)) "same permutation" (List.hd perms) p)
+    perms
+
+let test_permutation_is_permutation () =
+  let pool = Icc_core.Pool.create kit.Kit.system in
+  let beacon = beacon_for 2 in
+  let msg = Option.get (Icc_core.Beacon.message_for_round beacon 1) in
+  feed_round pool ~round:1 ~msg [ 1; 2 ];
+  ignore (Icc_core.Beacon.try_compute beacon pool 1);
+  let perm = Option.get (Icc_core.Beacon.permutation beacon 1) in
+  Alcotest.(check (list int)) "parties 1..4" [ 1; 2; 3; 4 ]
+    (List.sort compare (Array.to_list perm));
+  (* rank_of inverts the permutation *)
+  Array.iteri
+    (fun rank party ->
+      Alcotest.(check (option int)) "rank_of" (Some rank)
+        (Icc_core.Beacon.rank_of beacon 1 party))
+    perm;
+  Alcotest.(check (option int)) "leader is rank 0" (Some perm.(0))
+    (Icc_core.Beacon.leader beacon 1)
+
+let test_chain_dependency () =
+  let pool = Icc_core.Pool.create kit.Kit.system in
+  let beacon = beacon_for 1 in
+  (* round-2 message is unavailable before round 1 is computed *)
+  Alcotest.(check bool) "round2 message gated" true
+    (Icc_core.Beacon.message_for_round beacon 2 = None);
+  let msg1 = Option.get (Icc_core.Beacon.message_for_round beacon 1) in
+  feed_round pool ~round:1 ~msg:msg1 [ 1; 2 ];
+  ignore (Icc_core.Beacon.try_compute beacon pool 1);
+  let msg2 = Option.get (Icc_core.Beacon.message_for_round beacon 2) in
+  Alcotest.(check bool) "messages differ" false (String.equal msg1 msg2);
+  feed_round pool ~round:2 ~msg:msg2 [ 3; 4 ];
+  Alcotest.(check bool) "round2 computes" true
+    (Icc_core.Beacon.try_compute beacon pool 2)
+
+let test_wrong_message_shares_rejected () =
+  let pool = Icc_core.Pool.create kit.Kit.system in
+  let beacon = beacon_for 1 in
+  (* shares signed over garbage do not combine *)
+  feed_round pool ~round:1 ~msg:"not the beacon text" [ 1; 2; 3 ];
+  Alcotest.(check bool) "refused" false (Icc_core.Beacon.try_compute beacon pool 1)
+
+let test_permutations_differ_across_rounds () =
+  let pool = Icc_core.Pool.create kit.Kit.system in
+  let beacon = beacon_for 1 in
+  let rec advance round limit =
+    if round <= limit then begin
+      let msg = Option.get (Icc_core.Beacon.message_for_round beacon round) in
+      feed_round pool ~round ~msg [ 1; 2 ];
+      ignore (Icc_core.Beacon.try_compute beacon pool round);
+      advance (round + 1) limit
+    end
+  in
+  advance 1 12;
+  let perms =
+    List.init 12 (fun i ->
+        Array.to_list (Option.get (Icc_core.Beacon.permutation beacon (i + 1))))
+  in
+  (* with 4! = 24 arrangements, 12 rounds must produce at least 2 distinct *)
+  Alcotest.(check bool) "not constant" true
+    (List.length (List.sort_uniq compare perms) > 1)
+
+let suite =
+  [
+    Alcotest.test_case "round-1 computation" `Quick test_round1_computation;
+    Alcotest.test_case "all parties agree" `Quick test_all_parties_agree;
+    Alcotest.test_case "permutation valid" `Quick test_permutation_is_permutation;
+    Alcotest.test_case "chain dependency" `Quick test_chain_dependency;
+    Alcotest.test_case "wrong-message shares" `Quick
+      test_wrong_message_shares_rejected;
+    Alcotest.test_case "permutations vary" `Quick
+      test_permutations_differ_across_rounds;
+  ]

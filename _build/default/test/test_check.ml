@@ -1,0 +1,67 @@
+(* Unit tests for the global correctness oracles: they must actually detect
+   violations, not just bless honest runs. *)
+
+let kit = Kit.make ~n:4 ~t:1 ()
+
+let b1 = Kit.block ~round:1 ~proposer:1 ~parent:None ()
+
+let b1' =
+  Kit.block
+    ~payload:{ Icc_core.Types.commands = []; filler_size = 9 }
+    ~round:1 ~proposer:2 ~parent:None ()
+
+let b2 = Kit.block ~round:2 ~proposer:2 ~parent:(Some b1) ()
+
+let test_outputs_consistent_accepts_prefixes () =
+  Alcotest.(check bool) "prefix ok" true
+    (Icc_core.Check.outputs_consistent
+       [ (1, [ b1; b2 ]); (2, [ b1 ]); (3, [ b1; b2 ]) ]);
+  Alcotest.(check bool) "empty ok" true
+    (Icc_core.Check.outputs_consistent [ (1, []); (2, [ b1 ]) ])
+
+let test_outputs_consistent_rejects_forks () =
+  Alcotest.(check bool) "fork detected" false
+    (Icc_core.Check.outputs_consistent [ (1, [ b1 ]); (2, [ b1' ]) ])
+
+let test_no_conflicting_notarization_detects_violation () =
+  (* pool A finalizes b1; pool B notarizes the conflicting b1' *)
+  let pool_a = Icc_core.Pool.create kit.Kit.system in
+  Kit.admit_notarized kit pool_a b1;
+  ignore (Icc_core.Pool.add_finalization pool_a (Kit.finalization kit b1 [ 1; 2; 3 ]));
+  let pool_b = Icc_core.Pool.create kit.Kit.system in
+  Kit.admit_notarized kit pool_b b1';
+  Alcotest.(check bool) "single pool fine" true
+    (Icc_core.Check.no_conflicting_notarization [ pool_a ]);
+  Alcotest.(check bool) "cross-pool violation detected" false
+    (Icc_core.Check.no_conflicting_notarization [ pool_a; pool_b ])
+
+let test_no_conflict_when_same_block () =
+  let pool_a = Icc_core.Pool.create kit.Kit.system in
+  Kit.admit_notarized kit pool_a b1;
+  ignore (Icc_core.Pool.add_finalization pool_a (Kit.finalization kit b1 [ 1; 2; 3 ]));
+  let pool_b = Icc_core.Pool.create kit.Kit.system in
+  Kit.admit_notarized kit pool_b b1;
+  Alcotest.(check bool) "same block everywhere" true
+    (Icc_core.Check.no_conflicting_notarization [ pool_a; pool_b ])
+
+let test_every_round_notarized () =
+  let pool = Icc_core.Pool.create kit.Kit.system in
+  Kit.admit_notarized kit pool b1;
+  Kit.admit_notarized kit pool b2;
+  Alcotest.(check bool) "both rounds" true
+    (Icc_core.Check.every_round_notarized [ pool ] ~limit:2);
+  Alcotest.(check bool) "beyond horizon fails" false
+    (Icc_core.Check.every_round_notarized [ pool ] ~limit:3);
+  Alcotest.(check bool) "limit 0 vacuous" true
+    (Icc_core.Check.every_round_notarized [ pool ] ~limit:0)
+
+let suite =
+  [
+    Alcotest.test_case "prefixes accepted" `Quick
+      test_outputs_consistent_accepts_prefixes;
+    Alcotest.test_case "forks rejected" `Quick test_outputs_consistent_rejects_forks;
+    Alcotest.test_case "P2 violation detected" `Quick
+      test_no_conflicting_notarization_detects_violation;
+    Alcotest.test_case "P2 same block fine" `Quick test_no_conflict_when_same_block;
+    Alcotest.test_case "P1 horizon" `Quick test_every_round_notarized;
+  ]

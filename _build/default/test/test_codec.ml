@@ -1,0 +1,171 @@
+(* Wire codec tests: roundtrips for every message variant, determinism, and
+   robustness on adversarial bytes. *)
+
+let kit = Kit.make ~n:4 ~t:1 ()
+
+let sample_block ?(cmds = 2) () =
+  let commands =
+    List.init cmds (fun i ->
+        Icc_core.Types.command
+          ~tag:(Printf.sprintf "set|k%d|v%d" i i)
+          ~cmd_id:(100 + i) ~cmd_size:64 ~submitted_at:(1.5 +. float_of_int i)
+          ())
+  in
+  Kit.block
+    ~payload:{ Icc_core.Types.commands; filler_size = 77 }
+    ~round:3 ~proposer:2
+    ~parent:(Some (Kit.block ~round:2 ~proposer:1
+                     ~parent:(Some (Kit.block ~round:1 ~proposer:3 ~parent:None ()))
+                     ()))
+    ()
+
+let sample_messages () =
+  let b = sample_block () in
+  let b1 = Kit.block ~round:1 ~proposer:1 ~parent:None () in
+  [
+    Icc_core.Message.Proposal
+      {
+        p_block = b;
+        p_authenticator = Kit.authenticator kit b;
+        p_parent_cert = Some (Kit.notarization kit b1 [ 1; 2; 3 ]);
+      };
+    Icc_core.Message.Proposal
+      {
+        p_block = b1;
+        p_authenticator = Kit.authenticator kit b1;
+        p_parent_cert = None;
+      };
+    Icc_core.Message.Notarization_share (Kit.notarization_share kit ~signer:2 b1);
+    Icc_core.Message.Notarization (Kit.notarization kit b1 [ 1; 3; 4 ]);
+    Icc_core.Message.Finalization_share (Kit.finalization_share kit ~signer:4 b1);
+    Icc_core.Message.Finalization (Kit.finalization kit b1 [ 2; 3; 4 ]);
+    Icc_core.Message.Beacon_share
+      {
+        b_round = 5;
+        b_signer = 3;
+        b_share =
+          Icc_crypto.Threshold_vuf.sign_share
+            kit.Kit.system.Icc_crypto.Keygen.beacon
+            (Kit.key kit 3).Icc_crypto.Keygen.beacon_key "beacon text";
+      };
+  ]
+
+let test_roundtrip_all_variants () =
+  List.iteri
+    (fun i msg ->
+      match Icc_core.Codec.decode (Icc_core.Codec.encode msg) with
+      | Some msg' ->
+          Alcotest.(check bool)
+            (Printf.sprintf "variant %d roundtrips" i)
+            true (msg = msg')
+      | None -> Alcotest.fail (Printf.sprintf "variant %d failed to decode" i))
+    (sample_messages ())
+
+let test_roundtrip_preserves_hashes_and_signatures () =
+  let b = sample_block () in
+  let msg =
+    Icc_core.Message.Proposal
+      { p_block = b; p_authenticator = Kit.authenticator kit b; p_parent_cert = None }
+  in
+  match Icc_core.Codec.decode (Icc_core.Codec.encode msg) with
+  | Some (Icc_core.Message.Proposal p) ->
+      Alcotest.(check bool) "same hash" true
+        (Icc_crypto.Sha256.equal
+           (Icc_core.Block.hash p.Icc_core.Message.p_block)
+           (Icc_core.Block.hash b));
+      (* the decoded authenticator still verifies *)
+      Alcotest.(check bool) "authenticator verifies" true
+        (Icc_crypto.Schnorr.verify
+           kit.Kit.system.Icc_crypto.Keygen.auth_pub.(1)
+           (Icc_core.Types.authenticator_text ~round:3 ~proposer:2
+              ~block_hash:(Icc_core.Block.hash b))
+           p.Icc_core.Message.p_authenticator)
+  | _ -> Alcotest.fail "roundtrip failed"
+
+let test_deterministic () =
+  List.iter
+    (fun msg ->
+      Alcotest.(check string) "same bytes"
+        (Icc_core.Codec.encode msg) (Icc_core.Codec.encode msg))
+    (sample_messages ())
+
+let test_garbage_rejected () =
+  List.iter
+    (fun s ->
+      Alcotest.(check bool)
+        (Printf.sprintf "reject %S" (String.sub s 0 (min 8 (String.length s))))
+        true
+        (Icc_core.Codec.decode s = None))
+    [
+      "";
+      "\x00";
+      "\xff";
+      "\x01short";
+      String.make 100 '\x07';
+      String.make 10_000 '\xff';
+    ]
+
+let test_truncations_rejected () =
+  let full = Icc_core.Codec.encode (List.hd (sample_messages ())) in
+  for cut = 0 to min 64 (String.length full - 1) do
+    Alcotest.(check bool)
+      (Printf.sprintf "truncated at %d" cut)
+      true
+      (Icc_core.Codec.decode (String.sub full 0 cut) = None)
+  done;
+  (* trailing junk is also rejected *)
+  Alcotest.(check bool) "over-long" true
+    (Icc_core.Codec.decode (full ^ "x") = None)
+
+let prop_bitflips_never_crash =
+  QCheck.Test.make ~name:"codec survives random bit flips" ~count:200
+    (QCheck.pair (QCheck.int_bound 6) (QCheck.pair QCheck.small_nat QCheck.small_nat))
+    (fun (variant, (pos_seed, bit)) ->
+      let msgs = sample_messages () in
+      let msg = List.nth msgs (variant mod List.length msgs) in
+      let bytes = Bytes.of_string (Icc_core.Codec.encode msg) in
+      let pos = pos_seed mod Bytes.length bytes in
+      Bytes.set bytes pos
+        (Char.chr (Char.code (Bytes.get bytes pos) lxor (1 lsl (bit mod 8))));
+      (* decoding flipped bytes either fails or yields some well-formed
+         message — it must never raise *)
+      match Icc_core.Codec.decode (Bytes.to_string bytes) with
+      | Some _ | None -> true)
+
+let prop_random_payload_roundtrip =
+  QCheck.Test.make ~name:"codec roundtrips random payloads" ~count:60
+    (QCheck.pair QCheck.small_nat (QCheck.list_of_size (QCheck.Gen.int_bound 8) QCheck.printable_string))
+    (fun (filler, tags) ->
+      let commands =
+        List.mapi
+          (fun i tag ->
+            Icc_core.Types.command ~tag ~cmd_id:i ~cmd_size:(i * 7)
+              ~submitted_at:(float_of_int i /. 3.) ())
+          tags
+      in
+      let b =
+        Kit.block
+          ~payload:{ Icc_core.Types.commands; filler_size = filler }
+          ~round:1 ~proposer:1 ~parent:None ()
+      in
+      let msg =
+        Icc_core.Message.Proposal
+          {
+            p_block = b;
+            p_authenticator = Kit.authenticator kit b;
+            p_parent_cert = None;
+          }
+      in
+      Icc_core.Codec.decode (Icc_core.Codec.encode msg) = Some msg)
+
+let suite =
+  [
+    Alcotest.test_case "roundtrip variants" `Quick test_roundtrip_all_variants;
+    Alcotest.test_case "hashes/signatures preserved" `Quick
+      test_roundtrip_preserves_hashes_and_signatures;
+    Alcotest.test_case "deterministic" `Quick test_deterministic;
+    Alcotest.test_case "garbage rejected" `Quick test_garbage_rejected;
+    Alcotest.test_case "truncations rejected" `Quick test_truncations_rejected;
+    QCheck_alcotest.to_alcotest prop_bitflips_never_crash;
+    QCheck_alcotest.to_alcotest prop_random_payload_roundtrip;
+  ]

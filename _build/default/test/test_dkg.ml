@@ -1,0 +1,157 @@
+(* Distributed key generation tests: the DKG must produce beacon keys
+   functionally identical to the trusted dealer's, and survive corrupt
+   dealers. *)
+
+let rng = Icc_sim.Rng.create 0xd6
+let rand_bits () = Icc_sim.Rng.bits61 rng
+
+let take k l = List.filteri (fun i _ -> i < k) l
+
+let test_honest_run_produces_working_beacon () =
+  let params, secrets = Icc_crypto.Dkg.run ~threshold_t:2 ~n:7 rand_bits in
+  let msg = "beacon round 1" in
+  let shares =
+    List.map (fun sk -> Icc_crypto.Threshold_vuf.sign_share params sk msg) secrets
+  in
+  (* every t+1 subset combines to the same verifying signature *)
+  match
+    ( Icc_crypto.Threshold_vuf.combine params msg (take 3 shares),
+      Icc_crypto.Threshold_vuf.combine params msg (List.rev shares) )
+  with
+  | Some a, Some b ->
+      Alcotest.(check bool) "verifies" true
+        (Icc_crypto.Threshold_vuf.verify params msg a);
+      Alcotest.(check int) "unique sigma" a.Icc_crypto.Threshold_vuf.sigma
+        b.Icc_crypto.Threshold_vuf.sigma
+  | _ -> Alcotest.fail "combine failed"
+
+let test_share_validation () =
+  let d = Icc_crypto.Dkg.deal ~threshold_t:2 ~n:5 ~dealer:1 rand_bits in
+  for j = 1 to 5 do
+    Alcotest.(check bool)
+      (Printf.sprintf "share %d valid" j)
+      true
+      (Icc_crypto.Dkg.share_valid
+         ~commitments:d.Icc_crypto.Dkg.commitments ~receiver:j
+         ~share:d.Icc_crypto.Dkg.shares.(j - 1))
+  done;
+  Alcotest.(check bool) "wrong share rejected" false
+    (Icc_crypto.Dkg.share_valid ~commitments:d.Icc_crypto.Dkg.commitments
+       ~receiver:1
+       ~share:(Icc_crypto.Group.scalar_add d.Icc_crypto.Dkg.shares.(0) 1))
+
+let test_corrupt_dealer_draws_complaints () =
+  let d = Icc_crypto.Dkg.deal ~threshold_t:1 ~n:4 ~dealer:2 rand_bits in
+  (* corrupt the share destined for party 3 *)
+  let bad = { d with Icc_crypto.Dkg.shares = Array.copy d.Icc_crypto.Dkg.shares } in
+  bad.Icc_crypto.Dkg.shares.(2) <-
+    Icc_crypto.Group.scalar_add bad.Icc_crypto.Dkg.shares.(2) 5;
+  (match Icc_crypto.Dkg.verify_dealing ~receiver:3 bad with
+  | Some c ->
+      Alcotest.(check int) "complainer" 3 c.Icc_crypto.Dkg.complainer;
+      Alcotest.(check int) "against" 2 c.Icc_crypto.Dkg.against
+  | None -> Alcotest.fail "corruption undetected");
+  Alcotest.(check bool) "other receivers fine" true
+    (Icc_crypto.Dkg.verify_dealing ~receiver:1 bad = None)
+
+let test_overcomplained_dealer_excluded () =
+  let n = 4 and threshold_t = 1 in
+  let dealings =
+    List.init n (fun i ->
+        Icc_crypto.Dkg.deal ~threshold_t ~n ~dealer:(i + 1) rand_bits)
+  in
+  (* two complaints (> t = 1) against dealer 4: excluded *)
+  let complaints =
+    [
+      { Icc_crypto.Dkg.complainer = 1; against = 4 };
+      { Icc_crypto.Dkg.complainer = 2; against = 4 };
+    ]
+  in
+  match Icc_crypto.Dkg.finalize ~threshold_t ~n ~dealings ~complaints with
+  | Error e -> Alcotest.fail e
+  | Ok (params, secrets) -> (
+      (* the beacon built from dealers {1,2,3} still works *)
+      let msg = "m" in
+      let shares =
+        List.map
+          (fun sk -> Icc_crypto.Threshold_vuf.sign_share params sk msg)
+          secrets
+      in
+      match Icc_crypto.Threshold_vuf.combine params msg shares with
+      | Some s ->
+          Alcotest.(check bool) "verifies" true
+            (Icc_crypto.Threshold_vuf.verify params msg s);
+          (* and differs from the all-qualified key *)
+          (match Icc_crypto.Dkg.finalize ~threshold_t ~n ~dealings ~complaints:[] with
+          | Ok (params_all, _) ->
+              Alcotest.(check bool) "key excludes dealer 4" false
+                (params_all.Icc_crypto.Threshold_vuf.global_pk
+                = params.Icc_crypto.Threshold_vuf.global_pk)
+          | Error e -> Alcotest.fail e)
+      | None -> Alcotest.fail "combine failed")
+
+let test_too_few_qualified () =
+  let n = 4 and threshold_t = 1 in
+  let dealings =
+    List.init n (fun i ->
+        Icc_crypto.Dkg.deal ~threshold_t ~n ~dealer:(i + 1) rand_bits)
+  in
+  let complain against =
+    List.map (fun c -> { Icc_crypto.Dkg.complainer = c; against }) [ 1; 2; 3 ]
+  in
+  let complaints = List.concat_map complain [ 1; 2; 3 ] in
+  match Icc_crypto.Dkg.finalize ~threshold_t ~n ~dealings ~complaints with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "should fail with 1 qualified dealer"
+
+let test_single_complaint_not_disqualifying () =
+  (* a lone (possibly malicious) complaint must not evict an honest dealer:
+     up to t complaints are tolerated *)
+  let n = 7 and threshold_t = 2 in
+  let dealings =
+    List.init n (fun i ->
+        Icc_crypto.Dkg.deal ~threshold_t ~n ~dealer:(i + 1) rand_bits)
+  in
+  let complaints = [ { Icc_crypto.Dkg.complainer = 5; against = 1 } ] in
+  match Icc_crypto.Dkg.finalize ~threshold_t ~n ~dealings ~complaints with
+  | Ok (params, _) -> (
+      match Icc_crypto.Dkg.finalize ~threshold_t ~n ~dealings ~complaints:[] with
+      | Ok (params_all, _) ->
+          Alcotest.(check bool) "dealer 1 still included" true
+            (params_all.Icc_crypto.Threshold_vuf.global_pk
+            = params.Icc_crypto.Threshold_vuf.global_pk)
+      | Error e -> Alcotest.fail e)
+  | Error e -> Alcotest.fail e
+
+let prop_dkg_equivalent_to_dealer =
+  QCheck.Test.make ~name:"dkg params behave like trusted-dealer params"
+    ~count:10 (QCheck.int_range 1 3) (fun t ->
+      let n = (3 * t) + 1 in
+      let params, secrets = Icc_crypto.Dkg.run ~threshold_t:t ~n rand_bits in
+      let msg = Printf.sprintf "msg-%d" t in
+      let shares =
+        List.map
+          (fun sk -> Icc_crypto.Threshold_vuf.sign_share params sk msg)
+          secrets
+      in
+      List.for_all
+        (fun s -> Icc_crypto.Threshold_vuf.verify_share params msg s)
+        shares
+      &&
+      match Icc_crypto.Threshold_vuf.combine params msg (take (t + 1) shares) with
+      | Some s -> Icc_crypto.Threshold_vuf.verify params msg s
+      | None -> false)
+
+let suite =
+  [
+    Alcotest.test_case "honest run" `Quick test_honest_run_produces_working_beacon;
+    Alcotest.test_case "share validation" `Quick test_share_validation;
+    Alcotest.test_case "corrupt dealer complaint" `Quick
+      test_corrupt_dealer_draws_complaints;
+    Alcotest.test_case "overcomplained excluded" `Quick
+      test_overcomplained_dealer_excluded;
+    Alcotest.test_case "too few qualified" `Quick test_too_few_qualified;
+    Alcotest.test_case "single complaint tolerated" `Quick
+      test_single_complaint_not_disqualifying;
+    QCheck_alcotest.to_alcotest prop_dkg_equivalent_to_dealer;
+  ]

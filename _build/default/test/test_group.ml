@@ -1,0 +1,65 @@
+(* Tests for the Schnorr group and its hash-to-group/scalar maps. *)
+
+let rng = Icc_sim.Rng.create 0xfeed
+let rand_bits () = Icc_sim.Rng.bits61 rng
+
+let test_generator_order () =
+  Alcotest.(check int) "g^q = 1" 1
+    (Icc_crypto.Fp.pow Icc_crypto.Group.generator Icc_crypto.Group.q
+       Icc_crypto.Group.p);
+  Alcotest.(check bool) "g != 1" true (Icc_crypto.Group.generator <> 1)
+
+let test_hash_to_group_lands_in_subgroup () =
+  for i = 0 to 99 do
+    let e =
+      Icc_crypto.Group.hash_to_group
+        (Icc_crypto.Sha256.digest_string (string_of_int i))
+    in
+    Alcotest.(check bool)
+      (Printf.sprintf "h2g %d in subgroup" i)
+      true
+      (Icc_crypto.Group.is_element e)
+  done
+
+let test_pow_reduces_exponent () =
+  let e = Icc_sim.Rng.bits61 rng in
+  Alcotest.(check int) "pow mod q"
+    (Icc_crypto.Group.pow Icc_crypto.Group.generator e)
+    (Icc_crypto.Group.pow Icc_crypto.Group.generator (e mod Icc_crypto.Group.q))
+
+let prop_mul_assoc =
+  let arb_elt =
+    QCheck.map
+      (fun x -> Icc_crypto.Group.base_pow (abs x))
+      QCheck.(int_bound 1_000_000_000)
+  in
+  QCheck.Test.make ~name:"group mul associative" ~count:100
+    (QCheck.triple arb_elt arb_elt arb_elt) (fun (a, b, c) ->
+      Icc_crypto.Group.mul (Icc_crypto.Group.mul a b) c
+      = Icc_crypto.Group.mul a (Icc_crypto.Group.mul b c))
+
+let prop_elt_inv =
+  let arb_elt =
+    QCheck.map
+      (fun x -> Icc_crypto.Group.base_pow (1 + abs x))
+      QCheck.(int_bound 1_000_000_000)
+  in
+  QCheck.Test.make ~name:"group inverse" ~count:100 arb_elt (fun a ->
+      Icc_crypto.Group.mul a (Icc_crypto.Group.elt_inv a) = Icc_crypto.Group.one)
+
+let prop_random_scalar_in_range =
+  QCheck.Test.make ~name:"random scalars in range" ~count:100 QCheck.unit
+    (fun () ->
+      let s = Icc_crypto.Group.random_scalar rand_bits in
+      s >= 0 && s < Icc_crypto.Group.q)
+
+let suite =
+  [
+    Alcotest.test_case "generator order" `Quick test_generator_order;
+    Alcotest.test_case "hash-to-group subgroup" `Quick
+      test_hash_to_group_lands_in_subgroup;
+    Alcotest.test_case "pow reduces exponent" `Quick test_pow_reduces_exponent;
+    QCheck_alcotest.to_alcotest prop_mul_assoc;
+    QCheck_alcotest.to_alcotest prop_elt_inv;
+    QCheck_alcotest.to_alcotest prop_random_scalar_in_range;
+  ]

@@ -1,0 +1,133 @@
+(* Gossip sub-layer and Protocol ICC1 tests. *)
+
+let base ?(n = 7) ?(seed = 31) () =
+  {
+    (Icc_core.Runner.default_scenario ~n ~seed) with
+    Icc_core.Runner.duration = 20.;
+    delay = Icc_core.Runner.Fixed_delay 0.02;
+    epsilon = 0.25;
+    delta_bnd = 0.5;
+    t_corrupt = Icc_crypto.Keygen.max_corrupt ~n;
+  }
+
+let test_peer_graph_connected () =
+  List.iter
+    (fun (n, fanout) ->
+      let rng = Icc_sim.Rng.create (n * 100 + fanout) in
+      let adj = Icc_gossip.Gossip.build_peer_graph rng ~n ~fanout in
+      (* BFS from node 1 *)
+      let seen = Array.make (n + 1) false in
+      let queue = Queue.create () in
+      Queue.add 1 queue;
+      seen.(1) <- true;
+      while not (Queue.is_empty queue) do
+        let v = Queue.pop queue in
+        List.iter
+          (fun w ->
+            if not seen.(w) then begin
+              seen.(w) <- true;
+              Queue.add w queue
+            end)
+          adj.(v)
+      done;
+      for i = 1 to n do
+        Alcotest.(check bool)
+          (Printf.sprintf "n=%d fanout=%d node %d reachable" n fanout i)
+          true seen.(i)
+      done;
+      (* degree at least the ring's 2 *)
+      for i = 1 to n do
+        Alcotest.(check bool) "degree >= 2" true (List.length adj.(i) >= 2)
+      done)
+    [ (4, 3); (13, 4); (40, 4); (40, 6) ]
+
+let test_icc1_liveness_and_safety () =
+  let r = Icc_gossip.Icc1.run ~fanout:4 (base ()) in
+  Alcotest.(check bool) "safety" true r.Icc_core.Runner.safety_ok;
+  Alcotest.(check bool) "p1" true r.Icc_core.Runner.p1_ok;
+  Alcotest.(check bool)
+    (Printf.sprintf "liveness (%d rounds)" r.Icc_core.Runner.rounds_decided)
+    true
+    (r.Icc_core.Runner.rounds_decided >= 30)
+
+let test_icc1_crash_tolerance () =
+  let r =
+    Icc_gossip.Icc1.run ~fanout:4
+      {
+        (base ()) with
+        behaviors =
+          [ (2, Icc_core.Party.crashed); (5, Icc_core.Party.crashed) ];
+      }
+  in
+  Alcotest.(check bool) "safety" true r.Icc_core.Runner.safety_ok;
+  Alcotest.(check bool)
+    (Printf.sprintf "liveness (%d rounds)" r.Icc_core.Runner.rounds_decided)
+    true
+    (r.Icc_core.Runner.rounds_decided >= 10)
+
+let test_icc1_equivocator_safety () =
+  let r =
+    Icc_gossip.Icc1.run ~fanout:4
+      {
+        (base ()) with
+        behaviors = [ (3, Icc_core.Party.byzantine_equivocator) ];
+      }
+  in
+  Alcotest.(check bool) "safety" true r.Icc_core.Runner.safety_ok;
+  Alcotest.(check bool) "liveness" true (r.Icc_core.Runner.rounds_decided >= 10)
+
+let test_icc1_reduces_leader_bottleneck () =
+  (* 200 KB blocks: the ICC0 proposer unicasts n-1 copies; under gossip each
+     party forwards to at most fanout peers.  Max per-party traffic must
+     drop substantially. *)
+  let big =
+    {
+      (base ~n:13 ()) with
+      Icc_core.Runner.workload = Icc_core.Runner.Fixed_block_size 200_000;
+      duration = 15.;
+    }
+  in
+  let direct = Icc_core.Runner.run big in
+  let gossip = Icc_gossip.Icc1.run ~fanout:4 big in
+  let d = Icc_sim.Metrics.max_bytes_per_party direct.Icc_core.Runner.metrics in
+  let g = Icc_sim.Metrics.max_bytes_per_party gossip.Icc_core.Runner.metrics in
+  Alcotest.(check bool)
+    (Printf.sprintf "gossip max %d < 0.5 * direct max %d" g d)
+    true
+    (float_of_int g < 0.5 *. float_of_int d)
+
+let test_icc1_latency_overhead () =
+  (* gossip spreads blocks over multiple hops: ICC1 latency must exceed
+     ICC0's, but stay bounded (within a few hops) *)
+  let sc = base () in
+  let r0 = Icc_core.Runner.run sc in
+  let r1 = Icc_gossip.Icc1.run ~fanout:4 sc in
+  Alcotest.(check bool)
+    (Printf.sprintf "icc1 %.3f >= icc0 %.3f" r1.Icc_core.Runner.mean_latency
+       r0.Icc_core.Runner.mean_latency)
+    true
+    (r1.Icc_core.Runner.mean_latency >= r0.Icc_core.Runner.mean_latency -. 1e-9);
+  Alcotest.(check bool) "bounded" true
+    (r1.Icc_core.Runner.mean_latency
+    < r0.Icc_core.Runner.mean_latency +. (6. *. 0.02))
+
+let test_gossip_determinism () =
+  let r1 = Icc_gossip.Icc1.run ~fanout:4 (base ~seed:77 ()) in
+  let r2 = Icc_gossip.Icc1.run ~fanout:4 (base ~seed:77 ()) in
+  Alcotest.(check int) "same rounds" r1.Icc_core.Runner.rounds_decided
+    r2.Icc_core.Runner.rounds_decided;
+  Alcotest.(check int) "same traffic"
+    (Icc_sim.Metrics.total_bytes r1.Icc_core.Runner.metrics)
+    (Icc_sim.Metrics.total_bytes r2.Icc_core.Runner.metrics)
+
+let suite =
+  [
+    Alcotest.test_case "peer graph connected" `Quick test_peer_graph_connected;
+    Alcotest.test_case "icc1 liveness+safety" `Quick test_icc1_liveness_and_safety;
+    Alcotest.test_case "icc1 crash tolerance" `Quick test_icc1_crash_tolerance;
+    Alcotest.test_case "icc1 equivocator" `Quick test_icc1_equivocator_safety;
+    Alcotest.test_case "icc1 leader bottleneck" `Quick
+      test_icc1_reduces_leader_bottleneck;
+    Alcotest.test_case "icc1 latency overhead" `Quick test_icc1_latency_overhead;
+    Alcotest.test_case "icc1 determinism" `Quick test_gossip_determinism;
+  ]

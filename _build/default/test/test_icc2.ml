@@ -1,0 +1,150 @@
+(* Erasure-coded reliable broadcast and Protocol ICC2 tests. *)
+
+let base ?(n = 7) ?(seed = 41) () =
+  {
+    (Icc_core.Runner.default_scenario ~n ~seed) with
+    Icc_core.Runner.duration = 20.;
+    delay = Icc_core.Runner.Fixed_delay 0.02;
+    epsilon = 0.25;
+    delta_bnd = 0.5;
+    t_corrupt = Icc_crypto.Keygen.max_corrupt ~n;
+  }
+
+let test_icc2_liveness_and_safety () =
+  let r = Icc_rbc.Icc2.run (base ()) in
+  Alcotest.(check bool) "safety" true r.Icc_core.Runner.safety_ok;
+  Alcotest.(check bool) "p1" true r.Icc_core.Runner.p1_ok;
+  Alcotest.(check bool)
+    (Printf.sprintf "liveness (%d rounds)" r.Icc_core.Runner.rounds_decided)
+    true
+    (r.Icc_core.Runner.rounds_decided >= 30)
+
+let test_icc2_crash_tolerance () =
+  (* t = 2 crashed parties of 7: reconstruction still needs only t+1 = 3
+     fragments, supplied by the 5 live parties' echoes *)
+  let r =
+    Icc_rbc.Icc2.run
+      {
+        (base ()) with
+        behaviors =
+          [ (1, Icc_core.Party.crashed); (4, Icc_core.Party.crashed) ];
+      }
+  in
+  Alcotest.(check bool) "safety" true r.Icc_core.Runner.safety_ok;
+  Alcotest.(check bool)
+    (Printf.sprintf "liveness (%d rounds)" r.Icc_core.Runner.rounds_decided)
+    true
+    (r.Icc_core.Runner.rounds_decided >= 10)
+
+let test_icc2_equivocator_safety () =
+  List.iter
+    (fun seed ->
+      let r =
+        Icc_rbc.Icc2.run
+          {
+            (base ~seed ()) with
+            behaviors = [ (2, Icc_core.Party.byzantine_equivocator) ];
+          }
+      in
+      Alcotest.(check bool) "safety" true r.Icc_core.Runner.safety_ok;
+      Alcotest.(check bool) "liveness" true
+        (r.Icc_core.Runner.rounds_decided >= 10))
+    [ 1; 2; 3 ]
+
+let test_icc2_per_party_traffic_linear_in_block_size () =
+  (* the headline ICC2 bound: per-party bits O(S).  The proposer's cost must
+     not be ~n*S as in ICC0; compare max-party traffic at 500 KB blocks. *)
+  let big =
+    {
+      (base ~n:10 ()) with
+      Icc_core.Runner.workload = Icc_core.Runner.Fixed_block_size 500_000;
+      duration = 12.;
+    }
+  in
+  let direct = Icc_core.Runner.run big in
+  let rbc = Icc_rbc.Icc2.run big in
+  let d = Icc_sim.Metrics.max_bytes_per_party direct.Icc_core.Runner.metrics in
+  let r = Icc_sim.Metrics.max_bytes_per_party rbc.Icc_core.Runner.metrics in
+  Alcotest.(check bool)
+    (Printf.sprintf "rbc max %d < 0.7 * direct max %d" r d)
+    true
+    (float_of_int r < 0.7 *. float_of_int d)
+
+let test_icc2_throughput_latency_shape () =
+  (* with epsilon ~ 0 the extra echo hop shows: ICC2 rounds take ~3 delta
+     versus ICC0's ~2 delta, latencies ~4 delta vs ~3 delta *)
+  let fast =
+    {
+      (base ()) with
+      Icc_core.Runner.delay = Icc_core.Runner.Fixed_delay 0.05;
+      epsilon = 0.001;
+      delta_bnd = 0.2;
+      duration = 30.;
+    }
+  in
+  let r0 = Icc_core.Runner.run fast in
+  let r2 = Icc_rbc.Icc2.run fast in
+  let lat0 = r0.Icc_core.Runner.mean_latency
+  and lat2 = r2.Icc_core.Runner.mean_latency in
+  Alcotest.(check bool)
+    (Printf.sprintf "icc0 latency ~3d (%.3f)" lat0)
+    true
+    (lat0 > 0.10 && lat0 < 0.20);
+  Alcotest.(check bool)
+    (Printf.sprintf "icc2 latency ~4d (%.3f)" lat2)
+    true
+    (lat2 > lat0 +. 0.03 && lat2 < lat0 +. 0.10);
+  Alcotest.(check bool)
+    (Printf.sprintf "icc2 throughput below icc0 (%d vs %d rounds)"
+       r2.Icc_core.Runner.rounds_decided r0.Icc_core.Runner.rounds_decided)
+    true
+    (r2.Icc_core.Runner.rounds_decided < r0.Icc_core.Runner.rounds_decided)
+
+let test_rbc_marshalling_roundtrip () =
+  let kit = Kit.make ~n:4 ~t:1 ()
+  and payload =
+    {
+      Icc_core.Types.commands =
+        [ Icc_core.Types.command ~tag:"set|a|b" ~cmd_id:7 ~cmd_size:64
+            ~submitted_at:1.5 () ];
+      filler_size = 33;
+    }
+  in
+  let block = Kit.block ~payload ~round:1 ~proposer:2 ~parent:None () in
+  let msg =
+    Icc_core.Message.Proposal
+      {
+        p_block = block;
+        p_authenticator = Kit.authenticator kit block;
+        p_parent_cert = None;
+      }
+  in
+  match Icc_rbc.Rbc.deserialize (Icc_rbc.Rbc.serialize msg) with
+  | Some (Icc_core.Message.Proposal p) ->
+      Alcotest.(check bool) "same block hash" true
+        (Icc_crypto.Sha256.equal
+           (Icc_core.Block.hash p.Icc_core.Message.p_block)
+           (Icc_core.Block.hash block))
+  | _ -> Alcotest.fail "roundtrip failed"
+
+let test_icc2_determinism () =
+  let r1 = Icc_rbc.Icc2.run (base ~seed:55 ()) in
+  let r2 = Icc_rbc.Icc2.run (base ~seed:55 ()) in
+  Alcotest.(check int) "same rounds" r1.Icc_core.Runner.rounds_decided
+    r2.Icc_core.Runner.rounds_decided;
+  Alcotest.(check int) "same traffic"
+    (Icc_sim.Metrics.total_bytes r1.Icc_core.Runner.metrics)
+    (Icc_sim.Metrics.total_bytes r2.Icc_core.Runner.metrics)
+
+let suite =
+  [
+    Alcotest.test_case "icc2 liveness+safety" `Quick test_icc2_liveness_and_safety;
+    Alcotest.test_case "icc2 crash tolerance" `Quick test_icc2_crash_tolerance;
+    Alcotest.test_case "icc2 equivocator" `Quick test_icc2_equivocator_safety;
+    Alcotest.test_case "icc2 per-party traffic" `Quick
+      test_icc2_per_party_traffic_linear_in_block_size;
+    Alcotest.test_case "icc2 throughput/latency" `Quick
+      test_icc2_throughput_latency_shape;
+    Alcotest.test_case "rbc serialize roundtrip" `Quick test_rbc_marshalling_roundtrip;
+    Alcotest.test_case "icc2 determinism" `Quick test_icc2_determinism;
+  ]

@@ -1,0 +1,140 @@
+(* Targeted protocol-mechanism tests: the echo rule, selective delivery by
+   a faulty sender, and message-bound sanity.  Fault injection happens at
+   the transport layer, wrapping ICC0's direct transport. *)
+
+(* A transport that drops messages according to [drop ~src ~dst msg]. *)
+let lossy_transport ~drop : Icc_core.Runner.transport =
+ fun ctx ->
+  let inner = Icc_core.Runner.direct_transport ctx in
+  {
+    Icc_core.Runner.tx_broadcast =
+      (fun ~src msg ->
+        (* emulate per-destination sending so the filter can apply *)
+        for dst = 1 to ctx.Icc_core.Runner.tr_n do
+          if not (drop ~src ~dst msg) then
+            inner.Icc_core.Runner.tx_unicast ~src ~dst msg
+        done);
+    tx_unicast =
+      (fun ~src ~dst msg ->
+        if not (drop ~src ~dst msg) then
+          inner.Icc_core.Runner.tx_unicast ~src ~dst msg);
+  }
+
+let base ?(n = 4) ?(seed = 5) () =
+  {
+    (Icc_core.Runner.default_scenario ~n ~seed) with
+    Icc_core.Runner.duration = 20.;
+    delay = Icc_core.Runner.Fixed_delay 0.05;
+    epsilon = 0.2;
+    delta_bnd = 0.3;
+  }
+
+let is_proposal = function Icc_core.Message.Proposal _ -> true | _ -> false
+
+let test_echo_repairs_selective_proposals () =
+  (* party 1's proposals never reach parties 3 and 4 directly; the echo
+     step (condition (c)) must still disseminate them, so liveness and the
+     usual latency hold *)
+  let drop ~src ~dst msg = src = 1 && (dst = 3 || dst = 4) && is_proposal msg in
+  let r =
+    Icc_core.Runner.run
+      { (base ()) with
+        Icc_core.Runner.transport = Some (lossy_transport ~drop) }
+  in
+  Alcotest.(check bool) "safety" true r.Icc_core.Runner.safety_ok;
+  Alcotest.(check bool)
+    (Printf.sprintf "liveness (%d rounds)" r.Icc_core.Runner.rounds_decided)
+    true
+    (r.Icc_core.Runner.rounds_decided >= 50);
+  (* party 1's blocks still get committed in the rounds it leads *)
+  match r.Icc_core.Runner.outputs with
+  | (_, chain) :: _ ->
+      let by_one =
+        List.length
+          (List.filter (fun b -> b.Icc_core.Block.proposer = 1) chain)
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "party 1 proposals committed (%d)" by_one)
+        true (by_one > 5)
+  | [] -> Alcotest.fail "no outputs"
+
+let test_withheld_notarization_shares_tolerated () =
+  (* one party's notarization shares are all lost: quorum n-t = 3 of the
+     remaining parties still notarizes every round *)
+  let drop ~src ~dst:_ msg =
+    src = 2
+    &&
+    match msg with Icc_core.Message.Notarization_share _ -> true | _ -> false
+  in
+  let r =
+    Icc_core.Runner.run
+      { (base ()) with
+        Icc_core.Runner.transport = Some (lossy_transport ~drop) }
+  in
+  Alcotest.(check bool) "safety" true r.Icc_core.Runner.safety_ok;
+  Alcotest.(check bool) "liveness" true (r.Icc_core.Runner.rounds_decided >= 50)
+
+let test_lost_finalization_shares_defer_decisions () =
+  (* finalization shares from two parties are lost: no round reaches the
+     n-t finalization quorum directly... with n=4, t=1 quorum 3 needs 3 of
+     4; dropping 2 parties' shares leaves 2 < 3 — yet safety and chain
+     growth must persist: blocks commit only when... in fact nothing can
+     finalize, so nothing commits; P1 still holds (notarized every round).
+
+     This documents that finalization — unlike notarization — is optional
+     for tree growth (paper §3.3: the tree grows in every round). *)
+  let drop ~src ~dst:_ msg =
+    (src = 2 || src = 3)
+    &&
+    match msg with Icc_core.Message.Finalization_share _ -> true | _ -> false
+  in
+  let r =
+    Icc_core.Runner.run
+      { (base ()) with
+        Icc_core.Runner.duration = 8.;
+        Icc_core.Runner.transport = Some (lossy_transport ~drop) }
+  in
+  Alcotest.(check bool) "safety" true r.Icc_core.Runner.safety_ok;
+  Alcotest.(check int) "nothing finalized" 0 r.Icc_core.Runner.rounds_decided;
+  Alcotest.(check bool) "p1 (tree keeps growing)" true r.Icc_core.Runner.p1_ok
+
+let test_proposal_broadcast_bound () =
+  (* each honest party broadcasts O(1) proposals (own + echoes) per round in
+     synchronous honest execution: kind-count proposal <= ~2 per party-round *)
+  let r = Icc_core.Runner.run (base ~n:7 ()) in
+  let proposals =
+    Icc_sim.Metrics.msgs_of_kind r.Icc_core.Runner.metrics "proposal"
+  in
+  let rounds = r.Icc_core.Runner.rounds_decided in
+  (* unicast transmissions: each broadcast counts n-1 *)
+  let broadcasts = proposals / 6 in
+  let per_party_round = float_of_int broadcasts /. float_of_int (7 * rounds) in
+  Alcotest.(check bool)
+    (Printf.sprintf "<= 2 proposal broadcasts per party-round (%.2f)"
+       per_party_round)
+    true
+    (per_party_round <= 2.0)
+
+let test_beacon_pipelining_is_one_round_ahead () =
+  (* the adversary can know the beacon one round ahead (paper §3.5): after a
+     run, party pools contain beacon shares for round rounds_finished + 1 *)
+  let r = Icc_core.Runner.run { (base ()) with duration = 5. } in
+  ignore r;
+  (* indirect check: rounds complete at all implies pipelining worked, since
+     round k+1's shares are broadcast during round k; verified directly in
+     test_beacon.  Here we assert the run advanced well past round 1. *)
+  Alcotest.(check bool) "advanced" true (r.Icc_core.Runner.rounds_decided > 10)
+
+let suite =
+  [
+    Alcotest.test_case "echo repairs selective proposals" `Quick
+      test_echo_repairs_selective_proposals;
+    Alcotest.test_case "withheld notarization shares" `Quick
+      test_withheld_notarization_shares_tolerated;
+    Alcotest.test_case "lost finalization shares" `Quick
+      test_lost_finalization_shares_defer_decisions;
+    Alcotest.test_case "proposal broadcast bound" `Quick
+      test_proposal_broadcast_bound;
+    Alcotest.test_case "beacon pipelining" `Quick
+      test_beacon_pipelining_is_one_round_ahead;
+  ]

@@ -1,0 +1,191 @@
+(* Pool admission and classification tests (the paper's §3.4 predicates). *)
+
+let kit = Kit.make ~n:4 ~t:1 ()
+
+let key b = (b.Icc_core.Block.round, Icc_core.Block.hash b)
+
+let test_block_without_authenticator_not_valid () =
+  let pool = Icc_core.Pool.create kit.Kit.system in
+  let b = Kit.block ~round:1 ~proposer:1 ~parent:None () in
+  Alcotest.(check bool) "added" true (Icc_core.Pool.add_block pool b);
+  Alcotest.(check bool) "re-add is no-op" false (Icc_core.Pool.add_block pool b);
+  Alcotest.(check bool) "not valid" false (Icc_core.Pool.is_valid pool (key b))
+
+let test_authenticated_round1_block_valid () =
+  let pool = Icc_core.Pool.create kit.Kit.system in
+  let b = Kit.block ~round:1 ~proposer:1 ~parent:None () in
+  ignore (Icc_core.Pool.add_block pool b);
+  Alcotest.(check bool) "auth accepted" true
+    (Icc_core.Pool.add_authenticator pool ~round:1 ~proposer:1
+       ~block_hash:(Icc_core.Block.hash b) (Kit.authenticator kit b));
+  Alcotest.(check bool) "valid now" true (Icc_core.Pool.is_valid pool (key b));
+  Alcotest.(check bool) "not notarized" false
+    (Icc_core.Pool.is_notarized pool (key b))
+
+let test_forged_authenticator_rejected () =
+  let pool = Icc_core.Pool.create kit.Kit.system in
+  let b = Kit.block ~round:1 ~proposer:1 ~parent:None () in
+  ignore (Icc_core.Pool.add_block pool b);
+  (* signature by party 2 claiming party 1's block *)
+  let forged =
+    Icc_crypto.Schnorr.sign
+      (Kit.key kit 2).Icc_crypto.Keygen.auth
+      (Icc_core.Types.authenticator_text ~round:1 ~proposer:1
+         ~block_hash:(Icc_core.Block.hash b))
+  in
+  Alcotest.(check bool) "rejected" false
+    (Icc_core.Pool.add_authenticator pool ~round:1 ~proposer:1
+       ~block_hash:(Icc_core.Block.hash b) forged);
+  Alcotest.(check bool) "still not valid" false
+    (Icc_core.Pool.is_valid pool (key b))
+
+let test_validity_requires_notarized_parent () =
+  let pool = Icc_core.Pool.create kit.Kit.system in
+  let b1 = Kit.block ~round:1 ~proposer:1 ~parent:None () in
+  let b2 = Kit.block ~round:2 ~proposer:2 ~parent:(Some b1) () in
+  (* admit child first: orphan until the parent is notarized *)
+  ignore (Icc_core.Pool.add_block pool b2);
+  ignore
+    (Icc_core.Pool.add_authenticator pool ~round:2 ~proposer:2
+       ~block_hash:(Icc_core.Block.hash b2) (Kit.authenticator kit b2));
+  Alcotest.(check bool) "orphan not valid" false
+    (Icc_core.Pool.is_valid pool (key b2));
+  (* now bring the parent with a full certificate: cascade must fire *)
+  Kit.admit_notarized kit pool b1;
+  Alcotest.(check bool) "parent notarized" true
+    (Icc_core.Pool.is_notarized pool (key b1));
+  Alcotest.(check bool) "child promoted" true
+    (Icc_core.Pool.is_valid pool (key b2))
+
+let test_notarization_share_accumulation () =
+  let pool = Icc_core.Pool.create kit.Kit.system in
+  let b = Kit.block ~round:1 ~proposer:1 ~parent:None () in
+  ignore (Icc_core.Pool.add_block pool b);
+  ignore
+    (Icc_core.Pool.add_authenticator pool ~round:1 ~proposer:1
+       ~block_hash:(Icc_core.Block.hash b) (Kit.authenticator kit b));
+  Alcotest.(check bool) "share 1" true
+    (Icc_core.Pool.add_notarization_share pool (Kit.notarization_share kit ~signer:1 b));
+  Alcotest.(check bool) "duplicate signer dropped" false
+    (Icc_core.Pool.add_notarization_share pool (Kit.notarization_share kit ~signer:1 b));
+  ignore (Icc_core.Pool.add_notarization_share pool (Kit.notarization_share kit ~signer:2 b));
+  ignore (Icc_core.Pool.add_notarization_share pool (Kit.notarization_share kit ~signer:3 b));
+  Alcotest.(check int) "3 distinct" 3
+    (Icc_core.Pool.notar_share_count pool (key b));
+  (* n - t = 3 shares: completion must report a combinable block *)
+  match Icc_core.Pool.round_completion pool 1 with
+  | Some (Icc_core.Pool.Combinable (b', shares)) ->
+      Alcotest.(check bool) "same block" true
+        (Icc_crypto.Sha256.equal (Icc_core.Block.hash b') (Icc_core.Block.hash b));
+      Alcotest.(check int) "3 shares" 3 (List.length shares)
+  | Some (Icc_core.Pool.Already_notarized _) -> Alcotest.fail "not yet notarized"
+  | None -> Alcotest.fail "completion missing"
+
+let test_round_completion_prefers_notarized () =
+  let pool = Icc_core.Pool.create kit.Kit.system in
+  let b = Kit.block ~round:1 ~proposer:1 ~parent:None () in
+  Kit.admit_notarized kit pool b;
+  match Icc_core.Pool.round_completion pool 1 with
+  | Some (Icc_core.Pool.Already_notarized (b', _)) ->
+      Alcotest.(check bool) "same block" true
+        (Icc_crypto.Sha256.equal (Icc_core.Block.hash b') (Icc_core.Block.hash b))
+  | _ -> Alcotest.fail "expected notarized completion"
+
+let test_invalid_share_rejected () =
+  let pool = Icc_core.Pool.create kit.Kit.system in
+  let b = Kit.block ~round:1 ~proposer:1 ~parent:None () in
+  ignore (Icc_core.Pool.add_block pool b);
+  let share = Kit.notarization_share kit ~signer:1 b in
+  let tampered =
+    {
+      share with
+      Icc_core.Types.s_share =
+        {
+          share.Icc_core.Types.s_share with
+          Icc_crypto.Multisig.signer = 2 (* signature won't match signer 2 *);
+        };
+    }
+  in
+  Alcotest.(check bool) "tampered rejected" false
+    (Icc_core.Pool.add_notarization_share pool tampered)
+
+let test_finalization_flow () =
+  let pool = Icc_core.Pool.create kit.Kit.system in
+  let b1 = Kit.block ~round:1 ~proposer:1 ~parent:None () in
+  Kit.admit_notarized kit pool b1;
+  Alcotest.(check bool) "not finalized" false
+    (Icc_core.Pool.is_finalized pool (key b1));
+  (* finalization shares accumulate to a full set *)
+  ignore (Icc_core.Pool.add_finalization_share pool (Kit.finalization_share kit ~signer:1 b1));
+  ignore (Icc_core.Pool.add_finalization_share pool (Kit.finalization_share kit ~signer:2 b1));
+  ignore (Icc_core.Pool.add_finalization_share pool (Kit.finalization_share kit ~signer:4 b1));
+  (match Icc_core.Pool.finalization_step pool ~kmax:0 with
+  | Some (Icc_core.Pool.Final_combinable (b', shares)) ->
+      Alcotest.(check bool) "same block" true
+        (Icc_crypto.Sha256.equal (Icc_core.Block.hash b') (Icc_core.Block.hash b1));
+      Alcotest.(check int) "3 shares" 3 (List.length shares)
+  | _ -> Alcotest.fail "expected combinable finalization");
+  (* a certificate flips it to finalized *)
+  ignore (Icc_core.Pool.add_finalization pool (Kit.finalization kit b1 [ 1; 2; 4 ]));
+  Alcotest.(check bool) "finalized" true (Icc_core.Pool.is_finalized pool (key b1));
+  (match Icc_core.Pool.finalization_step pool ~kmax:0 with
+  | Some (Icc_core.Pool.Final_cert _) -> ()
+  | _ -> Alcotest.fail "expected cert finalization");
+  Alcotest.(check bool) "kmax filter" true
+    (Icc_core.Pool.finalization_step pool ~kmax:1 = None)
+
+let test_root_is_notarized_and_finalized () =
+  let pool = Icc_core.Pool.create kit.Kit.system in
+  Alcotest.(check bool) "root notarized" true
+    (Icc_core.Pool.is_notarized pool (0, Icc_core.Block.root_hash));
+  Alcotest.(check bool) "root finalized" true
+    (Icc_core.Pool.is_finalized pool (0, Icc_core.Block.root_hash))
+
+let test_beacon_share_dedup () =
+  let pool = Icc_core.Pool.create kit.Kit.system in
+  let msg = Icc_core.Types.beacon_text ~round:1 ~prev_sigma:Icc_core.Types.beacon_genesis in
+  let share =
+    Icc_crypto.Threshold_vuf.sign_share kit.Kit.system.Icc_crypto.Keygen.beacon
+      (Kit.key kit 1).Icc_crypto.Keygen.beacon_key msg
+  in
+  Alcotest.(check bool) "added" true (Icc_core.Pool.add_beacon_share pool ~round:1 share);
+  Alcotest.(check bool) "dup dropped" false
+    (Icc_core.Pool.add_beacon_share pool ~round:1 share);
+  Alcotest.(check int) "one share" 1
+    (List.length (Icc_core.Pool.beacon_shares pool 1))
+
+let test_chain_walk () =
+  let pool = Icc_core.Pool.create kit.Kit.system in
+  let b1 = Kit.block ~round:1 ~proposer:1 ~parent:None () in
+  let b2 = Kit.block ~round:2 ~proposer:2 ~parent:(Some b1) () in
+  let b3 = Kit.block ~round:3 ~proposer:3 ~parent:(Some b2) () in
+  Kit.admit_notarized kit pool b1;
+  Kit.admit_notarized kit pool b2;
+  Kit.admit_notarized kit pool b3;
+  let chain = Icc_core.Chain.to_root pool b3 in
+  Alcotest.(check (list int)) "rounds in order" [ 1; 2; 3 ]
+    (List.map (fun b -> b.Icc_core.Block.round) chain);
+  let seg = Icc_core.Chain.segment pool b3 ~from_round:1 in
+  Alcotest.(check (list int)) "segment (1,3]" [ 2; 3 ]
+    (List.map (fun b -> b.Icc_core.Block.round) seg)
+
+let suite =
+  [
+    Alcotest.test_case "unauthenticated not valid" `Quick
+      test_block_without_authenticator_not_valid;
+    Alcotest.test_case "authenticated valid" `Quick
+      test_authenticated_round1_block_valid;
+    Alcotest.test_case "forged authenticator" `Quick
+      test_forged_authenticator_rejected;
+    Alcotest.test_case "parent notarization cascade" `Quick
+      test_validity_requires_notarized_parent;
+    Alcotest.test_case "share accumulation" `Quick
+      test_notarization_share_accumulation;
+    Alcotest.test_case "completion prefers notarized" `Quick
+      test_round_completion_prefers_notarized;
+    Alcotest.test_case "invalid share rejected" `Quick test_invalid_share_rejected;
+    Alcotest.test_case "finalization flow" `Quick test_finalization_flow;
+    Alcotest.test_case "root status" `Quick test_root_is_notarized_and_finalized;
+    Alcotest.test_case "beacon share dedup" `Quick test_beacon_share_dedup;
+    Alcotest.test_case "chain walk" `Quick test_chain_walk;
+  ]

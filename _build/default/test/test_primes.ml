@@ -1,0 +1,63 @@
+(* Primality and group-parameter tests. *)
+
+let test_small_primes () =
+  let primes = [ 2; 3; 5; 7; 11; 13; 97; 7919; 104729 ] in
+  List.iter
+    (fun p ->
+      Alcotest.(check bool) (string_of_int p) true (Icc_crypto.Primes.is_prime p))
+    primes;
+  let composites = [ 0; 1; 4; 9; 91; 561; 1105; 8911; 104730 ] in
+  List.iter
+    (fun c ->
+      Alcotest.(check bool) (string_of_int c) false (Icc_crypto.Primes.is_prime c))
+    composites
+
+let test_carmichael () =
+  (* Carmichael numbers fool Fermat tests but not Miller–Rabin. *)
+  List.iter
+    (fun c ->
+      Alcotest.(check bool) (string_of_int c) false (Icc_crypto.Primes.is_prime c))
+    [ 561; 1105; 1729; 2465; 2821; 6601; 8911; 10585; 15841; 29341 ]
+
+let test_large () =
+  Alcotest.(check bool) "2^61-1 is prime" true
+    (Icc_crypto.Primes.is_prime ((1 lsl 61) - 1));
+  Alcotest.(check bool) "2^62-1 composite" false
+    (Icc_crypto.Primes.is_prime ((1 lsl 62) - 1))
+
+let test_group_params () =
+  Alcotest.(check bool) "p safe prime" true
+    (Icc_crypto.Primes.is_safe_prime Icc_crypto.Group.p);
+  Alcotest.(check bool) "q prime" true
+    (Icc_crypto.Primes.is_prime Icc_crypto.Group.q);
+  Alcotest.(check int) "p = 2q+1" Icc_crypto.Group.p
+    ((2 * Icc_crypto.Group.q) + 1);
+  Alcotest.(check bool) "g in subgroup" true
+    (Icc_crypto.Group.is_element Icc_crypto.Group.generator)
+
+let test_next_safe_prime () =
+  Alcotest.(check int) "finds group prime" Icc_crypto.Group.p
+    (Icc_crypto.Primes.next_safe_prime_below Icc_crypto.Group.p);
+  Alcotest.(check int) "small" 23 (Icc_crypto.Primes.next_safe_prime_below 23);
+  Alcotest.(check int) "skips" 23 (Icc_crypto.Primes.next_safe_prime_below 45)
+
+let prop_mr_matches_trial_division =
+  QCheck.Test.make ~name:"miller-rabin = trial division below 10000" ~count:300
+    (QCheck.int_bound 10_000) (fun n ->
+      let trial n =
+        if n < 2 then false
+        else
+          let rec go d = d * d > n || (n mod d <> 0 && go (d + 1)) in
+          go 2
+      in
+      Icc_crypto.Primes.is_prime n = trial n)
+
+let suite =
+  [
+    Alcotest.test_case "small primes/composites" `Quick test_small_primes;
+    Alcotest.test_case "carmichael numbers" `Quick test_carmichael;
+    Alcotest.test_case "large candidates" `Quick test_large;
+    Alcotest.test_case "group parameters" `Quick test_group_params;
+    Alcotest.test_case "next_safe_prime_below" `Quick test_next_safe_prime;
+    QCheck_alcotest.to_alcotest prop_mr_matches_trial_division;
+  ]

@@ -1,0 +1,86 @@
+(* Shamir secret sharing tests. *)
+
+let rng = Icc_sim.Rng.create 0x5a5a
+let rand_bits () = Icc_sim.Rng.bits61 rng
+
+let take k l = List.filteri (fun i _ -> i < k) l
+
+let test_reconstruct_exact_threshold () =
+  let secret = 123456789 in
+  let _, shares = Icc_crypto.Shamir.deal ~threshold_t:3 ~n:10 ~secret rand_bits in
+  Alcotest.(check int) "t+1 shares" secret
+    (Icc_crypto.Shamir.reconstruct (take 4 shares))
+
+let test_reconstruct_any_subset () =
+  let secret = 42 in
+  let _, shares = Icc_crypto.Shamir.deal ~threshold_t:2 ~n:7 ~secret rand_bits in
+  let arr = Array.of_list shares in
+  (* every 3-subset of 7 shares reconstructs *)
+  for a = 0 to 4 do
+    for b = a + 1 to 5 do
+      for c = b + 1 to 6 do
+        Alcotest.(check int)
+          (Printf.sprintf "subset %d %d %d" a b c)
+          secret
+          (Icc_crypto.Shamir.reconstruct [ arr.(a); arr.(b); arr.(c) ])
+      done
+    done
+  done
+
+let test_too_few_shares_wrong () =
+  (* With t shares interpolation yields some value but (with overwhelming
+     probability over the random polynomial) not the secret. *)
+  let secret = 77 in
+  let _, shares = Icc_crypto.Shamir.deal ~threshold_t:3 ~n:8 ~secret rand_bits in
+  Alcotest.(check bool) "t shares don't determine" true
+    (Icc_crypto.Shamir.reconstruct (take 3 shares) <> secret)
+
+let test_duplicate_rejected () =
+  let _, shares = Icc_crypto.Shamir.deal ~threshold_t:1 ~n:3 ~secret:5 rand_bits in
+  match shares with
+  | s :: _ ->
+      Alcotest.check_raises "dup"
+        (Invalid_argument "Shamir.reconstruct: duplicate share indices")
+        (fun () -> ignore (Icc_crypto.Shamir.reconstruct [ s; s ]))
+  | [] -> Alcotest.fail "no shares"
+
+let test_bad_params () =
+  Alcotest.check_raises "t >= n" (Invalid_argument "Shamir.deal: need 0 <= t < n")
+    (fun () ->
+      ignore (Icc_crypto.Shamir.deal ~threshold_t:3 ~n:3 ~secret:1 rand_bits))
+
+let test_lagrange_partition_of_unity () =
+  (* Sum of Lagrange coefficients at 0 equals 1 (interpolating the constant
+     polynomial 1). *)
+  let idxs = [ 1; 4; 6; 9 ] in
+  let sum =
+    List.fold_left
+      (fun acc i ->
+        Icc_crypto.Group.scalar_add acc
+          (Icc_crypto.Shamir.lagrange_coeff_at_zero idxs i))
+      0 idxs
+  in
+  Alcotest.(check int) "partition of unity" 1 sum
+
+let prop_deal_reconstruct =
+  QCheck.Test.make ~name:"shamir deal/reconstruct" ~count:50
+    (QCheck.pair (QCheck.int_range 0 5) (QCheck.int_bound 1_000_000))
+    (fun (t, secret) ->
+      let n = (3 * t) + 1 + Icc_sim.Rng.int rng 3 in
+      let _, shares = Icc_crypto.Shamir.deal ~threshold_t:t ~n ~secret rand_bits in
+      (* random (t+1)-subset *)
+      let arr = Array.of_list shares in
+      Icc_sim.Rng.shuffle_in_place rng arr;
+      let subset = Array.to_list (Array.sub arr 0 (t + 1)) in
+      Icc_crypto.Shamir.reconstruct subset = secret mod Icc_crypto.Group.q)
+
+let suite =
+  [
+    Alcotest.test_case "exact threshold" `Quick test_reconstruct_exact_threshold;
+    Alcotest.test_case "any subset" `Quick test_reconstruct_any_subset;
+    Alcotest.test_case "too few shares" `Quick test_too_few_shares_wrong;
+    Alcotest.test_case "duplicates rejected" `Quick test_duplicate_rejected;
+    Alcotest.test_case "bad params" `Quick test_bad_params;
+    Alcotest.test_case "lagrange unity" `Quick test_lagrange_partition_of_unity;
+    QCheck_alcotest.to_alcotest prop_deal_reconstruct;
+  ]

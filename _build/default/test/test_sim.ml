@@ -1,0 +1,155 @@
+(* Simulator substrate tests: rng, heap, engine, network, metrics. *)
+
+let test_rng_deterministic () =
+  let a = Icc_sim.Rng.create 42 and b = Icc_sim.Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "same stream" (Icc_sim.Rng.bits61 a) (Icc_sim.Rng.bits61 b)
+  done
+
+let test_rng_int_bounds () =
+  let r = Icc_sim.Rng.create 7 in
+  for _ = 1 to 1000 do
+    let v = Icc_sim.Rng.int r 13 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 13)
+  done
+
+let test_rng_shuffle_permutes () =
+  let r = Icc_sim.Rng.create 3 in
+  let arr = Array.init 20 Fun.id in
+  Icc_sim.Rng.shuffle_in_place r arr;
+  Alcotest.(check (list int)) "same multiset"
+    (List.init 20 Fun.id)
+    (List.sort compare (Array.to_list arr))
+
+let test_heap_orders () =
+  let h = Heap_probe.make [ (3., 0); (1., 1); (2., 2); (1., 3); (0.5, 4) ] in
+  Alcotest.(check (list int)) "pop order" [ 4; 1; 3; 2; 0 ] (Heap_probe.drain h)
+
+let test_engine_runs_in_order () =
+  let e = Icc_sim.Engine.create () in
+  let log = ref [] in
+  Icc_sim.Engine.schedule e ~delay:2. (fun () -> log := 2 :: !log);
+  Icc_sim.Engine.schedule e ~delay:1. (fun () ->
+      log := 1 :: !log;
+      Icc_sim.Engine.schedule e ~delay:0.5 (fun () -> log := 15 :: !log));
+  Icc_sim.Engine.run e;
+  Alcotest.(check (list int)) "order" [ 1; 15; 2 ] (List.rev !log);
+  Alcotest.(check (float 1e-9)) "clock at last event" 2. (Icc_sim.Engine.now e)
+
+let test_engine_until () =
+  let e = Icc_sim.Engine.create () in
+  let hits = ref 0 in
+  for i = 1 to 10 do
+    Icc_sim.Engine.schedule e ~delay:(float_of_int i) (fun () -> incr hits)
+  done;
+  Icc_sim.Engine.run ~until:5.5 e;
+  Alcotest.(check int) "only first five" 5 !hits;
+  Alcotest.(check (float 1e-9)) "clock parked at until" 5.5 (Icc_sim.Engine.now e);
+  Icc_sim.Engine.run e;
+  Alcotest.(check int) "rest after resume" 10 !hits
+
+let test_engine_rejects_past () =
+  let e = Icc_sim.Engine.create () in
+  Icc_sim.Engine.schedule e ~delay:1. (fun () ->
+      Alcotest.check_raises "past"
+        (Invalid_argument
+           "Engine.schedule_at: time 0.500000 is in the past (now 1.000000)")
+        (fun () -> Icc_sim.Engine.schedule_at e ~time:0.5 (fun () -> ())));
+  Icc_sim.Engine.run e
+
+let make_net ?(n = 4) ?(delay = 0.1) () =
+  let e = Icc_sim.Engine.create () in
+  let m = Icc_sim.Metrics.create n in
+  let net = Icc_sim.Network.create e ~n ~metrics:m ~delay_model:(Fixed delay) in
+  (e, m, net)
+
+let test_network_broadcast_delivery () =
+  let e, m, net = make_net () in
+  let got : (int * string) list ref = ref [] in
+  Icc_sim.Network.set_handler net (fun ~dst ~src:_ msg ->
+      got := (dst, msg) :: !got);
+  Icc_sim.Network.broadcast net ~src:1 ~size:100 ~kind:"blk" "hello";
+  Icc_sim.Engine.run e;
+  Alcotest.(check int) "all four got it" 4 (List.length !got);
+  (* traffic counts only the 3 remote copies *)
+  Alcotest.(check int) "bytes" 300 (Icc_sim.Metrics.total_bytes m);
+  Alcotest.(check int) "msgs" 3 (Icc_sim.Metrics.total_msgs m);
+  Alcotest.(check int) "kind" 3 (Icc_sim.Metrics.msgs_of_kind m "blk")
+
+let test_network_self_delivery_immediate () =
+  let e, _, net = make_net ~delay:5. () in
+  let at = ref nan in
+  Icc_sim.Network.set_handler net (fun ~dst ~src:_ _ ->
+      if dst = 2 then at := Icc_sim.Engine.now e);
+  Icc_sim.Network.unicast net ~src:2 ~dst:2 ~size:10 ~kind:"x" "m";
+  Icc_sim.Engine.run e;
+  Alcotest.(check (float 1e-9)) "immediate" 0. !at
+
+let test_network_hold_until () =
+  let e, _, net = make_net ~delay:0.1 () in
+  let at = ref nan in
+  Icc_sim.Network.set_handler net (fun ~dst ~src:_ _ ->
+      if dst = 2 then at := Icc_sim.Engine.now e);
+  Icc_sim.Network.hold_all_until net 10.;
+  Icc_sim.Network.unicast net ~src:1 ~dst:2 ~size:10 ~kind:"x" "m";
+  Icc_sim.Engine.run e;
+  Alcotest.(check (float 1e-9)) "released at 10 + delay" 10.1 !at
+
+let test_network_link_hold () =
+  let e, _, net = make_net ~delay:0.1 () in
+  let times = ref [] in
+  Icc_sim.Network.set_handler net (fun ~dst ~src:_ _ ->
+      times := (dst, Icc_sim.Engine.now e) :: !times);
+  (* partition: messages into party 3 held until t=5 *)
+  Icc_sim.Network.set_link_hold net (fun _src dst -> if dst = 3 then 5. else 0.);
+  Icc_sim.Network.broadcast net ~src:1 ~size:1 ~kind:"x" "m";
+  Icc_sim.Engine.run e;
+  Alcotest.(check (float 1e-9)) "into 3 held" 5.1 (List.assoc 3 !times);
+  Alcotest.(check (float 1e-9)) "into 2 normal" 0.1 (List.assoc 2 !times)
+
+let test_wan_matrix_symmetric () =
+  let r = Icc_sim.Rng.create 1 in
+  let m = Icc_sim.Network.wan_matrix r ~n:13 ~rtt_lo:0.006 ~rtt_hi:0.110 in
+  for i = 1 to 13 do
+    for j = 1 to 13 do
+      Alcotest.(check (float 1e-12)) "symmetric" m.(i).(j) m.(j).(i);
+      if i <> j then
+        Alcotest.(check bool) "in range" true
+          (m.(i).(j) >= 0.003 && m.(i).(j) <= 0.055)
+    done
+  done
+
+let test_metrics_percentile () =
+  let l = [ 5.; 1.; 3.; 2.; 4. ] in
+  Alcotest.(check (float 1e-9)) "p50" 3. (Icc_sim.Metrics.percentile 50. l);
+  Alcotest.(check (float 1e-9)) "p100" 5. (Icc_sim.Metrics.percentile 100. l);
+  Alcotest.(check (float 1e-9)) "mean" 3. (Icc_sim.Metrics.mean l)
+
+let prop_engine_fifo_at_same_time =
+  QCheck.Test.make ~name:"engine preserves insertion order at equal times"
+    ~count:50 (QCheck.int_range 2 30) (fun k ->
+      let e = Icc_sim.Engine.create () in
+      let log = ref [] in
+      for i = 0 to k - 1 do
+        Icc_sim.Engine.schedule e ~delay:1. (fun () -> log := i :: !log)
+      done;
+      Icc_sim.Engine.run e;
+      List.rev !log = List.init k Fun.id)
+
+let suite =
+  [
+    Alcotest.test_case "rng deterministic" `Quick test_rng_deterministic;
+    Alcotest.test_case "rng int bounds" `Quick test_rng_int_bounds;
+    Alcotest.test_case "rng shuffle" `Quick test_rng_shuffle_permutes;
+    Alcotest.test_case "heap order" `Quick test_heap_orders;
+    Alcotest.test_case "engine order" `Quick test_engine_runs_in_order;
+    Alcotest.test_case "engine until" `Quick test_engine_until;
+    Alcotest.test_case "engine rejects past" `Quick test_engine_rejects_past;
+    Alcotest.test_case "broadcast delivery" `Quick test_network_broadcast_delivery;
+    Alcotest.test_case "self delivery" `Quick test_network_self_delivery_immediate;
+    Alcotest.test_case "hold until" `Quick test_network_hold_until;
+    Alcotest.test_case "link hold" `Quick test_network_link_hold;
+    Alcotest.test_case "wan matrix" `Quick test_wan_matrix_symmetric;
+    Alcotest.test_case "metrics percentile" `Quick test_metrics_percentile;
+    QCheck_alcotest.to_alcotest prop_engine_fifo_at_same_time;
+  ]

@@ -1,0 +1,128 @@
+(* State-machine-replication layer tests. *)
+
+let test_command_codec () =
+  let ops =
+    [
+      Icc_smr.Command.Set ("k1", "v1");
+      Icc_smr.Command.Delete "k2";
+      Icc_smr.Command.Increment "counter";
+      Icc_smr.Command.Noop;
+    ]
+  in
+  List.iter
+    (fun op ->
+      Alcotest.(check bool) "roundtrip" true
+        (Icc_smr.Command.decode (Icc_smr.Command.encode op) = Some op))
+    ops;
+  Alcotest.(check bool) "garbage" true (Icc_smr.Command.decode "???" = None)
+
+let test_kv_apply () =
+  let kv = Icc_smr.Kv_store.create () in
+  Icc_smr.Kv_store.apply kv (Icc_smr.Command.Set ("a", "1"));
+  Icc_smr.Kv_store.apply kv (Icc_smr.Command.Set ("b", "2"));
+  Icc_smr.Kv_store.apply kv (Icc_smr.Command.Increment "c");
+  Icc_smr.Kv_store.apply kv (Icc_smr.Command.Increment "c");
+  Icc_smr.Kv_store.apply kv (Icc_smr.Command.Delete "a");
+  Alcotest.(check (option string)) "a deleted" None (Icc_smr.Kv_store.get kv "a");
+  Alcotest.(check (option string)) "b" (Some "2") (Icc_smr.Kv_store.get kv "b");
+  Alcotest.(check (option string)) "c incremented" (Some "2")
+    (Icc_smr.Kv_store.get kv "c");
+  Alcotest.(check int) "applied count" 5 (Icc_smr.Kv_store.applied kv);
+  Alcotest.(check int) "live keys" 2 (Icc_smr.Kv_store.size kv)
+
+let test_kv_digest_sensitive () =
+  let mk ops =
+    let kv = Icc_smr.Kv_store.create () in
+    List.iter (Icc_smr.Kv_store.apply kv) ops;
+    Icc_smr.Kv_store.digest kv
+  in
+  Alcotest.(check string) "same state same digest"
+    (mk [ Icc_smr.Command.Set ("x", "1"); Icc_smr.Command.Set ("y", "2") ])
+    (mk [ Icc_smr.Command.Set ("y", "2"); Icc_smr.Command.Set ("x", "1") ]);
+  Alcotest.(check bool) "different state" false
+    (String.equal
+       (mk [ Icc_smr.Command.Set ("x", "1") ])
+       (mk [ Icc_smr.Command.Set ("x", "2") ]))
+
+let test_replica_dedup () =
+  let r = Icc_smr.Replica.create () in
+  let c =
+    Icc_core.Types.command
+      ~tag:(Icc_smr.Command.encode (Icc_smr.Command.Increment "n"))
+      ~cmd_id:9 ~cmd_size:16 ~submitted_at:0. ()
+  in
+  Icc_smr.Replica.apply_command r c;
+  Icc_smr.Replica.apply_command r c;
+  Alcotest.(check (option string)) "applied once" (Some "1")
+    (Icc_smr.Kv_store.get r.Icc_smr.Replica.store "n")
+
+let test_end_to_end_replicated_kv () =
+  let scenario =
+    {
+      (Icc_core.Runner.default_scenario ~n:4 ~seed:71) with
+      Icc_core.Runner.duration = 15.;
+      delay = Icc_core.Runner.Fixed_delay 0.05;
+      epsilon = 0.2;
+      delta_bnd = 0.3;
+    }
+  in
+  let r = Icc_smr.Workload.run_kv scenario ~rate_per_s:30. ~cmd_size:128 in
+  Alcotest.(check bool) "consensus safety" true
+    r.Icc_smr.Workload.consensus.Icc_core.Runner.safety_ok;
+  Alcotest.(check bool) "states agree" true r.Icc_smr.Workload.states_agree;
+  List.iter
+    (fun (_, replica) ->
+      Alcotest.(check bool) "commands applied" true
+        (Icc_smr.Kv_store.applied replica.Icc_smr.Replica.store > 200);
+      Alcotest.(check int) "no undecodable tags" 0
+        replica.Icc_smr.Replica.skipped)
+    r.Icc_smr.Workload.replicas
+
+let test_end_to_end_with_byzantine_party () =
+  let scenario =
+    {
+      (Icc_core.Runner.default_scenario ~n:4 ~seed:73) with
+      Icc_core.Runner.duration = 15.;
+      delay = Icc_core.Runner.Fixed_delay 0.05;
+      epsilon = 0.2;
+      delta_bnd = 0.3;
+      behaviors = [ (2, Icc_core.Party.byzantine_equivocator) ];
+    }
+  in
+  let r = Icc_smr.Workload.run_kv scenario ~rate_per_s:30. ~cmd_size:128 in
+  Alcotest.(check bool) "states agree under attack" true
+    r.Icc_smr.Workload.states_agree
+
+let prop_kv_replay_deterministic =
+  QCheck.Test.make ~name:"kv replay deterministic" ~count:30
+    (QCheck.list_of_size (QCheck.Gen.int_range 0 50)
+       (QCheck.pair (QCheck.int_bound 20) (QCheck.int_bound 3)))
+    (fun spec ->
+      let ops =
+        List.map
+          (fun (k, kind) ->
+            let key = Printf.sprintf "k%d" k in
+            match kind with
+            | 0 -> Icc_smr.Command.Delete key
+            | 1 -> Icc_smr.Command.Increment key
+            | 2 -> Icc_smr.Command.Noop
+            | _ -> Icc_smr.Command.Set (key, string_of_int k))
+          spec
+      in
+      let run () =
+        let kv = Icc_smr.Kv_store.create () in
+        List.iter (Icc_smr.Kv_store.apply kv) ops;
+        Icc_smr.Kv_store.digest kv
+      in
+      String.equal (run ()) (run ()))
+
+let suite =
+  [
+    Alcotest.test_case "command codec" `Quick test_command_codec;
+    Alcotest.test_case "kv apply" `Quick test_kv_apply;
+    Alcotest.test_case "kv digest" `Quick test_kv_digest_sensitive;
+    Alcotest.test_case "replica dedup" `Quick test_replica_dedup;
+    Alcotest.test_case "replicated kv e2e" `Quick test_end_to_end_replicated_kv;
+    Alcotest.test_case "byzantine e2e" `Quick test_end_to_end_with_byzantine_party;
+    QCheck_alcotest.to_alcotest prop_kv_replay_deterministic;
+  ]

@@ -1,0 +1,94 @@
+(* Tendermint baseline tests. *)
+
+let base ?(n = 4) ?(seed = 83) () =
+  {
+    (Icc_baselines.Harness.default_scenario ~n ~seed) with
+    Icc_baselines.Harness.duration = 30.;
+    delay = Icc_core.Runner.Fixed_delay 0.05;
+    timeout = 0.5;
+  }
+
+let test_happy_path () =
+  let r = Icc_baselines.Tendermint.run (base ()) in
+  Alcotest.(check bool) "safety" true r.Icc_baselines.Harness.safety_ok;
+  (* height duration ~ 3 delta + timeout = 0.65 s -> ~46 heights *)
+  Alcotest.(check bool)
+    (Printf.sprintf "throughput (%d)" r.Icc_baselines.Harness.blocks_committed)
+    true
+    (r.Icc_baselines.Harness.blocks_committed > 35
+    && r.Icc_baselines.Harness.blocks_committed < 60);
+  (* decision latency is still ~3 delta *)
+  Alcotest.(check bool)
+    (Printf.sprintf "latency ~3 delta (%.3f)" r.Icc_baselines.Harness.mean_latency)
+    true
+    (r.Icc_baselines.Harness.mean_latency > 0.13
+    && r.Icc_baselines.Harness.mean_latency < 0.18)
+
+let test_not_optimistically_responsive () =
+  (* a 5x faster network barely changes the block rate: height pacing is
+     timeout-governed.  Contrast: ICC0's rate scales with the network. *)
+  let slow = Icc_baselines.Tendermint.run (base ()) in
+  let fast =
+    Icc_baselines.Tendermint.run
+      { (base ()) with Icc_baselines.Harness.delay = Icc_core.Runner.Fixed_delay 0.01 }
+  in
+  let ratio =
+    float_of_int fast.Icc_baselines.Harness.blocks_committed
+    /. float_of_int slow.Icc_baselines.Harness.blocks_committed
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "rate ratio %.2f < 1.5 despite 5x network" ratio)
+    true (ratio < 1.5);
+  (* ICC0 on the same two networks speeds up by ~4-5x *)
+  let icc delta =
+    Icc_core.Runner.run
+      {
+        (Icc_core.Runner.default_scenario ~n:4 ~seed:83) with
+        Icc_core.Runner.duration = 30.;
+        delay = Icc_core.Runner.Fixed_delay delta;
+        epsilon = 1e-3;
+        delta_bnd = 0.5;
+      }
+  in
+  let icc_ratio =
+    float_of_int (icc 0.01).Icc_core.Runner.rounds_decided
+    /. float_of_int (icc 0.05).Icc_core.Runner.rounds_decided
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "icc0 ratio %.2f > 3" icc_ratio)
+    true (icc_ratio > 3.)
+
+let test_crashed_proposer_rounds () =
+  let r = Icc_baselines.Tendermint.run { (base ()) with crashed = [ 2 ] } in
+  Alcotest.(check bool) "safety" true r.Icc_baselines.Harness.safety_ok;
+  let fault_free = Icc_baselines.Tendermint.run (base ()) in
+  Alcotest.(check bool)
+    (Printf.sprintf "degraded (%d < %d)" r.Icc_baselines.Harness.blocks_committed
+       fault_free.Icc_baselines.Harness.blocks_committed)
+    true
+    (r.Icc_baselines.Harness.blocks_committed > 10
+    && r.Icc_baselines.Harness.blocks_committed
+       < fault_free.Icc_baselines.Harness.blocks_committed)
+
+let test_two_crashes_at_n7 () =
+  let r =
+    Icc_baselines.Tendermint.run { (base ~n:7 ()) with crashed = [ 2; 5 ] }
+  in
+  Alcotest.(check bool) "safety" true r.Icc_baselines.Harness.safety_ok;
+  Alcotest.(check bool) "liveness" true
+    (r.Icc_baselines.Harness.blocks_committed > 10)
+
+let test_determinism () =
+  let a = Icc_baselines.Tendermint.run (base ()) in
+  let b = Icc_baselines.Tendermint.run (base ()) in
+  Alcotest.(check int) "same heights" a.Icc_baselines.Harness.blocks_committed
+    b.Icc_baselines.Harness.blocks_committed
+
+let suite =
+  [
+    Alcotest.test_case "happy path" `Quick test_happy_path;
+    Alcotest.test_case "not responsive" `Quick test_not_optimistically_responsive;
+    Alcotest.test_case "crashed proposer" `Quick test_crashed_proposer_rounds;
+    Alcotest.test_case "two crashes n=7" `Quick test_two_crashes_at_n7;
+    Alcotest.test_case "determinism" `Quick test_determinism;
+  ]

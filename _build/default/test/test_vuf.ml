@@ -1,0 +1,160 @@
+(* Threshold-VUF (random beacon scheme S_beacon) tests. *)
+
+let rng = Icc_sim.Rng.create 0xbeac
+let rand_bits () = Icc_sim.Rng.bits61 rng
+
+let take k l = List.filteri (fun i _ -> i < k) l
+
+let setup ?(t = 2) ?(n = 7) () =
+  Icc_crypto.Threshold_vuf.setup ~threshold_t:t ~n rand_bits
+
+let test_share_verify () =
+  let params, secrets = setup () in
+  let msg = "beacon round 1" in
+  List.iter
+    (fun sk ->
+      let share = Icc_crypto.Threshold_vuf.sign_share params sk msg in
+      Alcotest.(check bool) "share valid" true
+        (Icc_crypto.Threshold_vuf.verify_share params msg share))
+    secrets
+
+let test_share_wrong_message_rejected () =
+  let params, secrets = setup () in
+  let share =
+    Icc_crypto.Threshold_vuf.sign_share params (List.hd secrets) "m1"
+  in
+  Alcotest.(check bool) "wrong msg" false
+    (Icc_crypto.Threshold_vuf.verify_share params "m2" share)
+
+let test_combine_and_verify () =
+  let params, secrets = setup () in
+  let msg = "beacon" in
+  let shares =
+    List.map (fun sk -> Icc_crypto.Threshold_vuf.sign_share params sk msg) secrets
+  in
+  match Icc_crypto.Threshold_vuf.combine params msg (take 3 shares) with
+  | None -> Alcotest.fail "combine failed with t+1 shares"
+  | Some sig_ ->
+      Alcotest.(check bool) "verifies" true
+        (Icc_crypto.Threshold_vuf.verify params msg sig_)
+
+let test_uniqueness_across_subsets () =
+  (* Any (t+1)-subset of shares combines to the same sigma: the signature is
+     unique, the property the random beacon requires. *)
+  let params, secrets = setup ~t:2 ~n:8 () in
+  let msg = "unique" in
+  let shares =
+    Array.of_list
+      (List.map (fun sk -> Icc_crypto.Threshold_vuf.sign_share params sk msg) secrets)
+  in
+  let combine_subset idxs =
+    match
+      Icc_crypto.Threshold_vuf.combine params msg (List.map (fun i -> shares.(i)) idxs)
+    with
+    | Some s -> s.Icc_crypto.Threshold_vuf.sigma
+    | None -> Alcotest.fail "combine failed"
+  in
+  let reference = combine_subset [ 0; 1; 2 ] in
+  List.iter
+    (fun idxs ->
+      Alcotest.(check int) "same sigma" reference (combine_subset idxs))
+    [ [ 1; 2; 3 ]; [ 5; 6; 7 ]; [ 0; 4; 7 ]; [ 2; 3; 5 ] ]
+
+let test_too_few_shares () =
+  let params, secrets = setup () in
+  let msg = "m" in
+  let shares =
+    List.map (fun sk -> Icc_crypto.Threshold_vuf.sign_share params sk msg)
+      (take 2 secrets)
+  in
+  Alcotest.(check bool) "t shares insufficient" true
+    (Icc_crypto.Threshold_vuf.combine params msg shares = None)
+
+let test_invalid_shares_filtered () =
+  let params, secrets = setup () in
+  let msg = "m" in
+  let good =
+    List.map (fun sk -> Icc_crypto.Threshold_vuf.sign_share params sk msg)
+      (take 3 secrets)
+  in
+  let forged =
+    match good with
+    | s :: _ -> { s with Icc_crypto.Threshold_vuf.signer = 5 }
+    | [] -> assert false
+  in
+  (* 2 good + 1 forged: not enough after filtering *)
+  Alcotest.(check bool) "forged filtered" true
+    (Icc_crypto.Threshold_vuf.combine params msg (forged :: take 2 good) = None);
+  (* 3 good + 1 forged: still combines *)
+  Alcotest.(check bool) "good still combine" true
+    (Icc_crypto.Threshold_vuf.combine params msg (forged :: good) <> None)
+
+let test_tampered_signature_rejected () =
+  let params, secrets = setup () in
+  let msg = "m" in
+  let shares =
+    List.map (fun sk -> Icc_crypto.Threshold_vuf.sign_share params sk msg) secrets
+  in
+  match Icc_crypto.Threshold_vuf.combine params msg shares with
+  | None -> Alcotest.fail "combine"
+  | Some s ->
+      let bad =
+        {
+          s with
+          Icc_crypto.Threshold_vuf.sigma = Icc_crypto.Group.mul s.sigma 4;
+        }
+      in
+      Alcotest.(check bool) "tampered sigma" false
+        (Icc_crypto.Threshold_vuf.verify params msg bad)
+
+let test_randomness_deterministic () =
+  let params, secrets = setup () in
+  let msg = "m" in
+  let shares =
+    List.map (fun sk -> Icc_crypto.Threshold_vuf.sign_share params sk msg) secrets
+  in
+  match
+    ( Icc_crypto.Threshold_vuf.combine params msg (take 3 shares),
+      Icc_crypto.Threshold_vuf.combine params msg (List.rev shares) )
+  with
+  | Some a, Some b ->
+      Alcotest.(check string) "same randomness"
+        (Icc_crypto.Sha256.to_hex (Icc_crypto.Threshold_vuf.randomness msg a))
+        (Icc_crypto.Sha256.to_hex (Icc_crypto.Threshold_vuf.randomness msg b))
+  | _ -> Alcotest.fail "combine"
+
+let prop_any_threshold_subset_combines =
+  QCheck.Test.make ~name:"vuf any (t+1)-subset combines and verifies" ~count:25
+    (QCheck.int_range 1 3) (fun t ->
+      let n = (3 * t) + 1 in
+      let params, secrets =
+        Icc_crypto.Threshold_vuf.setup ~threshold_t:t ~n rand_bits
+      in
+      let msg = Printf.sprintf "msg-%d" t in
+      let shares =
+        Array.of_list
+          (List.map
+             (fun sk -> Icc_crypto.Threshold_vuf.sign_share params sk msg)
+             secrets)
+      in
+      Icc_sim.Rng.shuffle_in_place rng shares;
+      match
+        Icc_crypto.Threshold_vuf.combine params msg
+          (Array.to_list (Array.sub shares 0 (t + 1)))
+      with
+      | Some s -> Icc_crypto.Threshold_vuf.verify params msg s
+      | None -> false)
+
+let suite =
+  [
+    Alcotest.test_case "share verify" `Quick test_share_verify;
+    Alcotest.test_case "share wrong msg" `Quick test_share_wrong_message_rejected;
+    Alcotest.test_case "combine+verify" `Quick test_combine_and_verify;
+    Alcotest.test_case "uniqueness" `Quick test_uniqueness_across_subsets;
+    Alcotest.test_case "too few shares" `Quick test_too_few_shares;
+    Alcotest.test_case "invalid filtered" `Quick test_invalid_shares_filtered;
+    Alcotest.test_case "tampered rejected" `Quick test_tampered_signature_rejected;
+    Alcotest.test_case "randomness deterministic" `Quick
+      test_randomness_deterministic;
+    QCheck_alcotest.to_alcotest prop_any_threshold_subset_combines;
+  ]
