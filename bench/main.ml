@@ -170,6 +170,64 @@ let run_micro () =
   print_newline ()
 
 (* ----------------------------------------------------------------- *)
+(* Part 1b: per-round timeline, derived from the trace consumer       *)
+(* ----------------------------------------------------------------- *)
+
+(* For each protocol variant on one fixed scenario: the per-round pipeline
+   deltas (first round entry -> first proposal -> first notarization ->
+   first finalization) and the per-kind traffic breakdown.  Every number
+   comes out of the Metrics trace subscriber. *)
+let timeline_scenario ~seed =
+  {
+    (Icc_core.Runner.default_scenario ~n:7 ~seed) with
+    Icc_core.Runner.duration = 10.;
+    delay = Icc_core.Runner.Fixed_delay 0.05;
+  }
+
+let print_timeline label (metrics : Icc_sim.Metrics.t) =
+  Printf.printf "-- %s: per-round pipeline (first events, seconds) --\n" label;
+  Printf.printf "%5s %9s %10s %10s %10s %9s\n" "round" "entry" "+propose"
+    "+notarize" "+finalize" "total";
+  let dash w = String.make (w - 1) ' ' ^ "-" in
+  let abs = function
+    | Some a -> Printf.sprintf "%9.3f" a
+    | None -> dash 9
+  in
+  let delta w a b =
+    match (a, b) with
+    | Some a, Some b -> Printf.sprintf "%*.3f" w (b -. a)
+    | _ -> dash w
+  in
+  let rounds = Icc_sim.Metrics.max_round metrics in
+  let shown = min rounds 8 in
+  for round = 1 to shown do
+    let entry = Icc_sim.Metrics.round_entry_time metrics round in
+    let prop = Icc_sim.Metrics.proposal_time metrics round in
+    let notz = Icc_sim.Metrics.notarization_time metrics round in
+    let fin = Icc_sim.Metrics.finalization_time metrics round in
+    Printf.printf "%5d %s %s %s %s %s\n" round (abs entry)
+      (delta 10 entry prop) (delta 10 prop notz) (delta 10 notz fin)
+      (delta 9 entry fin)
+  done;
+  if rounds > shown then Printf.printf "  ... (%d rounds total)\n" rounds;
+  print_endline "   traffic by kind:";
+  List.iter
+    (fun (kind, msgs, bytes) ->
+      Printf.printf "     %-18s %7d msgs %10d bytes\n" kind msgs bytes)
+    (Icc_sim.Metrics.kinds metrics);
+  print_newline ()
+
+let run_timelines () =
+  print_endline
+    "== per-round timelines (ICC0 / ICC1 / ICC2, n=7, delta=50ms) ==";
+  let r0 = Icc_core.Runner.run (timeline_scenario ~seed:42) in
+  print_timeline "ICC0 (direct)" r0.Icc_core.Runner.metrics;
+  let r1 = Icc_gossip.Icc1.run (timeline_scenario ~seed:42) in
+  print_timeline "ICC1 (gossip)" r1.Icc_core.Runner.metrics;
+  let r2 = Icc_rbc.Icc2.run (timeline_scenario ~seed:42) in
+  print_timeline "ICC2 (erasure RBC)" r2.Icc_core.Runner.metrics
+
+(* ----------------------------------------------------------------- *)
 (* Part 2: exhibit regeneration                                       *)
 (* ----------------------------------------------------------------- *)
 
@@ -182,6 +240,7 @@ let () =
   Printf.printf "ICC reproduction benchmark harness%s\n\n"
     (if quick then " (quick mode)" else "");
   run_micro ();
+  run_timelines ();
   exhibit "E1" (fun () ->
       Icc_experiments.Table1.print (Icc_experiments.Table1.run ~quick ()));
   exhibit "E2" (fun () ->

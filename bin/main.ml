@@ -21,6 +21,31 @@ let behavior_conv =
       ("lazy", Icc_core.Party.lazy_participant);
     ]
 
+(* --trace FILE: subscribe a JSONL sink to a fresh trace bus and hand the
+   bus to the scenario; one JSON object per line, schema in DESIGN.md. *)
+let with_trace_file path f =
+  match path with
+  | None -> f None
+  | Some path ->
+      let oc =
+        try open_out path
+        with Sys_error msg ->
+          Printf.eprintf "icc: cannot open trace file: %s\n" msg;
+          exit 1
+      in
+      let trace = Icc_sim.Trace.create () in
+      Icc_sim.Trace.subscribe trace (fun ~time ev ->
+          output_string oc (Icc_sim.Trace.to_json ~time ev);
+          output_char oc '\n');
+      Fun.protect ~finally:(fun () -> close_out oc) (fun () -> f (Some trace))
+
+let trace_arg =
+  Cmdliner.Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:"Write a JSONL event log of the run to $(docv).")
+
 (* ------------------------------------------------------------------ run *)
 
 let run_cmd =
@@ -73,32 +98,36 @@ let run_cmd =
     Arg.(value & opt int 4 & info [ "fanout" ] ~doc:"Gossip fanout (icc1).")
   in
   let exec protocol n seed duration delta wan epsilon delta_bnd load block_size
-      corrupt async_until fanout =
-    let scenario =
-      {
-        (Icc_core.Runner.default_scenario ~n ~seed) with
-        Icc_core.Runner.duration;
-        delay =
-          (if wan then Icc_core.Runner.Wan { rtt_lo = 0.006; rtt_hi = 0.110 }
-           else Icc_core.Runner.Fixed_delay delta);
-        epsilon;
-        delta_bnd;
-        behaviors = corrupt;
-        async_until;
-        workload =
-          (match (block_size, load) with
-          | Some size, _ -> Icc_core.Runner.Fixed_block_size size
-          | None, Some rate ->
-              Icc_core.Runner.Load { rate_per_s = rate; cmd_size = 1024 }
-          | None, None -> Icc_core.Runner.No_load);
-      }
-    in
+      corrupt async_until fanout trace_file =
     let r =
-      match protocol with
-      | `Icc0 -> Icc_core.Runner.run scenario
-      | `Icc1 -> Icc_gossip.Icc1.run ~fanout scenario
-      | `Icc2 -> Icc_rbc.Icc2.run scenario
+      with_trace_file trace_file (fun trace ->
+          let scenario =
+            {
+              (Icc_core.Runner.default_scenario ~n ~seed) with
+              Icc_core.Runner.duration;
+              delay =
+                (if wan then
+                   Icc_core.Runner.Wan { rtt_lo = 0.006; rtt_hi = 0.110 }
+                 else Icc_core.Runner.Fixed_delay delta);
+              epsilon;
+              delta_bnd;
+              behaviors = corrupt;
+              async_until;
+              workload =
+                (match (block_size, load) with
+                | Some size, _ -> Icc_core.Runner.Fixed_block_size size
+                | None, Some rate ->
+                    Icc_core.Runner.Load { rate_per_s = rate; cmd_size = 1024 }
+                | None, None -> Icc_core.Runner.No_load);
+              trace;
+            }
+          in
+          match protocol with
+          | `Icc0 -> Icc_core.Runner.run scenario
+          | `Icc1 -> Icc_gossip.Icc1.run ~fanout scenario
+          | `Icc2 -> Icc_rbc.Icc2.run scenario)
     in
+    Option.iter (Printf.printf "trace written       %s\n") trace_file;
     Printf.printf "rounds decided      %d\n" r.Icc_core.Runner.rounds_decided;
     Printf.printf "directly finalized  %d\n"
       (List.length r.Icc_core.Runner.directly_finalized);
@@ -123,7 +152,8 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Run one ICC simulation.")
     Term.(
       const exec $ protocol $ n $ seed $ duration $ delta $ wan $ epsilon
-      $ delta_bnd $ load $ block_size $ corrupt $ async_until $ fanout)
+      $ delta_bnd $ load $ block_size $ corrupt $ async_until $ fanout
+      $ trace_arg)
 
 (* ------------------------------------------------------------ exhibits *)
 
@@ -190,21 +220,24 @@ let baselines_cmd =
   let crashed =
     Arg.(value & opt_all int [] & info [ "crash" ] ~doc:"Crashed replica id.")
   in
-  let exec proto n duration delta crashed =
-    let scenario =
-      {
-        (Icc_baselines.Harness.default_scenario ~n ~seed:42) with
-        Icc_baselines.Harness.duration;
-        delay = Icc_core.Runner.Fixed_delay delta;
-        crashed;
-      }
-    in
+  let exec proto n duration delta crashed trace_file =
     let r =
-      match proto with
-      | `Pbft -> Icc_baselines.Pbft.run scenario
-      | `Hotstuff -> Icc_baselines.Hotstuff.run scenario
-      | `Tendermint -> Icc_baselines.Tendermint.run scenario
+      with_trace_file trace_file (fun trace ->
+          let scenario =
+            {
+              (Icc_baselines.Harness.default_scenario ~n ~seed:42) with
+              Icc_baselines.Harness.duration;
+              delay = Icc_core.Runner.Fixed_delay delta;
+              crashed;
+              trace;
+            }
+          in
+          match proto with
+          | `Pbft -> Icc_baselines.Pbft.run scenario
+          | `Hotstuff -> Icc_baselines.Hotstuff.run scenario
+          | `Tendermint -> Icc_baselines.Tendermint.run scenario)
     in
+    Option.iter (Printf.printf "trace written     %s\n") trace_file;
     Printf.printf "blocks committed  %d (%.2f/s)\n"
       r.Icc_baselines.Harness.blocks_committed
       r.Icc_baselines.Harness.blocks_per_s;
@@ -213,7 +246,7 @@ let baselines_cmd =
   in
   Cmd.v
     (Cmd.info "baselines" ~doc:"Run a baseline protocol (PBFT / HotStuff / Tendermint).")
-    Term.(const exec $ proto $ n $ duration $ delta $ crashed)
+    Term.(const exec $ proto $ n $ duration $ delta $ crashed $ trace_arg)
 
 (* ---------------------------------------------------------------- keys *)
 

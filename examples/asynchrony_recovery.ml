@@ -35,7 +35,7 @@ let () =
   (* commit timeline: finalizations cluster right after synchrony returns *)
   let times =
     List.sort compare
-      (List.map snd interrupted.metrics.Icc_sim.Metrics.finalization_times)
+      (List.map snd (Icc_sim.Metrics.finalizations interrupted.metrics))
   in
   let in_window lo hi = List.length (List.filter (fun t -> t >= lo && t < hi) times) in
   print_endline "\nfinalizations per 5-second window:";

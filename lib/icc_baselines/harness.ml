@@ -13,6 +13,7 @@ type scenario = {
   kill_at : (int * float) list;
   timeout : float; (* view-change / pacemaker timeout *)
   pipeline_window : int; (* PBFT: batches in flight *)
+  trace : Icc_sim.Trace.t option; (* observe the run; None = untraced *)
 }
 
 let default_scenario ~n ~seed =
@@ -27,6 +28,7 @@ let default_scenario ~n ~seed =
     kill_at = [];
     timeout = 1.0;
     pipeline_window = 1;
+    trace = None;
   }
 
 type result = {
@@ -68,15 +70,17 @@ let prefix_consistent outputs =
    every honest replica has executed it. *)
 type tracker = {
   n_honest : int;
+  trace : Icc_sim.Trace.t;
   counts : (string, int) Hashtbl.t;
   mutable decided : int;
   mutable latencies : float list;
   propose_times : (string, float) Hashtbl.t;
 }
 
-let tracker ~n_honest =
+let tracker ~n_honest ~trace =
   {
     n_honest;
+    trace;
     counts = Hashtbl.create 256;
     decided = 0;
     latencies = [];
@@ -92,6 +96,8 @@ let note_execution tr ~digest ~time =
   Hashtbl.replace tr.counts digest c;
   if c = tr.n_honest then begin
     tr.decided <- tr.decided + 1;
+    Icc_sim.Trace.emit tr.trace ~time
+      (Icc_sim.Trace.Block_decided { round = tr.decided });
     match Hashtbl.find_opt tr.propose_times digest with
     | Some t0 -> tr.latencies <- (time -. t0) :: tr.latencies
     | None -> ()

@@ -13,6 +13,7 @@ type scenario = {
   kill_at : (int * float) list;
   timeout : float;  (** View-change / pacemaker timeout. *)
   pipeline_window : int;  (** PBFT: batches in flight. *)
+  trace : Icc_sim.Trace.t option;  (** Observe the run; [None] = untraced. *)
 }
 
 val default_scenario : n:int -> seed:int -> scenario
@@ -38,12 +39,13 @@ val prefix_consistent : (int * string list) list -> bool
     every honest replica has executed it. *)
 type tracker = {
   n_honest : int;
+  trace : Icc_sim.Trace.t;
   counts : (string, int) Hashtbl.t;
   mutable decided : int;
   mutable latencies : float list;
   propose_times : (string, float) Hashtbl.t;
 }
 
-val tracker : n_honest:int -> tracker
+val tracker : n_honest:int -> trace:Icc_sim.Trace.t -> tracker
 val note_proposal : tracker -> digest:string -> time:float -> unit
 val note_execution : tracker -> digest:string -> time:float -> unit

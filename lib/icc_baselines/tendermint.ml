@@ -222,18 +222,22 @@ let run (scenario : Harness.scenario) : Harness.result =
     Array.init n (fun _ -> Icc_crypto.Schnorr.keygen (fun () -> Icc_sim.Rng.bits61 key_rng))
   in
   let auth_pub = Array.map snd keys in
-  let engine = Icc_sim.Engine.create () in
-  let metrics = Icc_sim.Metrics.create n in
+  let env = Icc_sim.Transport.env ?trace:scenario.Harness.trace ~n () in
+  let engine = env.Icc_sim.Transport.engine in
+  let metrics = env.Icc_sim.Transport.metrics in
+  let trace = env.Icc_sim.Transport.trace in
+  Icc_sim.Trace.emit trace ~time:0.
+    (Icc_sim.Trace.Run_start { n; label = "tendermint" });
   let net =
-    Icc_sim.Network.create engine ~n ~metrics
-      ~delay_model:(Harness.delay_model net_rng scenario.Harness.delay ~n)
+    Icc_sim.Transport.network_of env
+      ~delay_model:(Harness.delay_model net_rng scenario.Harness.delay ~n) ()
   in
   let honest =
     List.init n (fun i -> i + 1)
     |> List.filter (fun id -> not (List.mem id scenario.Harness.crashed))
     |> List.filter (fun id -> not (List.mem_assoc id scenario.Harness.kill_at))
   in
-  let tracker = Harness.tracker ~n_honest:(List.length honest) in
+  let tracker = Harness.tracker ~n_honest:(List.length honest) ~trace in
   let replicas =
     Array.init n (fun i ->
         {
@@ -266,6 +270,8 @@ let run (scenario : Harness.scenario) : Harness.result =
   Array.iter (fun r -> start_round t r ~h:1 ~round:0) replicas;
   Icc_sim.Engine.run ~until:scenario.Harness.duration engine;
   let elapsed = Icc_sim.Engine.now engine in
+  Icc_sim.Trace.emit trace ~time:elapsed
+    (Icc_sim.Trace.Run_end { label = "tendermint" });
   let outputs =
     List.map (fun id -> (id, List.rev replicas.(id - 1).decided)) honest
   in

@@ -60,7 +60,10 @@ type env = {
          broadcast (ICC2) *)
   send_unicast : src:int -> dst:int -> Message.t -> unit;
       (* used only by Byzantine behaviours for split delivery *)
-  metrics : Icc_sim.Metrics.t;
+  trace : Icc_sim.Trace.t;
+      (* protocol milestones (round entry, proposal, notarization,
+         finalization, beacon) are announced here; the run's metrics are a
+         subscriber *)
   get_payload :
     pool:Pool.t -> parent:Block.t option -> round:int -> proposer:int ->
     Types.payload;
@@ -156,9 +159,13 @@ let sign_finalization_share p ~(block : Block.t) =
           p.keys.Icc_crypto.Keygen.final_key text;
     }
 
+let emit p ev =
+  Icc_sim.Trace.emit p.env.trace ~time:(Icc_sim.Engine.now p.env.engine) ev
+
 let broadcast_beacon_share p ~round =
   match Beacon.my_share p.beacon round with
   | Some share ->
+      emit p (Icc_sim.Trace.Beacon_share { party = p.id; round });
       broadcast p (Message.Beacon_share { b_round = round; b_signer = p.id; b_share = share })
   | None -> ()
 
@@ -265,7 +272,7 @@ and try_start_round p =
     p.proposed <- false;
     p.round_done <- false;
     p.scheduled_ntry <- [];
-    Icc_sim.Metrics.record_round_entry p.env.metrics ~round:p.round ~time:p.t0;
+    emit p (Icc_sim.Trace.Round_entry { party = p.id; round = p.round });
     broadcast_beacon_share p ~round:(p.round + 1);
     (* Timer for our own proposal delay. *)
     (if not (p.behavior.never_propose || p.behavior.equivocate) then
@@ -317,6 +324,7 @@ and condition_a p =
                 ignore (Pool.add_notarization p.pool cert);
                 (b, cert))
       in
+      emit p (Icc_sim.Trace.Notarize { party = p.id; round = p.round });
       broadcast p (Message.Notarization cert);
       p.round_done <- true;
       p.rounds_finished <- p.rounds_finished + 1;
@@ -364,7 +372,7 @@ and condition_b p =
       Icc_crypto.Schnorr.sign p.keys.Icc_crypto.Keygen.auth
         (Types.authenticator_text ~round:p.round ~proposer:p.id ~block_hash)
     in
-    Icc_sim.Metrics.record_proposal p.env.metrics ~round:p.round ~time:(now p);
+    emit p (Icc_sim.Trace.Propose { party = p.id; round = p.round });
     broadcast p (proposal_bundle p block ~authenticator);
     p.proposed <- true;
     true
@@ -457,6 +465,8 @@ and finalization_pass p =
                 ignore (Pool.add_finalization p.pool cert);
                 (b, cert))
       in
+      emit p
+        (Icc_sim.Trace.Finalize { party = p.id; round = block.Block.round });
       broadcast p (Message.Finalization cert);
       let segment = Chain.segment p.pool block ~from_round:p.kmax in
       List.iter
@@ -521,7 +531,7 @@ and equivocating_propose p =
           proposal_bundle p block ~authenticator
         in
         let bundle_a = make 1 and bundle_b = make 2 in
-        Icc_sim.Metrics.record_proposal p.env.metrics ~round:p.round ~time:(now p);
+        emit p (Icc_sim.Trace.Propose { party = p.id; round = p.round });
         let n = p.env.config.Config.n in
         for dst = 1 to n do
           unicast p ~dst (if dst <= n / 2 then bundle_a else bundle_b)

@@ -43,7 +43,10 @@ type env = {
   engine : Icc_sim.Engine.t;
   send_broadcast : src:int -> Message.t -> unit;
   send_unicast : src:int -> dst:int -> Message.t -> unit;
-  metrics : Icc_sim.Metrics.t;
+  trace : Icc_sim.Trace.t;
+      (** Protocol milestones (round entry, proposal, notarization,
+          finalization, beacon shares) are announced here; the run's
+          metrics consume them as a subscriber. *)
   get_payload :
     pool:Pool.t -> parent:Block.t option -> round:int -> proposer:int ->
     Types.payload;

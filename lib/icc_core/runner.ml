@@ -11,7 +11,7 @@ type delay_spec =
    ICC1 (icc_gossip) and ICC2 (icc_rbc) plug in their sub-layers here. *)
 type transport_ctx = {
   tr_engine : Icc_sim.Engine.t;
-  tr_metrics : Icc_sim.Metrics.t;
+  tr_trace : Icc_sim.Trace.t;
   tr_n : int;
   tr_t : int;
   tr_rng : Icc_sim.Rng.t;
@@ -59,6 +59,7 @@ type scenario = {
   transport : transport option; (* None = ICC0 direct broadcast *)
   adaptive : bool; (* adaptive delay-bound estimation (paper §1) *)
   prune_depth : int option; (* pool garbage collection below kmax *)
+  trace : Icc_sim.Trace.t option; (* observe the run on an external bus *)
 }
 
 let default_scenario ~n ~seed =
@@ -79,17 +80,17 @@ let default_scenario ~n ~seed =
     transport = None;
     adaptive = false;
     prune_depth = None;
+    trace = None;
   }
 
 (* ICC0's transport: one broadcast network, messages accounted at their
    modeled wire sizes. *)
 let direct_transport ctx =
   let net =
-    Icc_sim.Network.create ctx.tr_engine ~n:ctx.tr_n ~metrics:ctx.tr_metrics
-      ~delay_model:ctx.tr_delay_model
+    Icc_sim.Transport.network ~engine:ctx.tr_engine ~n:ctx.tr_n
+      ~trace:ctx.tr_trace ~delay_model:ctx.tr_delay_model
+      ~async_until:ctx.tr_async_until ()
   in
-  if ctx.tr_async_until > 0. then
-    Icc_sim.Network.hold_all_until net ctx.tr_async_until;
   Icc_sim.Network.set_handler net (fun ~dst ~src:_ msg -> ctx.tr_deliver ~dst msg);
   {
     tx_broadcast =
@@ -171,8 +172,15 @@ let run scenario =
       Config.recommended ~delta_bnd:scenario.delta_bnd ~epsilon:scenario.epsilon
         ~adaptive:scenario.adaptive ?prune_depth:scenario.prune_depth ~n ~t ()
   in
-  let engine = Icc_sim.Engine.create () in
-  let metrics = Icc_sim.Metrics.create n in
+  let tenv = Icc_sim.Transport.env ?trace:scenario.trace ~n () in
+  let engine = tenv.Icc_sim.Transport.engine in
+  let metrics = tenv.Icc_sim.Transport.metrics in
+  let trace = tenv.Icc_sim.Transport.trace in
+  let run_label =
+    match scenario.transport with None -> "icc0" | Some _ -> "icc"
+  in
+  Icc_sim.Trace.emit trace ~time:0.
+    (Icc_sim.Trace.Run_start { n; label = run_label });
   let delay_model : Icc_sim.Network.delay_model =
     match scenario.delay with
     | Fixed_delay d -> Fixed d
@@ -252,10 +260,11 @@ let run scenario =
       Hashtbl.replace commit_count key c;
       if c = n_honest then begin
         let nowt = Icc_sim.Engine.now engine in
-        Icc_sim.Metrics.record_finalization metrics ~round:b.Block.round ~time:nowt;
-        (match List.assoc_opt b.Block.round metrics.Icc_sim.Metrics.proposal_times with
-        | Some t0 -> Icc_sim.Metrics.record_latency metrics (nowt -. t0)
-        | None -> ());
+        (* The metrics sink records the finalization and, when the round's
+           proposal time is known, the propose -> all-honest-commit
+           latency. *)
+        Icc_sim.Trace.emit trace ~time:nowt
+          (Icc_sim.Trace.Block_decided { round = b.Block.round });
         List.iter
           (fun c ->
             incr committed_cmds;
@@ -293,7 +302,7 @@ let run scenario =
   let ctx =
     {
       tr_engine = engine;
-      tr_metrics = metrics;
+      tr_trace = trace;
       tr_n = n;
       tr_t = t;
       tr_rng = Icc_sim.Rng.split rng;
@@ -320,7 +329,7 @@ let run scenario =
       engine;
       send_broadcast = impl.tx_broadcast;
       send_unicast = impl.tx_unicast;
-      metrics;
+      trace;
       get_payload;
       on_output;
     }
@@ -342,6 +351,8 @@ let run scenario =
   Icc_sim.Engine.run ~until:scenario.duration engine;
 
   let elapsed = Icc_sim.Engine.now engine in
+  Icc_sim.Trace.emit trace ~time:elapsed
+    (Icc_sim.Trace.Run_end { label = run_label });
   let outputs =
     List.map (fun id -> (id, Party.output_chain parties.(id - 1))) honest_ids
   in

@@ -18,7 +18,9 @@ type delay_spec =
 
 type transport_ctx = {
   tr_engine : Icc_sim.Engine.t;
-  tr_metrics : Icc_sim.Metrics.t;
+  tr_trace : Icc_sim.Trace.t;
+      (** The run's trace bus; the transport's network must emit on it so
+          the run's metrics see the traffic. *)
   tr_n : int;
   tr_t : int;
   tr_rng : Icc_sim.Rng.t;
@@ -72,6 +74,9 @@ type scenario = {
   transport : transport option;
   adaptive : bool;  (** Adaptive delay-bound estimation (paper §1). *)
   prune_depth : int option;  (** Pool garbage collection below kmax. *)
+  trace : Icc_sim.Trace.t option;
+      (** Observe the run on an external trace bus (e.g. the [--trace]
+          JSONL dump); [None] runs on a private bus feeding only metrics. *)
 }
 
 val default_scenario : n:int -> seed:int -> scenario

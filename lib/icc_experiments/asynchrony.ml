@@ -37,7 +37,9 @@ let run ?(quick = false) () =
         t_corrupt = 2;
       }
   in
-  let times = List.map snd r.Icc_core.Runner.metrics.Icc_sim.Metrics.finalization_times in
+  let times =
+    List.map snd (Icc_sim.Metrics.finalizations r.Icc_core.Runner.metrics)
+  in
   let w = duration /. 12. in
   let rows =
     List.init 12 (fun i ->

@@ -39,7 +39,7 @@ let run ?(quick = false) () =
       }
   in
   let before, after =
-    split_rate icc.Icc_core.Runner.metrics.Icc_sim.Metrics.finalization_times
+    split_rate (Icc_sim.Metrics.finalizations icc.Icc_core.Runner.metrics)
       ~mid ~duration:icc.Icc_core.Runner.duration
   in
   [

@@ -27,6 +27,8 @@ let header_wire_size = 16
 type t = {
   n : int;
   fanout : int;
+  engine : Icc_sim.Engine.t;
+  trace : Icc_sim.Trace.t;
   net : wire Icc_sim.Network.t;
   peers : int list array; (* 1-based; peers.(0) unused *)
   known : (int * artifact_id, unit) Hashtbl.t;
@@ -100,12 +102,20 @@ let send t ~src ~dst w =
 let mark_known t party id = Hashtbl.replace t.known (party, id) ()
 let knows t party id = Hashtbl.mem t.known (party, id)
 
+(* Gossip-layer events carry the artifact id; they are detail-level, so an
+   unobserved run never reaches the emit. *)
+let emit_detail t ev =
+  if Icc_sim.Trace.detailed t.trace then
+    Icc_sim.Trace.emit t.trace ~time:(Icc_sim.Engine.now t.engine) (ev ())
+
 (* First acquisition of an artifact at [party]: hand it to the protocol
    layer and propagate. *)
 let acquire t ~party ~from_peer id msg =
   if not (knows t party id) then begin
     mark_known t party id;
     Hashtbl.replace t.store (party, id) msg;
+    emit_detail t (fun () ->
+        Icc_sim.Trace.Gossip_acquire { party; peer = from_peer; artifact = id });
     t.deliver_up ~dst:party msg;
     if t.is_active party then
       List.iter
@@ -123,6 +133,8 @@ let on_wire t ~dst ~src w =
         if (not (knows t dst id)) && not (Hashtbl.mem t.requested (dst, id))
         then begin
           Hashtbl.replace t.requested (dst, id) ();
+          emit_detail t (fun () ->
+              Icc_sim.Trace.Gossip_request { party = dst; peer = src; artifact = id });
           send t ~src:dst ~dst:src (Request { id })
         end
     | Request { id } -> (
@@ -132,12 +144,17 @@ let on_wire t ~dst ~src w =
     | Deliver { id; msg } | Push { id; msg } ->
         acquire t ~party:dst ~from_peer:src id msg
 
-let create ~engine ~metrics ~n ~rng ~delay_model ~fanout ~is_active ~deliver_up =
-  let net = Icc_sim.Network.create engine ~n ~metrics ~delay_model in
+let create ~engine ~trace ~n ~rng ~delay_model ?(async_until = 0.) ~fanout
+    ~is_active ~deliver_up () =
+  let net =
+    Icc_sim.Transport.network ~engine ~n ~trace ~delay_model ~async_until ()
+  in
   let t =
     {
       n;
       fanout;
+      engine;
+      trace;
       net;
       peers = build_peer_graph rng ~n ~fanout;
       known = Hashtbl.create 1024;
@@ -150,8 +167,6 @@ let create ~engine ~metrics ~n ~rng ~delay_model ~fanout ~is_active ~deliver_up 
   Icc_sim.Network.set_handler net (fun ~dst ~src w -> on_wire t ~dst ~src w);
   t
 
-let hold_all_until t time = Icc_sim.Network.hold_all_until t.net time
-
 (* The protocol's "broadcast": publish into the gossip network.  The
    publisher delivers to itself immediately (its pool holds its own
    messages). *)
@@ -160,6 +175,8 @@ let publish t ~src msg =
   if not (knows t src id) then begin
     mark_known t src id;
     Hashtbl.replace t.store (src, id) msg;
+    emit_detail t (fun () ->
+        Icc_sim.Trace.Gossip_publish { party = src; artifact = id });
     t.deliver_up ~dst:src msg;
     List.iter
       (fun peer ->

@@ -25,17 +25,20 @@ val artifact_id_of : Icc_core.Message.t -> artifact_id
 
 val create :
   engine:Icc_sim.Engine.t ->
-  metrics:Icc_sim.Metrics.t ->
+  trace:Icc_sim.Trace.t ->
   n:int ->
   rng:Icc_sim.Rng.t ->
   delay_model:Icc_sim.Network.delay_model ->
+  ?async_until:float ->
   fanout:int ->
   is_active:(int -> bool) ->
   deliver_up:(dst:int -> Icc_core.Message.t -> unit) ->
+  unit ->
   t
-
-val hold_all_until : t -> float -> unit
-(** Adversarial asynchrony on the underlying network. *)
+(** The underlying network announces every wire message on [trace];
+    gossip-layer publish/request/acquire events (with artifact ids) are
+    emitted when a detail subscriber is present.  [async_until > 0] holds
+    all traffic until that simulated time. *)
 
 val publish : t -> src:int -> Icc_core.Message.t -> unit
 (** The protocol's "broadcast": inject an artifact at [src].  The publisher

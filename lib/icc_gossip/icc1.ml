@@ -12,14 +12,13 @@ let transport ?(fanout = default_fanout) () : Icc_core.Runner.transport =
  fun ctx ->
   let gossip =
     Gossip.create ~engine:ctx.Icc_core.Runner.tr_engine
-      ~metrics:ctx.Icc_core.Runner.tr_metrics ~n:ctx.Icc_core.Runner.tr_n
+      ~trace:ctx.Icc_core.Runner.tr_trace ~n:ctx.Icc_core.Runner.tr_n
       ~rng:ctx.Icc_core.Runner.tr_rng
-      ~delay_model:ctx.Icc_core.Runner.tr_delay_model ~fanout
+      ~delay_model:ctx.Icc_core.Runner.tr_delay_model
+      ~async_until:ctx.Icc_core.Runner.tr_async_until ~fanout
       ~is_active:ctx.Icc_core.Runner.tr_is_active
-      ~deliver_up:ctx.Icc_core.Runner.tr_deliver
+      ~deliver_up:ctx.Icc_core.Runner.tr_deliver ()
   in
-  if ctx.Icc_core.Runner.tr_async_until > 0. then
-    Gossip.hold_all_until gossip ctx.Icc_core.Runner.tr_async_until;
   {
     Icc_core.Runner.tx_broadcast = (fun ~src msg -> Gossip.publish gossip ~src msg);
     tx_unicast = (fun ~src ~dst msg -> Gossip.inject gossip ~src ~dst msg);

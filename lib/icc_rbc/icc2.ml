@@ -10,7 +10,7 @@ let transport () : Icc_core.Runner.transport =
  fun ctx ->
   let rbc =
     Rbc.create ~engine:ctx.Icc_core.Runner.tr_engine
-      ~metrics:ctx.Icc_core.Runner.tr_metrics ~n:ctx.Icc_core.Runner.tr_n
+      ~trace:ctx.Icc_core.Runner.tr_trace ~n:ctx.Icc_core.Runner.tr_n
       ~t:ctx.Icc_core.Runner.tr_t
       ~delay_model:ctx.Icc_core.Runner.tr_delay_model
       ~async_until:ctx.Icc_core.Runner.tr_async_until

@@ -57,6 +57,8 @@ type t = {
   k : int; (* t + 1 data fragments *)
   system : Icc_crypto.Keygen.system;
   keys : Icc_crypto.Keygen.party_keys array;
+  engine : Icc_sim.Engine.t;
+  trace : Icc_sim.Trace.t;
   net : wire Icc_sim.Network.t;
   instances : (int * instance_key, instance) Hashtbl.t; (* keyed by party *)
   echo_budget : (int * int * int, int) Hashtbl.t;
@@ -89,6 +91,12 @@ let wire_size t = function
 let wire_kind = function
   | Core m -> Icc_core.Message.kind m
   | Frag _ -> "rbc-fragment"
+
+(* RBC-layer events are detail-level: constructed only when a full trace
+   subscriber is present. *)
+let emit_detail t ev =
+  if Icc_sim.Trace.detailed t.trace then
+    Icc_sim.Trace.emit t.trace ~time:(Icc_sim.Engine.now t.engine) (ev ())
 
 let send t ~src ~dst w =
   Icc_sim.Network.unicast t.net ~src ~dst ~size:(wire_size t w)
@@ -183,13 +191,25 @@ let try_reconstruct t ~party key (inst : instance) (f : frag) =
           Icc_crypto.Merkle.root_of_leaves
             (Array.to_list coded.Icc_erasure.Reed_solomon.fragments)
         in
-        if not (Icc_crypto.Sha256.equal root' f.f_root) then inst.bad <- true
+        if not (Icc_crypto.Sha256.equal root' f.f_root) then begin
+          inst.bad <- true;
+          emit_detail t (fun () ->
+              Icc_sim.Trace.Rbc_inconsistent
+                { party; round = f.f_round; proposer = f.f_proposer })
+        end
         else
           match deserialize data with
-          | None -> inst.bad <- true
+          | None ->
+              inst.bad <- true;
+              emit_detail t (fun () ->
+                  Icc_sim.Trace.Rbc_inconsistent
+                    { party; round = f.f_round; proposer = f.f_proposer })
           | Some msg ->
               inst.delivered <- true;
               ignore key;
+              emit_detail t (fun () ->
+                  Icc_sim.Trace.Rbc_reconstruct
+                    { party; round = f.f_round; proposer = f.f_proposer });
               (match msg with
               | Icc_core.Message.Proposal p ->
                   Hashtbl.replace t.rbc_delivered
@@ -210,6 +230,14 @@ let on_frag t ~dst (f : frag) =
     let inst = instance_of t ~party:dst key in
     if not (List.mem_assoc f.f_index inst.fragments) then begin
       inst.fragments <- (f.f_index, f.f_bytes) :: inst.fragments;
+      emit_detail t (fun () ->
+          Icc_sim.Trace.Rbc_fragment
+            {
+              party = dst;
+              round = f.f_round;
+              proposer = f.f_proposer;
+              index = f.f_index;
+            });
       (* Echo step: forward our own fragment once, within the per-proposer
          budget of two instances. *)
       if f.f_index = dst - 1 && not inst.echoed then begin
@@ -218,6 +246,9 @@ let on_frag t ~dst (f : frag) =
         if used < 2 then begin
           Hashtbl.replace t.echo_budget bkey (used + 1);
           inst.echoed <- true;
+          emit_detail t (fun () ->
+              Icc_sim.Trace.Rbc_echo
+                { party = dst; round = f.f_round; proposer = f.f_proposer });
           broadcast_wire t ~src:dst (Frag f)
         end
       end;
@@ -225,16 +256,19 @@ let on_frag t ~dst (f : frag) =
     end
   end
 
-let create ~engine ~metrics ~n ~t:t_corrupt ~delay_model ~async_until
+let create ~engine ~trace ~n ~t:t_corrupt ~delay_model ~async_until
     ~is_active ~deliver_up ~system ~keys =
-  let net = Icc_sim.Network.create engine ~n ~metrics ~delay_model in
-  if async_until > 0. then Icc_sim.Network.hold_all_until net async_until;
+  let net =
+    Icc_sim.Transport.network ~engine ~n ~trace ~delay_model ~async_until ()
+  in
   let t =
     {
       n;
       k = t_corrupt + 1;
       system;
       keys;
+      engine;
+      trace;
       net;
       instances = Hashtbl.create 256;
       echo_budget = Hashtbl.create 256;

@@ -32,7 +32,7 @@ val deserialize : string -> Icc_core.Message.t option
 
 val create :
   engine:Icc_sim.Engine.t ->
-  metrics:Icc_sim.Metrics.t ->
+  trace:Icc_sim.Trace.t ->
   n:int ->
   t:int ->
   delay_model:Icc_sim.Network.delay_model ->

@@ -7,9 +7,14 @@ type t = {
   queue : (unit -> unit) Heap.t;
   mutable seq : int;
   mutable processed : int;
+  mutable observer : (time:float -> seq:int -> unit) option;
+      (* instrumentation hook, called before each dispatched handler *)
 }
 
-let create () = { now = 0.; queue = Heap.create (); seq = 0; processed = 0 }
+let create () =
+  { now = 0.; queue = Heap.create (); seq = 0; processed = 0; observer = None }
+
+let set_observer t f = t.observer <- Some f
 
 let now t = t.now
 let pending t = Heap.length t.queue
@@ -48,6 +53,9 @@ let run ?(until = infinity) ?(max_events = max_int) t =
             | Some e ->
                 t.now <- e.time;
                 t.processed <- t.processed + 1;
+                (match t.observer with
+                | Some f -> f ~time:e.time ~seq:e.seq
+                | None -> ());
                 e.payload ())
     done
   with Stopped -> ()

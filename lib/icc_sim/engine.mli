@@ -15,6 +15,11 @@ val schedule : t -> delay:float -> (unit -> unit) -> unit
 val stop : t -> 'a
 (** Abort the run from inside a handler. *)
 
+val set_observer : t -> (time:float -> seq:int -> unit) -> unit
+(** Instrumentation hook called before each dispatched handler with the
+    dispatch time and the event's insertion sequence number.  The observer
+    must not mutate simulation state. *)
+
 val run : ?until:float -> ?max_events:int -> t -> unit
 (** Process events in [(time, insertion)] order until the queue drains, the
     clock would pass [until] (the clock is then set to [until]), or

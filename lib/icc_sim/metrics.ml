@@ -1,18 +1,26 @@
-(* Per-party traffic and protocol metrics for one simulation run.
+(* Per-party traffic and protocol metrics for one simulation run,
+   maintained incrementally from the {!Trace} bus (see [attach]).
 
-   Traffic is accounted at modeled wire sizes (see DESIGN.md): callers pass
-   the byte size of each message explicitly. *)
+   Traffic is accounted at modeled wire sizes (see DESIGN.md): the network
+   layer carries the byte size of each message on its [Net_send] events.
+   Per-round milestone tables (entry / proposal / notarization /
+   finalization) are Hashtbl-backed, so recording is O(1) per event rather
+   than a scan over all rounds seen so far. *)
 
 type t = {
   n : int;
   msgs_sent : int array; (* per party, network messages (unicast count) *)
   bytes_sent : int array;
   msgs_by_kind : (string, int) Hashtbl.t;
+  bytes_by_kind : (string, int) Hashtbl.t;
   mutable finalized_blocks : int;
-  mutable finalization_times : (int * float) list; (* round, time *)
-  mutable proposal_times : (int * float) list; (* round, first proposal time *)
+  mutable finalization_log : (int * float) list; (* (round, time), newest first *)
+  finalization_by_round : (int, float) Hashtbl.t; (* first decision per round *)
+  proposal_by_round : (int, float) Hashtbl.t; (* first proposal per round *)
+  notarization_by_round : (int, float) Hashtbl.t; (* first notarization *)
+  round_entry_by_round : (int, float) Hashtbl.t; (* first party entry *)
   mutable latencies : float list; (* propose -> finalize, per finalized block *)
-  mutable round_entry_times : (int * float) list; (* round, first party entry *)
+  mutable max_round : int; (* highest round seen in any milestone *)
 }
 
 let create n =
@@ -21,34 +29,72 @@ let create n =
     msgs_sent = Array.make (n + 1) 0;
     bytes_sent = Array.make (n + 1) 0;
     msgs_by_kind = Hashtbl.create 16;
+    bytes_by_kind = Hashtbl.create 16;
     finalized_blocks = 0;
-    finalization_times = [];
-    proposal_times = [];
+    finalization_log = [];
+    finalization_by_round = Hashtbl.create 64;
+    proposal_by_round = Hashtbl.create 64;
+    notarization_by_round = Hashtbl.create 64;
+    round_entry_by_round = Hashtbl.create 64;
     latencies = [];
-    round_entry_times = [];
+    max_round = 0;
   }
+
+let n t = t.n
+
+(* --- recording --------------------------------------------------------- *)
+
+let bump tbl key v =
+  let cur = Option.value ~default:0 (Hashtbl.find_opt tbl key) in
+  Hashtbl.replace tbl key (cur + v)
 
 let record_send t ~src ~size ~kind ~copies =
   if src >= 1 && src <= t.n then begin
     t.msgs_sent.(src) <- t.msgs_sent.(src) + copies;
     t.bytes_sent.(src) <- t.bytes_sent.(src) + (size * copies)
   end;
-  let cur = Option.value ~default:0 (Hashtbl.find_opt t.msgs_by_kind kind) in
-  Hashtbl.replace t.msgs_by_kind kind (cur + copies)
+  bump t.msgs_by_kind kind copies;
+  bump t.bytes_by_kind kind (size * copies)
+
+let seen_round t round = if round > t.max_round then t.max_round <- round
+
+(* First-event-wins per round: O(1) membership via the Hashtbl, replacing
+   the old List.mem_assoc scan over every round recorded so far. *)
+let record_first tbl t ~round ~time =
+  if not (Hashtbl.mem tbl round) then begin
+    Hashtbl.add tbl round time;
+    seen_round t round
+  end
+
+let record_proposal t ~round ~time = record_first t.proposal_by_round t ~round ~time
+let record_round_entry t ~round ~time = record_first t.round_entry_by_round t ~round ~time
+let record_notarization t ~round ~time = record_first t.notarization_by_round t ~round ~time
 
 let record_finalization t ~round ~time =
   t.finalized_blocks <- t.finalized_blocks + 1;
-  t.finalization_times <- (round, time) :: t.finalization_times
-
-let record_proposal t ~round ~time =
-  if not (List.mem_assoc round t.proposal_times) then
-    t.proposal_times <- (round, time) :: t.proposal_times
+  t.finalization_log <- (round, time) :: t.finalization_log;
+  record_first t.finalization_by_round t ~round ~time
 
 let record_latency t dt = t.latencies <- dt :: t.latencies
 
-let record_round_entry t ~round ~time =
-  if not (List.mem_assoc round t.round_entry_times) then
-    t.round_entry_times <- (round, time) :: t.round_entry_times
+(* --- the trace-bus consumer -------------------------------------------- *)
+
+let attach t trace =
+  Trace.subscribe ~all:false trace (fun ~time ev ->
+      match ev with
+      | Trace.Net_send { src; kind; size; copies; _ } ->
+          record_send t ~src ~size ~kind ~copies
+      | Trace.Round_entry { round; _ } -> record_round_entry t ~round ~time
+      | Trace.Propose { round; _ } -> record_proposal t ~round ~time
+      | Trace.Notarize { round; _ } -> record_notarization t ~round ~time
+      | Trace.Block_decided { round } -> (
+          record_finalization t ~round ~time;
+          match Hashtbl.find_opt t.proposal_by_round round with
+          | Some t0 -> record_latency t (time -. t0)
+          | None -> ())
+      | _ -> ())
+
+(* --- queries ----------------------------------------------------------- *)
 
 let total_msgs t = Array.fold_left ( + ) 0 t.msgs_sent
 let total_bytes t = Array.fold_left ( + ) 0 t.bytes_sent
@@ -58,17 +104,43 @@ let max_bytes_per_party t = Array.fold_left max 0 t.bytes_sent
 let msgs_of_kind t kind =
   Option.value ~default:0 (Hashtbl.find_opt t.msgs_by_kind kind)
 
+let bytes_of_kind t kind =
+  Option.value ~default:0 (Hashtbl.find_opt t.bytes_by_kind kind)
+
+let kinds t =
+  Hashtbl.fold
+    (fun kind msgs acc -> (kind, msgs, bytes_of_kind t kind) :: acc)
+    t.msgs_by_kind []
+  |> List.sort compare
+
+let finalized_blocks t = t.finalized_blocks
+let finalizations t = List.rev t.finalization_log
+let latencies t = List.rev t.latencies
+let max_round t = t.max_round
+
+let round_entry_time t round = Hashtbl.find_opt t.round_entry_by_round round
+let proposal_time t round = Hashtbl.find_opt t.proposal_by_round round
+let notarization_time t round = Hashtbl.find_opt t.notarization_by_round round
+let finalization_time t round = Hashtbl.find_opt t.finalization_by_round round
+
 let mean = function
   | [] -> nan
   | l -> List.fold_left ( +. ) 0. l /. float_of_int (List.length l)
 
+(* Nearest-rank percentile over a sorted float array; [nan]s are dropped
+   first (the polymorphic [compare] mis-sorts them, and they would poison
+   any rank they landed on). *)
 let percentile p l =
-  match List.sort compare l with
-  | [] -> nan
-  | sorted ->
-      let n = List.length sorted in
-      let idx = int_of_float (ceil (p /. 100. *. float_of_int n)) - 1 in
-      List.nth sorted (max 0 (min (n - 1) idx))
+  let a =
+    Array.of_list (List.filter (fun x -> not (Float.is_nan x)) l)
+  in
+  let len = Array.length a in
+  if len = 0 then nan
+  else begin
+    Array.sort Float.compare a;
+    let idx = int_of_float (ceil (p /. 100. *. float_of_int len)) - 1 in
+    a.(max 0 (min (len - 1) idx))
+  end
 
 let mean_latency t = mean t.latencies
 

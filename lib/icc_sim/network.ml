@@ -9,7 +9,12 @@
        when the interval ends), modeling partial synchrony.
 
    A party's broadcast is delivered to itself with zero delay (its own pool
-   holds its own messages) and is not counted as network traffic. *)
+   holds its own messages) and is not counted as network traffic.
+
+   Every transmission is announced on the {!Trace} bus: [Net_send] (core,
+   drives {!Metrics}), and — only when a detail subscriber is present —
+   [Net_hold] for messages caught by an asynchronous interval and
+   [Net_deliver] at the moment the handler runs. *)
 
 type delay_model =
   | Fixed of float
@@ -20,7 +25,7 @@ type delay_model =
 type 'msg t = {
   engine : Engine.t;
   n : int;
-  metrics : Metrics.t;
+  trace : Trace.t;
   mutable delay_model : delay_model;
   mutable hold_until : float; (* global asynchronous interval end *)
   mutable link_hold : (int -> int -> float) option; (* partition model *)
@@ -28,11 +33,11 @@ type 'msg t = {
   mutable delivered : int;
 }
 
-let create engine ~n ~metrics ~delay_model =
+let create engine ~n ~trace ~delay_model =
   {
     engine;
     n;
-    metrics;
+    trace;
     delay_model;
     hold_until = neg_infinity;
     link_hold = None;
@@ -54,7 +59,13 @@ let sample_delay t ~src ~dst =
   | Matrix m -> m.(src).(dst)
   | Jitter { rng; base; jitter } -> base +. Rng.float rng jitter
 
-let delivery_time t ~src ~dst =
+(* Deliver without traffic accounting: self-delivery path. *)
+let deliver_self t ~src msg =
+  Engine.schedule t.engine ~delay:0. (fun () -> t.handler ~dst:src ~src msg)
+
+(* Schedule one remote transmission.  The delay is sampled before anything
+   else so the RNG stream is independent of hold state and tracing. *)
+let transmit t ~src ~dst ~size ~kind msg =
   let now = Engine.now t.engine in
   let d = sample_delay t ~src ~dst in
   let release =
@@ -63,33 +74,31 @@ let delivery_time t ~src ~dst =
     | None -> global
     | Some f -> max global (f src dst)
   in
-  release +. d
-
-(* Deliver without traffic accounting: self-delivery path. *)
-let deliver_self t ~src msg =
-  Engine.schedule t.engine ~delay:0. (fun () -> t.handler ~dst:src ~src msg)
+  if release > now && Trace.detailed t.trace then
+    Trace.emit t.trace ~time:now (Trace.Net_hold { src; dst; kind; release });
+  Engine.schedule_at t.engine ~time:(release +. d) (fun () ->
+      t.delivered <- t.delivered + 1;
+      if Trace.detailed t.trace then
+        Trace.emit t.trace ~time:(Engine.now t.engine)
+          (Trace.Net_deliver { src; dst; kind; size });
+      t.handler ~dst ~src msg)
 
 let unicast t ~src ~dst ~size ~kind msg =
   if dst < 1 || dst > t.n then invalid_arg "Network.unicast: bad destination";
   if dst = src then deliver_self t ~src msg
   else begin
-    Metrics.record_send t.metrics ~src ~size ~kind ~copies:1;
-    let time = delivery_time t ~src ~dst in
-    Engine.schedule_at t.engine ~time (fun () ->
-        t.delivered <- t.delivered + 1;
-        t.handler ~dst ~src msg)
+    Trace.emit t.trace ~time:(Engine.now t.engine)
+      (Trace.Net_send { src; dst; kind; size; copies = 1 });
+    transmit t ~src ~dst ~size ~kind msg
   end
 
 let broadcast t ~src ~size ~kind msg =
   (* Same message to all parties; self copy is free and immediate. *)
-  Metrics.record_send t.metrics ~src ~size ~kind ~copies:(t.n - 1);
+  Trace.emit t.trace ~time:(Engine.now t.engine)
+    (Trace.Net_send { src; dst = 0; kind; size; copies = t.n - 1 });
   for dst = 1 to t.n do
     if dst = src then deliver_self t ~src msg
-    else
-      let time = delivery_time t ~src ~dst in
-      Engine.schedule_at t.engine ~time (fun () ->
-          t.delivered <- t.delivered + 1;
-          t.handler ~dst ~src msg)
+    else transmit t ~src ~dst ~size ~kind msg
   done
 
 let delivered t = t.delivered

@@ -3,8 +3,9 @@
     intervals (partial synchrony, paper §1/§3.1).
 
     Self-delivery is immediate and free (a party's pool holds its own
-    broadcasts); all other transmissions are accounted at the caller's
-    modeled wire size. *)
+    broadcasts); all other transmissions are announced on the {!Trace} bus
+    at the caller's modeled wire size ([Net_send] always; [Net_hold] and
+    [Net_deliver] when a detail subscriber is present). *)
 
 type delay_model =
   | Fixed of float
@@ -15,7 +16,7 @@ type delay_model =
 type 'msg t
 
 val create :
-  Engine.t -> n:int -> metrics:Metrics.t -> delay_model:delay_model -> 'msg t
+  Engine.t -> n:int -> trace:Trace.t -> delay_model:delay_model -> 'msg t
 
 val set_handler : 'msg t -> (dst:int -> src:int -> 'msg -> unit) -> unit
 val set_delay_model : 'msg t -> delay_model -> unit

@@ -1,0 +1,158 @@
+(* Structured trace bus: one typed event stream for everything the
+   simulation does, shared by the engine, the network, the dissemination
+   sub-layers (gossip, erasure-coded RBC) and the protocol layer.
+
+   Two subscription levels keep the bus free when nobody is watching:
+
+     - [core] events are the ones {!Metrics} consumes (traffic accounting
+       and the per-round protocol milestones).  Their payloads are values
+       the emitting layer has already computed, so emitting them costs one
+       allocation plus a list dispatch.
+     - detail events (deliveries, holds, gossip/RBC internals, engine
+       dispatch) exist only for observability.  Layers guard their
+       construction with {!detailed}, so an untraced run never builds
+       them — this is the zero-cost-when-off contract.
+
+   Sinks run synchronously in subscription order and must not mutate
+   simulation state; nothing about scheduling or randomness depends on who
+   is listening, which is what keeps traced and untraced runs of the same
+   seed byte-identical. *)
+
+type event =
+  (* run framing *)
+  | Run_start of { n : int; label : string }
+  | Run_end of { label : string }
+  (* engine *)
+  | Engine_dispatch of { seq : int }
+  (* network: dst = 0 means broadcast (copies = n - 1) *)
+  | Net_send of { src : int; dst : int; kind : string; size : int; copies : int }
+  | Net_deliver of { src : int; dst : int; kind : string; size : int }
+  | Net_hold of { src : int; dst : int; kind : string; release : float }
+  (* gossip sub-layer *)
+  | Gossip_publish of { party : int; artifact : string }
+  | Gossip_request of { party : int; peer : int; artifact : string }
+  | Gossip_acquire of { party : int; peer : int; artifact : string }
+  (* erasure-coded reliable broadcast sub-layer *)
+  | Rbc_fragment of { party : int; round : int; proposer : int; index : int }
+  | Rbc_echo of { party : int; round : int; proposer : int }
+  | Rbc_reconstruct of { party : int; round : int; proposer : int }
+  | Rbc_inconsistent of { party : int; round : int; proposer : int }
+  (* protocol layer *)
+  | Round_entry of { party : int; round : int }
+  | Propose of { party : int; round : int }
+  | Notarize of { party : int; round : int }
+  | Finalize of { party : int; round : int }
+  | Beacon_share of { party : int; round : int }
+  | Block_decided of { round : int }
+
+type level = Core | Detail
+
+let level_of = function
+  | Run_start _ | Run_end _ | Net_send _ | Round_entry _ | Propose _
+  | Notarize _ | Block_decided _ ->
+      Core
+  | Engine_dispatch _ | Net_deliver _ | Net_hold _ | Gossip_publish _
+  | Gossip_request _ | Gossip_acquire _ | Rbc_fragment _ | Rbc_echo _
+  | Rbc_reconstruct _ | Rbc_inconsistent _ | Finalize _ | Beacon_share _ ->
+      Detail
+
+type sink = { all : bool; fn : time:float -> event -> unit }
+
+type t = {
+  mutable sinks : sink list; (* subscription order *)
+  mutable detailed : bool; (* some sink wants detail events *)
+}
+
+let create () = { sinks = []; detailed = false }
+
+let subscribe ?(all = true) t fn =
+  t.sinks <- t.sinks @ [ { all; fn } ];
+  if all then t.detailed <- true
+
+let active t = t.sinks <> []
+let detailed t = t.detailed
+
+let emit t ~time ev =
+  match t.sinks with
+  | [] -> ()
+  | sinks ->
+      let detail = level_of ev = Detail in
+      List.iter (fun s -> if s.all || not detail then s.fn ~time ev) sinks
+
+(* --- rendering --------------------------------------------------------- *)
+
+let kind_of = function
+  | Run_start _ -> "run-start"
+  | Run_end _ -> "run-end"
+  | Engine_dispatch _ -> "engine-dispatch"
+  | Net_send _ -> "net-send"
+  | Net_deliver _ -> "net-deliver"
+  | Net_hold _ -> "net-hold"
+  | Gossip_publish _ -> "gossip-publish"
+  | Gossip_request _ -> "gossip-request"
+  | Gossip_acquire _ -> "gossip-acquire"
+  | Rbc_fragment _ -> "rbc-fragment"
+  | Rbc_echo _ -> "rbc-echo"
+  | Rbc_reconstruct _ -> "rbc-reconstruct"
+  | Rbc_inconsistent _ -> "rbc-inconsistent"
+  | Round_entry _ -> "round-entry"
+  | Propose _ -> "propose"
+  | Notarize _ -> "notarize"
+  | Finalize _ -> "finalize"
+  | Beacon_share _ -> "beacon-share"
+  | Block_decided _ -> "block-decided"
+
+(* Strings on the bus are message kinds and artifact ids (printable ASCII),
+   but escape defensively so every emitted line is valid JSON. *)
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let to_json ~time ev =
+  let p = Printf.sprintf in
+  let fields =
+    match ev with
+    | Run_start { n; label } -> p {|"n":%d,"label":"%s"|} n (json_escape label)
+    | Run_end { label } -> p {|"label":"%s"|} (json_escape label)
+    | Engine_dispatch { seq } -> p {|"seq":%d|} seq
+    | Net_send { src; dst; kind; size; copies } ->
+        p {|"src":%d,"dst":%d,"kind":"%s","size":%d,"copies":%d|} src dst
+          (json_escape kind) size copies
+    | Net_deliver { src; dst; kind; size } ->
+        p {|"src":%d,"dst":%d,"kind":"%s","size":%d|} src dst
+          (json_escape kind) size
+    | Net_hold { src; dst; kind; release } ->
+        p {|"src":%d,"dst":%d,"kind":"%s","release":%.6f|} src dst
+          (json_escape kind) release
+    | Gossip_publish { party; artifact } ->
+        p {|"party":%d,"artifact":"%s"|} party (json_escape artifact)
+    | Gossip_request { party; peer; artifact }
+    | Gossip_acquire { party; peer; artifact } ->
+        p {|"party":%d,"peer":%d,"artifact":"%s"|} party peer
+          (json_escape artifact)
+    | Rbc_fragment { party; round; proposer; index } ->
+        p {|"party":%d,"round":%d,"proposer":%d,"index":%d|} party round
+          proposer index
+    | Rbc_echo { party; round; proposer }
+    | Rbc_reconstruct { party; round; proposer }
+    | Rbc_inconsistent { party; round; proposer } ->
+        p {|"party":%d,"round":%d,"proposer":%d|} party round proposer
+    | Round_entry { party; round }
+    | Propose { party; round }
+    | Notarize { party; round }
+    | Finalize { party; round }
+    | Beacon_share { party; round } ->
+        p {|"party":%d,"round":%d|} party round
+    | Block_decided { round } -> p {|"round":%d|} round
+  in
+  p {|{"t":%.6f,"ev":"%s",%s}|} time (kind_of ev) fields

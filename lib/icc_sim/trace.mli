@@ -1,0 +1,69 @@
+(** Structured trace bus: one typed, replayable event stream shared by the
+    engine, the network, the gossip and RBC sub-layers, the protocol layer
+    and the baselines.
+
+    {!Metrics.attach} subscribes at the [core] level (traffic accounting and
+    per-round milestones); external observers — the [--trace] JSONL dump,
+    the bench timeline — subscribe to everything.  Detail events are only
+    constructed when {!detailed} is true, so an unobserved run pays nothing
+    for them, and sinks never influence scheduling, so traced and untraced
+    runs of the same seed are byte-identical. *)
+
+type event =
+  | Run_start of { n : int; label : string }
+  | Run_end of { label : string }
+  | Engine_dispatch of { seq : int }  (** One handled simulation event. *)
+  | Net_send of { src : int; dst : int; kind : string; size : int; copies : int }
+      (** [dst = 0] means broadcast ([copies] unicast transmissions). *)
+  | Net_deliver of { src : int; dst : int; kind : string; size : int }
+  | Net_hold of { src : int; dst : int; kind : string; release : float }
+      (** Message caught by an asynchronous interval or partition. *)
+  | Gossip_publish of { party : int; artifact : string }
+  | Gossip_request of { party : int; peer : int; artifact : string }
+  | Gossip_acquire of { party : int; peer : int; artifact : string }
+  | Rbc_fragment of { party : int; round : int; proposer : int; index : int }
+  | Rbc_echo of { party : int; round : int; proposer : int }
+  | Rbc_reconstruct of { party : int; round : int; proposer : int }
+  | Rbc_inconsistent of { party : int; round : int; proposer : int }
+  | Round_entry of { party : int; round : int }
+  | Propose of { party : int; round : int }
+  | Notarize of { party : int; round : int }
+  | Finalize of { party : int; round : int }
+      (** A party assembled a finalization certificate. *)
+  | Beacon_share of { party : int; round : int }
+  | Block_decided of { round : int }
+      (** Every honest party committed the round's block. *)
+
+type level = Core | Detail
+
+val level_of : event -> level
+(** [Core] events drive {!Metrics}; [Detail] events exist for observability
+    only and are skipped entirely (not even constructed, at guarded call
+    sites) unless a full subscriber is present. *)
+
+type t
+
+val create : unit -> t
+
+val subscribe : ?all:bool -> t -> (time:float -> event -> unit) -> unit
+(** Register a sink, called synchronously in subscription order.  With
+    [all:false] the sink receives only [Core] events.  Sinks must not
+    mutate simulation state. *)
+
+val active : t -> bool
+(** Some sink is subscribed. *)
+
+val detailed : t -> bool
+(** Some sink wants [Detail] events; emitting layers use this to skip
+    constructing them otherwise. *)
+
+val emit : t -> time:float -> event -> unit
+(** No-op without subscribers; [Detail] events go only to [all] sinks. *)
+
+val kind_of : event -> string
+(** Stable kebab-case tag, e.g. ["net-send"] — the ["ev"] field of
+    {!to_json}. *)
+
+val to_json : time:float -> event -> string
+(** One JSON object (no trailing newline):
+    [{"t":<time>,"ev":"<kind>",...payload fields}]. *)

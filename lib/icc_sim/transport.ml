@@ -1,0 +1,35 @@
+(* The shared instrumented transport substrate.
+
+   Every run — ICC0/1/2 through Icc_core.Runner, and each baseline through
+   Icc_baselines.Harness — used to wire its own engine + metrics + network
+   by hand, each slightly differently.  This module is the one constructor
+   they all go through now, so every protocol runs on the same observable
+   substrate: one trace bus, one metrics consumer attached to it, and
+   networks that announce sends/holds/deliveries on that bus. *)
+
+type env = {
+  engine : Engine.t;
+  trace : Trace.t;
+  metrics : Metrics.t;
+  n : int;
+}
+
+let env ?trace ~n () =
+  let trace = match trace with Some tr -> tr | None -> Trace.create () in
+  let metrics = Metrics.create n in
+  Metrics.attach metrics trace;
+  let engine = Engine.create () in
+  (* Engine dispatch is the noisiest layer; only observe it when someone is
+     listening for detail events. *)
+  if Trace.detailed trace then
+    Engine.set_observer engine (fun ~time ~seq ->
+        Trace.emit trace ~time (Trace.Engine_dispatch { seq }));
+  { engine; trace; metrics; n }
+
+let network ~engine ~n ~trace ~delay_model ?(async_until = 0.) () =
+  let net = Network.create engine ~n ~trace ~delay_model in
+  if async_until > 0. then Network.hold_all_until net async_until;
+  net
+
+let network_of e ~delay_model ?async_until () =
+  network ~engine:e.engine ~n:e.n ~trace:e.trace ~delay_model ?async_until ()

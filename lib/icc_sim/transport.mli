@@ -1,0 +1,33 @@
+(** The shared instrumented transport substrate: the one place that wires an
+    engine, a {!Trace} bus and a {!Metrics} consumer together, and builds
+    trace-announcing networks on top.  ICC0, ICC1, ICC2 and the baselines
+    all construct their runs through this module, so every protocol emits
+    the same event stream. *)
+
+type env = {
+  engine : Engine.t;
+  trace : Trace.t;
+  metrics : Metrics.t;
+  n : int;
+}
+
+val env : ?trace:Trace.t -> n:int -> unit -> env
+(** Fresh engine and metrics for one run.  [metrics] is attached to the
+    bus ([trace] if given, else a private one); if the bus already has a
+    detail subscriber, engine dispatch is observed onto it as well. *)
+
+val network :
+  engine:Engine.t ->
+  n:int ->
+  trace:Trace.t ->
+  delay_model:Network.delay_model ->
+  ?async_until:float ->
+  unit ->
+  'msg Network.t
+(** An instrumented network; [async_until > 0] installs the adversarial
+    hold ({!Network.hold_all_until}) before any message is sent. *)
+
+val network_of :
+  env -> delay_model:Network.delay_model -> ?async_until:float -> unit ->
+  'msg Network.t
+(** {!network} with the environment's engine, size and bus. *)

@@ -13,6 +13,7 @@ let () =
       ("dkg", Test_dkg.suite);
       ("merkle", Test_merkle.suite);
       ("sim", Test_sim.suite);
+      ("trace", Test_trace.suite);
       ("erasure", Test_erasure.suite);
       ("block", Test_block.suite);
       ("pool", Test_pool.suite);

@@ -10,20 +10,22 @@ type world = {
 }
 
 let make_world ?(fanout = 3) ?(seed = 9) () =
-  let engine = Icc_sim.Engine.create () in
-  let metrics = Icc_sim.Metrics.create 7 in
+  let env = Icc_sim.Transport.env ~n:7 () in
+  let engine = env.Icc_sim.Transport.engine in
+  let metrics = env.Icc_sim.Transport.metrics in
   let delivered = Hashtbl.create 8 in
   for i = 1 to 7 do
     Hashtbl.add delivered i (ref [])
   done;
   let gossip =
-    Icc_gossip.Gossip.create ~engine ~metrics ~n:7
+    Icc_gossip.Gossip.create ~engine ~trace:env.Icc_sim.Transport.trace ~n:7
       ~rng:(Icc_sim.Rng.create seed)
       ~delay_model:(Icc_sim.Network.Fixed 0.01) ~fanout
       ~is_active:(fun _ -> true)
       ~deliver_up:(fun ~dst msg ->
         let l = Hashtbl.find delivered dst in
         l := msg :: !l)
+      ()
   in
   { engine; metrics; gossip; delivered }
 

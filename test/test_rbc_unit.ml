@@ -13,8 +13,9 @@ type world = {
 }
 
 let make_world ?(delay = 0.01) () =
-  let engine = Icc_sim.Engine.create () in
-  let metrics = Icc_sim.Metrics.create 7 in
+  let env = Icc_sim.Transport.env ~n:7 () in
+  let engine = env.Icc_sim.Transport.engine in
+  let metrics = env.Icc_sim.Transport.metrics in
   let delivered = Hashtbl.create 8 in
   let active = Hashtbl.create 8 in
   for i = 1 to 7 do
@@ -22,7 +23,7 @@ let make_world ?(delay = 0.01) () =
     Hashtbl.add active i true
   done;
   let rbc =
-    Icc_rbc.Rbc.create ~engine ~metrics ~n:7 ~t:2
+    Icc_rbc.Rbc.create ~engine ~trace:env.Icc_sim.Transport.trace ~n:7 ~t:2
       ~delay_model:(Icc_sim.Network.Fixed delay) ~async_until:0.
       ~is_active:(fun i -> Hashtbl.find active i)
       ~deliver_up:(fun ~dst msg ->

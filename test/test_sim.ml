@@ -58,10 +58,9 @@ let test_engine_rejects_past () =
   Icc_sim.Engine.run e
 
 let make_net ?(n = 4) ?(delay = 0.1) () =
-  let e = Icc_sim.Engine.create () in
-  let m = Icc_sim.Metrics.create n in
-  let net = Icc_sim.Network.create e ~n ~metrics:m ~delay_model:(Fixed delay) in
-  (e, m, net)
+  let env = Icc_sim.Transport.env ~n () in
+  let net = Icc_sim.Transport.network_of env ~delay_model:(Fixed delay) () in
+  (env.Icc_sim.Transport.engine, env.Icc_sim.Transport.metrics, net)
 
 let test_network_broadcast_delivery () =
   let e, m, net = make_net () in

@@ -1,0 +1,248 @@
+(* Trace bus tests: subscription semantics, core/detail filtering, the
+   Metrics consumer, percentile edge cases, JSONL shape, and the
+   traced-vs-untraced determinism guarantee across ICC0/1/2. *)
+
+let ev_send ?(src = 1) ?(dst = 2) ?(size = 100) ?(kind = "blk") () =
+  Icc_sim.Trace.Net_send { src; dst; kind; size; copies = 1 }
+
+let ev_detail () =
+  Icc_sim.Trace.Gossip_publish { party = 1; artifact = "prop|1|aa" }
+
+(* -------------------------------------------------- bus semantics *)
+
+let test_no_sink_inactive () =
+  let tr = Icc_sim.Trace.create () in
+  Alcotest.(check bool) "inactive" false (Icc_sim.Trace.active tr);
+  Alcotest.(check bool) "not detailed" false (Icc_sim.Trace.detailed tr);
+  (* emitting with no sink is a no-op, not an error *)
+  Icc_sim.Trace.emit tr ~time:0. (ev_send ())
+
+let test_subscription_order () =
+  let tr = Icc_sim.Trace.create () in
+  let log = ref [] in
+  Icc_sim.Trace.subscribe tr (fun ~time:_ _ -> log := "a" :: !log);
+  Icc_sim.Trace.subscribe tr (fun ~time:_ _ -> log := "b" :: !log);
+  Icc_sim.Trace.emit tr ~time:1. (ev_send ());
+  Alcotest.(check (list string)) "sinks fire in subscription order"
+    [ "a"; "b" ] (List.rev !log)
+
+let test_event_order_and_time () =
+  let tr = Icc_sim.Trace.create () in
+  let seen = ref [] in
+  Icc_sim.Trace.subscribe tr (fun ~time ev ->
+      seen := (time, Icc_sim.Trace.kind_of ev) :: !seen);
+  Icc_sim.Trace.emit tr ~time:0. (Icc_sim.Trace.Run_start { n = 4; label = "x" });
+  Icc_sim.Trace.emit tr ~time:1.5 (ev_send ());
+  Icc_sim.Trace.emit tr ~time:2. (Icc_sim.Trace.Run_end { label = "x" });
+  Alcotest.(check (list (pair (float 1e-9) string)))
+    "events arrive in emission order with their timestamps"
+    [ (0., "run-start"); (1.5, "net-send"); (2., "run-end") ]
+    (List.rev !seen)
+
+let test_core_sink_filtering () =
+  let tr = Icc_sim.Trace.create () in
+  let core = ref 0 and all = ref 0 in
+  Icc_sim.Trace.subscribe ~all:false tr (fun ~time:_ _ -> incr core);
+  Alcotest.(check bool) "core-only sink does not request detail" false
+    (Icc_sim.Trace.detailed tr);
+  Icc_sim.Trace.subscribe tr (fun ~time:_ _ -> incr all);
+  Alcotest.(check bool) "full sink requests detail" true
+    (Icc_sim.Trace.detailed tr);
+  Icc_sim.Trace.emit tr ~time:0. (ev_send ());
+  Icc_sim.Trace.emit tr ~time:0. (ev_detail ());
+  Alcotest.(check int) "core sink got only the core event" 1 !core;
+  Alcotest.(check int) "full sink got both" 2 !all
+
+let test_levels () =
+  let core_kinds =
+    [
+      Icc_sim.Trace.Run_start { n = 1; label = "" };
+      Run_end { label = "" };
+      ev_send ();
+      Round_entry { party = 1; round = 1 };
+      Propose { party = 1; round = 1 };
+      Notarize { party = 1; round = 1 };
+      Block_decided { round = 1 };
+    ]
+  in
+  List.iter
+    (fun ev ->
+      Alcotest.(check bool)
+        (Icc_sim.Trace.kind_of ev ^ " is core")
+        true
+        (Icc_sim.Trace.level_of ev = Icc_sim.Trace.Core))
+    core_kinds;
+  List.iter
+    (fun ev ->
+      Alcotest.(check bool)
+        (Icc_sim.Trace.kind_of ev ^ " is detail")
+        true
+        (Icc_sim.Trace.level_of ev = Icc_sim.Trace.Detail))
+    [
+      Icc_sim.Trace.Engine_dispatch { seq = 0 };
+      Net_deliver { src = 1; dst = 2; kind = "x"; size = 1 };
+      Net_hold { src = 1; dst = 2; kind = "x"; release = 1. };
+      ev_detail ();
+      Finalize { party = 1; round = 1 };
+      Beacon_share { party = 1; round = 1 };
+      Rbc_fragment { party = 1; round = 1; proposer = 1; index = 0 };
+    ]
+
+(* -------------------------------------------------- metrics consumer *)
+
+let test_metrics_via_trace () =
+  let tr = Icc_sim.Trace.create () in
+  let m = Icc_sim.Metrics.create 4 in
+  Icc_sim.Metrics.attach m tr;
+  Icc_sim.Trace.emit tr ~time:0.
+    (Icc_sim.Trace.Net_send { src = 1; dst = 0; kind = "blk"; size = 100; copies = 3 });
+  Icc_sim.Trace.emit tr ~time:0.1 (ev_send ~src:2 ~size:50 ~kind:"share" ());
+  Icc_sim.Trace.emit tr ~time:0.2
+    (Icc_sim.Trace.Round_entry { party = 1; round = 1 });
+  Icc_sim.Trace.emit tr ~time:0.3 (Icc_sim.Trace.Propose { party = 1; round = 1 });
+  Icc_sim.Trace.emit tr ~time:0.4 (Icc_sim.Trace.Notarize { party = 1; round = 1 });
+  Icc_sim.Trace.emit tr ~time:0.9 (Icc_sim.Trace.Block_decided { round = 1 });
+  Alcotest.(check int) "msgs" 4 (Icc_sim.Metrics.total_msgs m);
+  Alcotest.(check int) "bytes" 350 (Icc_sim.Metrics.total_bytes m);
+  Alcotest.(check int) "blk msgs" 3 (Icc_sim.Metrics.msgs_of_kind m "blk");
+  Alcotest.(check int) "blk bytes" 300 (Icc_sim.Metrics.bytes_of_kind m "blk");
+  Alcotest.(check int) "share bytes" 50 (Icc_sim.Metrics.bytes_of_kind m "share");
+  Alcotest.(check int) "finalized" 1 (Icc_sim.Metrics.finalized_blocks m);
+  Alcotest.(check (option (float 1e-9))) "entry" (Some 0.2)
+    (Icc_sim.Metrics.round_entry_time m 1);
+  Alcotest.(check (option (float 1e-9))) "propose" (Some 0.3)
+    (Icc_sim.Metrics.proposal_time m 1);
+  Alcotest.(check (option (float 1e-9))) "notarize" (Some 0.4)
+    (Icc_sim.Metrics.notarization_time m 1);
+  Alcotest.(check (option (float 1e-9))) "finalize" (Some 0.9)
+    (Icc_sim.Metrics.finalization_time m 1);
+  (* decide latency measured from the round's first proposal *)
+  Alcotest.(check (list (float 1e-9))) "latency" [ 0.6 ]
+    (Icc_sim.Metrics.latencies m);
+  Alcotest.(check int) "max round" 1 (Icc_sim.Metrics.max_round m)
+
+let test_metrics_first_event_wins () =
+  let tr = Icc_sim.Trace.create () in
+  let m = Icc_sim.Metrics.create 4 in
+  Icc_sim.Metrics.attach m tr;
+  Icc_sim.Trace.emit tr ~time:0.2 (Icc_sim.Trace.Propose { party = 1; round = 3 });
+  Icc_sim.Trace.emit tr ~time:0.5 (Icc_sim.Trace.Propose { party = 2; round = 3 });
+  Alcotest.(check (option (float 1e-9))) "first proposal kept" (Some 0.2)
+    (Icc_sim.Metrics.proposal_time m 3)
+
+let test_percentile_edge_cases () =
+  let nan_ok x = Alcotest.(check bool) "nan" true (Float.is_nan x) in
+  nan_ok (Icc_sim.Metrics.percentile 50. []);
+  nan_ok (Icc_sim.Metrics.percentile 50. [ nan; nan ]);
+  Alcotest.(check (float 1e-9)) "singleton p0" 7.
+    (Icc_sim.Metrics.percentile 0. [ 7. ]);
+  Alcotest.(check (float 1e-9)) "singleton p100" 7.
+    (Icc_sim.Metrics.percentile 100. [ 7. ]);
+  Alcotest.(check (float 1e-9)) "nan values dropped" 2.
+    (Icc_sim.Metrics.percentile 50. [ 3.; nan; 1.; 2. ]);
+  Alcotest.(check (float 1e-9)) "p90 of 1..10" 9.
+    (Icc_sim.Metrics.percentile 90. (List.init 10 (fun i -> float_of_int (i + 1))))
+
+(* -------------------------------------------------- json shape *)
+
+let test_json_shape () =
+  let json = Icc_sim.Trace.to_json ~time:1.25 (ev_send ()) in
+  Alcotest.(check string) "net-send json"
+    {|{"t":1.250000,"ev":"net-send","src":1,"dst":2,"kind":"blk","size":100,"copies":1}|}
+    json;
+  (* artifact ids and labels pass through string escaping *)
+  let tricky =
+    Icc_sim.Trace.to_json ~time:0.
+      (Icc_sim.Trace.Gossip_publish { party = 1; artifact = {|a"b\c|} })
+  in
+  Alcotest.(check string) "escaped artifact"
+    {|{"t":0.000000,"ev":"gossip-publish","party":1,"artifact":"a\"b\\c"}|}
+    tricky
+
+(* ------------------------------------- traced/untraced determinism *)
+
+let scenario ~seed =
+  {
+    (Icc_core.Runner.default_scenario ~n:4 ~seed) with
+    Icc_core.Runner.duration = 1e6;
+    max_rounds = Some 6;
+    delay = Icc_core.Runner.Fixed_delay 0.02;
+    epsilon = 0.05;
+  }
+
+let fingerprint (r : Icc_core.Runner.result) =
+  ( ( r.Icc_core.Runner.rounds_decided,
+      Icc_sim.Metrics.total_msgs r.Icc_core.Runner.metrics,
+      Icc_sim.Metrics.total_bytes r.Icc_core.Runner.metrics ),
+    (r.Icc_core.Runner.duration, r.Icc_core.Runner.mean_latency) )
+
+let check_deterministic name run =
+  let untraced = run None in
+  let tr = Icc_sim.Trace.create () in
+  let events = ref 0 in
+  Icc_sim.Trace.subscribe tr (fun ~time:_ _ -> incr events);
+  let traced = run (Some tr) in
+  Alcotest.(
+    check
+      (pair (triple int int int) (pair (float 1e-12) (float 1e-12)))
+      (name ^ ": traced run identical to untraced")
+      (fingerprint untraced) (fingerprint traced));
+  Alcotest.(check bool) (name ^ ": trace saw events") true (!events > 1000)
+
+let test_determinism_icc0 () =
+  check_deterministic "icc0" (fun trace ->
+      Icc_core.Runner.run { (scenario ~seed:11) with trace })
+
+let test_determinism_icc1 () =
+  check_deterministic "icc1" (fun trace ->
+      Icc_gossip.Icc1.run { (scenario ~seed:12) with trace })
+
+let test_determinism_icc2 () =
+  check_deterministic "icc2" (fun trace ->
+      Icc_rbc.Icc2.run { (scenario ~seed:13) with trace })
+
+(* -------------------------------------------------- run coverage *)
+
+let test_run_event_coverage () =
+  let tr = Icc_sim.Trace.create () in
+  let kinds = Hashtbl.create 16 in
+  Icc_sim.Trace.subscribe tr (fun ~time ev ->
+      Hashtbl.replace kinds (Icc_sim.Trace.kind_of ev) ();
+      (* every event serializes to one well-formed object *)
+      let j = Icc_sim.Trace.to_json ~time ev in
+      Alcotest.(check bool) "json object" true
+        (String.length j > 2 && j.[0] = '{' && j.[String.length j - 1] = '}'));
+  ignore (Icc_gossip.Icc1.run { (scenario ~seed:21) with trace = Some tr });
+  List.iter
+    (fun k ->
+      Alcotest.(check bool) (k ^ " present") true (Hashtbl.mem kinds k))
+    [
+      "run-start"; "run-end"; "engine-dispatch"; "net-send"; "net-deliver";
+      "gossip-publish"; "gossip-acquire"; "round-entry"; "propose";
+      "notarize"; "finalize"; "beacon-share"; "block-decided";
+    ]
+
+let suite =
+  [
+    Alcotest.test_case "no sink: inactive, emit is no-op" `Quick
+      test_no_sink_inactive;
+    Alcotest.test_case "sinks fire in subscription order" `Quick
+      test_subscription_order;
+    Alcotest.test_case "events keep emission order and time" `Quick
+      test_event_order_and_time;
+    Alcotest.test_case "core-only sinks skip detail events" `Quick
+      test_core_sink_filtering;
+    Alcotest.test_case "core/detail level assignment" `Quick test_levels;
+    Alcotest.test_case "metrics driven through the bus" `Quick
+      test_metrics_via_trace;
+    Alcotest.test_case "per-round milestones keep first event" `Quick
+      test_metrics_first_event_wins;
+    Alcotest.test_case "percentile edge cases" `Quick
+      test_percentile_edge_cases;
+    Alcotest.test_case "json serialization shape" `Quick test_json_shape;
+    Alcotest.test_case "icc0 traced = untraced" `Quick test_determinism_icc0;
+    Alcotest.test_case "icc1 traced = untraced" `Quick test_determinism_icc1;
+    Alcotest.test_case "icc2 traced = untraced" `Quick test_determinism_icc2;
+    Alcotest.test_case "icc1 trace covers all layers" `Quick
+      test_run_event_coverage;
+  ]
