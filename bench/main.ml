@@ -182,6 +182,8 @@ let timeline_scenario ~seed =
     (Icc_core.Runner.default_scenario ~n:7 ~seed) with
     Icc_core.Runner.duration = 10.;
     delay = Icc_core.Runner.Fixed_delay 0.05;
+    (* invariants watched while the timelines run *)
+    monitor = Some (Icc_sim.Monitor.default_config ~delta:1.0 ());
   }
 
 let print_timeline label (metrics : Icc_sim.Metrics.t) =
@@ -217,15 +219,23 @@ let print_timeline label (metrics : Icc_sim.Metrics.t) =
     (Icc_sim.Metrics.kinds metrics);
   print_newline ()
 
+let monitor_verdict label (r : Icc_core.Runner.result) =
+  match r.Icc_core.Runner.monitor with
+  | None -> ()
+  | Some m -> Printf.printf "   %s %s\n" label (Icc_sim.Monitor.summary m)
+
 let run_timelines () =
   print_endline
     "== per-round timelines (ICC0 / ICC1 / ICC2, n=7, delta=50ms) ==";
   let r0 = Icc_core.Runner.run (timeline_scenario ~seed:42) in
   print_timeline "ICC0 (direct)" r0.Icc_core.Runner.metrics;
+  monitor_verdict "ICC0" r0;
   let r1 = Icc_gossip.Icc1.run (timeline_scenario ~seed:42) in
   print_timeline "ICC1 (gossip)" r1.Icc_core.Runner.metrics;
+  monitor_verdict "ICC1" r1;
   let r2 = Icc_rbc.Icc2.run (timeline_scenario ~seed:42) in
-  print_timeline "ICC2 (erasure RBC)" r2.Icc_core.Runner.metrics
+  print_timeline "ICC2 (erasure RBC)" r2.Icc_core.Runner.metrics;
+  monitor_verdict "ICC2" r2
 
 (* ----------------------------------------------------------------- *)
 (* Part 2: exhibit regeneration                                       *)

@@ -5,6 +5,7 @@
      table1      regenerate the paper's Table 1 (experiment E1)
      exp         regenerate any single experiment E1..E8
      baselines   run PBFT / chained HotStuff on a matching network
+     analyze     replay a --trace JSONL dump offline (monitor + reports)
      keys        demonstrate key generation and the random beacon *)
 
 open Cmdliner
@@ -45,6 +46,47 @@ let trace_arg =
     & opt (some string) None
     & info [ "trace" ] ~docv:"FILE"
         ~doc:"Write a JSONL event log of the run to $(docv).")
+
+(* Shared monitor flags (run / baselines). *)
+let monitor_arg =
+  Arg.(value & flag
+       & info [ "monitor" ]
+           ~doc:"Attach the online invariant monitor to the run's trace bus.")
+
+let monitor_abort_arg =
+  Arg.(value & flag
+       & info [ "monitor-abort" ]
+           ~doc:"With $(b,--monitor): abort the run at the first fatal \
+                 safety violation (exit 2) instead of reporting at the end.")
+
+let stall_factor_arg =
+  Arg.(value & opt float 8.
+       & info [ "stall-factor" ] ~docv:"X"
+           ~doc:"Monitor watchdog: flag a round stage stalled after \
+                 $(docv) times the delay bound without progress.")
+
+let monitor_config ~on ~abort ~stall_factor ~delta =
+  if on then
+    Some
+      (Icc_sim.Monitor.default_config ~stall_factor
+         ~abort_on_violation:abort ~delta ())
+  else None
+
+let print_monitor_report = function
+  | None -> ()
+  | Some m -> print_endline (Icc_sim.Monitor.report m)
+
+let monitor_ok = function
+  | None -> true
+  | Some m -> Icc_sim.Monitor.ok m
+
+(* Abort carries the event-indexed diagnosis; turn it into a clean exit. *)
+let with_monitor_abort f =
+  try f ()
+  with Icc_sim.Monitor.Abort v ->
+    Printf.eprintf "icc: run aborted by invariant monitor:\n  %s\n"
+      (Icc_sim.Monitor.violation_message v);
+    exit 2
 
 (* ------------------------------------------------------------------ run *)
 
@@ -98,34 +140,39 @@ let run_cmd =
     Arg.(value & opt int 4 & info [ "fanout" ] ~doc:"Gossip fanout (icc1).")
   in
   let exec protocol n seed duration delta wan epsilon delta_bnd load block_size
-      corrupt async_until fanout trace_file =
+      corrupt async_until fanout trace_file monitor monitor_abort stall_factor =
     let r =
-      with_trace_file trace_file (fun trace ->
-          let scenario =
-            {
-              (Icc_core.Runner.default_scenario ~n ~seed) with
-              Icc_core.Runner.duration;
-              delay =
-                (if wan then
-                   Icc_core.Runner.Wan { rtt_lo = 0.006; rtt_hi = 0.110 }
-                 else Icc_core.Runner.Fixed_delay delta);
-              epsilon;
-              delta_bnd;
-              behaviors = corrupt;
-              async_until;
-              workload =
-                (match (block_size, load) with
-                | Some size, _ -> Icc_core.Runner.Fixed_block_size size
-                | None, Some rate ->
-                    Icc_core.Runner.Load { rate_per_s = rate; cmd_size = 1024 }
-                | None, None -> Icc_core.Runner.No_load);
-              trace;
-            }
-          in
-          match protocol with
-          | `Icc0 -> Icc_core.Runner.run scenario
-          | `Icc1 -> Icc_gossip.Icc1.run ~fanout scenario
-          | `Icc2 -> Icc_rbc.Icc2.run scenario)
+      with_monitor_abort (fun () ->
+          with_trace_file trace_file (fun trace ->
+              let scenario =
+                {
+                  (Icc_core.Runner.default_scenario ~n ~seed) with
+                  Icc_core.Runner.duration;
+                  delay =
+                    (if wan then
+                       Icc_core.Runner.Wan { rtt_lo = 0.006; rtt_hi = 0.110 }
+                     else Icc_core.Runner.Fixed_delay delta);
+                  epsilon;
+                  delta_bnd;
+                  behaviors = corrupt;
+                  async_until;
+                  workload =
+                    (match (block_size, load) with
+                    | Some size, _ -> Icc_core.Runner.Fixed_block_size size
+                    | None, Some rate ->
+                        Icc_core.Runner.Load
+                          { rate_per_s = rate; cmd_size = 1024 }
+                    | None, None -> Icc_core.Runner.No_load);
+                  trace;
+                  monitor =
+                    monitor_config ~on:monitor ~abort:monitor_abort
+                      ~stall_factor ~delta:delta_bnd;
+                }
+              in
+              match protocol with
+              | `Icc0 -> Icc_core.Runner.run scenario
+              | `Icc1 -> Icc_gossip.Icc1.run ~fanout scenario
+              | `Icc2 -> Icc_rbc.Icc2.run scenario))
     in
     Option.iter (Printf.printf "trace written       %s\n") trace_file;
     Printf.printf "rounds decided      %d\n" r.Icc_core.Runner.rounds_decided;
@@ -136,8 +183,6 @@ let run_cmd =
     Printf.printf "commit latency      %.4f s\n" r.Icc_core.Runner.mean_latency;
     Printf.printf "commands committed  %d\n"
       r.Icc_core.Runner.commands_committed;
-    Printf.printf "safety (P2+prefix)  %b\n" r.Icc_core.Runner.safety_ok;
-    Printf.printf "deadlock-free (P1)  %b\n" r.Icc_core.Runner.p1_ok;
     Printf.printf "total traffic       %.2f MB in %d msgs (max/party %.2f MB)\n"
       (float_of_int (Icc_sim.Metrics.total_bytes r.Icc_core.Runner.metrics)
       /. 1e6)
@@ -145,15 +190,31 @@ let run_cmd =
       (float_of_int
          (Icc_sim.Metrics.max_bytes_per_party r.Icc_core.Runner.metrics)
       /. 1e6);
-    if not (r.Icc_core.Runner.safety_ok && r.Icc_core.Runner.p1_ok) then
-      exit 1
+    print_monitor_report r.Icc_core.Runner.monitor;
+    (* One-line verdict from the global Check oracles (and the online
+       monitor when attached). *)
+    let mark ok = if ok then "\xe2\x9c\x93" else "\xe2\x9c\x97" in
+    let all_ok =
+      r.Icc_core.Runner.p1_ok && r.Icc_core.Runner.p2_ok
+      && r.Icc_core.Runner.prefix_ok
+      && monitor_ok r.Icc_core.Runner.monitor
+    in
+    Printf.printf "safety: %s (P1 %s P2 %s prefix %s%s)\n"
+      (if all_ok then "ok" else "VIOLATION")
+      (mark r.Icc_core.Runner.p1_ok)
+      (mark r.Icc_core.Runner.p2_ok)
+      (mark r.Icc_core.Runner.prefix_ok)
+      (match r.Icc_core.Runner.monitor with
+      | None -> ""
+      | Some m -> " monitor " ^ mark (Icc_sim.Monitor.ok m));
+    if not all_ok then exit 1
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run one ICC simulation.")
     Term.(
       const exec $ protocol $ n $ seed $ duration $ delta $ wan $ epsilon
       $ delta_bnd $ load $ block_size $ corrupt $ async_until $ fanout
-      $ trace_arg)
+      $ trace_arg $ monitor_arg $ monitor_abort_arg $ stall_factor_arg)
 
 (* ------------------------------------------------------------ exhibits *)
 
@@ -220,33 +281,84 @@ let baselines_cmd =
   let crashed =
     Arg.(value & opt_all int [] & info [ "crash" ] ~doc:"Crashed replica id.")
   in
-  let exec proto n duration delta crashed trace_file =
+  let exec proto n duration delta crashed trace_file monitor monitor_abort
+      stall_factor =
     let r =
-      with_trace_file trace_file (fun trace ->
-          let scenario =
-            {
-              (Icc_baselines.Harness.default_scenario ~n ~seed:42) with
-              Icc_baselines.Harness.duration;
-              delay = Icc_core.Runner.Fixed_delay delta;
-              crashed;
-              trace;
-            }
-          in
-          match proto with
-          | `Pbft -> Icc_baselines.Pbft.run scenario
-          | `Hotstuff -> Icc_baselines.Hotstuff.run scenario
-          | `Tendermint -> Icc_baselines.Tendermint.run scenario)
+      with_monitor_abort (fun () ->
+          with_trace_file trace_file (fun trace ->
+              let scenario =
+                {
+                  (Icc_baselines.Harness.default_scenario ~n ~seed:42) with
+                  Icc_baselines.Harness.duration;
+                  delay = Icc_core.Runner.Fixed_delay delta;
+                  crashed;
+                  trace;
+                  monitor =
+                    (* The watchdog scales by the view-change timeout: the
+                       baselines' own recovery bound. *)
+                    monitor_config ~on:monitor ~abort:monitor_abort
+                      ~stall_factor ~delta:1.0;
+                }
+              in
+              match proto with
+              | `Pbft -> Icc_baselines.Pbft.run scenario
+              | `Hotstuff -> Icc_baselines.Hotstuff.run scenario
+              | `Tendermint -> Icc_baselines.Tendermint.run scenario))
     in
     Option.iter (Printf.printf "trace written     %s\n") trace_file;
     Printf.printf "blocks committed  %d (%.2f/s)\n"
       r.Icc_baselines.Harness.blocks_committed
       r.Icc_baselines.Harness.blocks_per_s;
     Printf.printf "latency           %.4f s\n" r.Icc_baselines.Harness.mean_latency;
-    Printf.printf "safety            %b\n" r.Icc_baselines.Harness.safety_ok
+    print_monitor_report r.Icc_baselines.Harness.monitor;
+    Printf.printf "safety            %b\n" r.Icc_baselines.Harness.safety_ok;
+    if
+      not
+        (r.Icc_baselines.Harness.safety_ok
+        && monitor_ok r.Icc_baselines.Harness.monitor)
+    then exit 1
   in
   Cmd.v
     (Cmd.info "baselines" ~doc:"Run a baseline protocol (PBFT / HotStuff / Tendermint).")
-    Term.(const exec $ proto $ n $ duration $ delta $ crashed $ trace_arg)
+    Term.(
+      const exec $ proto $ n $ duration $ delta $ crashed $ trace_arg
+      $ monitor_arg $ monitor_abort_arg $ stall_factor_arg)
+
+(* ------------------------------------------------------------- analyze *)
+
+let analyze_cmd =
+  let file =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"TRACE"
+             ~doc:"JSONL trace file written by $(b,--trace).")
+  in
+  let round =
+    Arg.(value & opt (some int) None
+         & info [ "round" ] ~docv:"K"
+             ~doc:"Walk the causal critical path of round $(docv) (default: \
+                   the last decided round).")
+  in
+  let delta =
+    Arg.(value & opt float 1.0
+         & info [ "delta" ] ~docv:"SECONDS"
+             ~doc:"Delay bound the offline watchdog scales by.")
+  in
+  let exec file round delta stall_factor =
+    let config = Icc_sim.Monitor.default_config ~stall_factor ~delta () in
+    let report =
+      try Icc_experiments.Analyze.analyze ~config ?round file
+      with Sys_error msg ->
+        Printf.eprintf "icc: %s\n" msg;
+        exit 1
+    in
+    Icc_experiments.Analyze.print report;
+    if not (Icc_experiments.Analyze.ok report) then exit 1
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:"Replay a --trace JSONL dump: re-check invariants offline and \
+             report round pipelines, bandwidth and critical paths.")
+    Term.(const exec $ file $ round $ delta $ stall_factor_arg)
 
 (* ---------------------------------------------------------------- keys *)
 
@@ -299,4 +411,4 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "icc" ~doc)
-          [ run_cmd; table1_cmd; exp_cmd; baselines_cmd; keys_cmd ]))
+          [ run_cmd; table1_cmd; exp_cmd; baselines_cmd; analyze_cmd; keys_cmd ]))

@@ -14,6 +14,7 @@ type scenario = {
   timeout : float; (* view-change / pacemaker timeout *)
   pipeline_window : int; (* PBFT: batches in flight *)
   trace : Icc_sim.Trace.t option; (* observe the run; None = untraced *)
+  monitor : Icc_sim.Monitor.config option; (* online invariant monitor *)
 }
 
 let default_scenario ~n ~seed =
@@ -29,10 +30,19 @@ let default_scenario ~n ~seed =
     timeout = 1.0;
     pipeline_window = 1;
     trace = None;
+    monitor = None;
   }
+
+(* Attach the scenario's monitor to a freshly built transport env; called
+   by each baseline right after [Transport.env], before any event flows. *)
+let attach_monitor scenario (env : Icc_sim.Transport.env) =
+  Option.map
+    (fun config -> Icc_sim.Monitor.attach ~config env.Icc_sim.Transport.trace)
+    scenario.monitor
 
 type result = {
   metrics : Icc_sim.Metrics.t;
+  monitor : Icc_sim.Monitor.t option;
   duration : float;
   blocks_committed : int; (* decided by every honest replica *)
   blocks_per_s : float;
@@ -96,8 +106,11 @@ let note_execution tr ~digest ~time =
   Hashtbl.replace tr.counts digest c;
   if c = tr.n_honest then begin
     tr.decided <- tr.decided + 1;
+    let block =
+      if String.length digest > 12 then String.sub digest 0 12 else digest
+    in
     Icc_sim.Trace.emit tr.trace ~time
-      (Icc_sim.Trace.Block_decided { round = tr.decided });
+      (Icc_sim.Trace.Block_decided { round = tr.decided; block });
     match Hashtbl.find_opt tr.propose_times digest with
     | Some t0 -> tr.latencies <- (time -. t0) :: tr.latencies
     | None -> ()

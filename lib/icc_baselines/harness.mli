@@ -14,12 +14,20 @@ type scenario = {
   timeout : float;  (** View-change / pacemaker timeout. *)
   pipeline_window : int;  (** PBFT: batches in flight. *)
   trace : Icc_sim.Trace.t option;  (** Observe the run; [None] = untraced. *)
+  monitor : Icc_sim.Monitor.config option;
+      (** Attach the online invariant monitor to the run's bus. *)
 }
 
 val default_scenario : n:int -> seed:int -> scenario
 
+val attach_monitor :
+  scenario -> Icc_sim.Transport.env -> Icc_sim.Monitor.t option
+(** Attach the scenario's monitor (if any) to a freshly built transport
+    env, before any event flows. *)
+
 type result = {
   metrics : Icc_sim.Metrics.t;
+  monitor : Icc_sim.Monitor.t option;
   duration : float;
   blocks_committed : int;  (** Decided by every honest replica. *)
   blocks_per_s : float;

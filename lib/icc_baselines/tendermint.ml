@@ -226,6 +226,7 @@ let run (scenario : Harness.scenario) : Harness.result =
   let engine = env.Icc_sim.Transport.engine in
   let metrics = env.Icc_sim.Transport.metrics in
   let trace = env.Icc_sim.Transport.trace in
+  let monitor = Harness.attach_monitor scenario env in
   Icc_sim.Trace.emit trace ~time:0.
     (Icc_sim.Trace.Run_start { n; label = "tendermint" });
   let net =
@@ -277,6 +278,7 @@ let run (scenario : Harness.scenario) : Harness.result =
   in
   {
     Harness.metrics;
+    monitor;
     duration = elapsed;
     blocks_committed = tracker.Harness.decided;
     blocks_per_s = float_of_int tracker.Harness.decided /. elapsed;

@@ -324,11 +324,17 @@ and condition_a p =
                 ignore (Pool.add_notarization p.pool cert);
                 (b, cert))
       in
-      emit p (Icc_sim.Trace.Notarize { party = p.id; round = p.round });
+      let block_hash = Block.hash block in
+      emit p
+        (Icc_sim.Trace.Notarize
+           {
+             party = p.id;
+             round = p.round;
+             block = Icc_crypto.Sha256.short_hex block_hash;
+           });
       broadcast p (Message.Notarization cert);
       p.round_done <- true;
       p.rounds_finished <- p.rounds_finished + 1;
-      let block_hash = Block.hash block in
       let n_subset_of_b =
         List.for_all (fun (h, _) -> Icc_crypto.Sha256.equal h block_hash) p.n_shared
       in
@@ -466,7 +472,12 @@ and finalization_pass p =
                 (b, cert))
       in
       emit p
-        (Icc_sim.Trace.Finalize { party = p.id; round = block.Block.round });
+        (Icc_sim.Trace.Finalize
+           {
+             party = p.id;
+             round = block.Block.round;
+             block = Icc_crypto.Sha256.short_hex (Block.hash block);
+           });
       broadcast p (Message.Finalization cert);
       let segment = Chain.segment p.pool block ~from_round:p.kmax in
       List.iter

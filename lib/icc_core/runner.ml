@@ -60,6 +60,7 @@ type scenario = {
   adaptive : bool; (* adaptive delay-bound estimation (paper §1) *)
   prune_depth : int option; (* pool garbage collection below kmax *)
   trace : Icc_sim.Trace.t option; (* observe the run on an external bus *)
+  monitor : Icc_sim.Monitor.config option; (* online invariant monitor *)
 }
 
 let default_scenario ~n ~seed =
@@ -81,6 +82,7 @@ let default_scenario ~n ~seed =
     adaptive = false;
     prune_depth = None;
     trace = None;
+    monitor = None;
   }
 
 (* ICC0's transport: one broadcast network, messages accounted at their
@@ -107,9 +109,12 @@ let direct_transport ctx =
 
 type result = {
   metrics : Icc_sim.Metrics.t;
+  monitor : Icc_sim.Monitor.t option; (* online verdict, when attached *)
   duration : float; (* simulated time actually elapsed *)
   outputs : (int * Block.t list) list; (* honest parties' committed chains *)
   safety_ok : bool; (* output consistency /\ P2 *)
+  prefix_ok : bool; (* committed chains pairwise prefix-consistent *)
+  p2_ok : bool; (* no conflicting notarization next to a finalization *)
   p1_ok : bool;
   rounds_decided : int; (* highest round committed by every honest party *)
   directly_finalized : int list;
@@ -176,6 +181,12 @@ let run scenario =
   let engine = tenv.Icc_sim.Transport.engine in
   let metrics = tenv.Icc_sim.Transport.metrics in
   let trace = tenv.Icc_sim.Transport.trace in
+  (* The monitor subscribes after any external sink (e.g. the JSONL dump),
+     so its Monitor_* announcements land right after the offending line. *)
+  let monitor =
+    Option.map (fun config -> Icc_sim.Monitor.attach ~config trace)
+      scenario.monitor
+  in
   let run_label =
     match scenario.transport with None -> "icc0" | Some _ -> "icc"
   in
@@ -255,16 +266,32 @@ let run scenario =
   let stop_requested = ref false in
   let on_output ~party (b : Block.t) =
     if List.mem party honest_ids then begin
-      let key = (b.Block.round, Block.hash b) in
+      let block_hash = Block.hash b in
+      let key = (b.Block.round, block_hash) in
       let c = 1 + Option.value ~default:0 (Hashtbl.find_opt commit_count key) in
       Hashtbl.replace commit_count key c;
+      (* Per-party commit: detail-level (the monitor's prefix-consistency
+         check and the analyzer consume it), so the digest string is only
+         built when a full subscriber is present. *)
+      if Icc_sim.Trace.detailed trace then
+        Icc_sim.Trace.emit trace ~time:(Icc_sim.Engine.now engine)
+          (Icc_sim.Trace.Commit
+             {
+               party;
+               round = b.Block.round;
+               block = Icc_crypto.Sha256.short_hex block_hash;
+             });
       if c = n_honest then begin
         let nowt = Icc_sim.Engine.now engine in
         (* The metrics sink records the finalization and, when the round's
            proposal time is known, the propose -> all-honest-commit
            latency. *)
         Icc_sim.Trace.emit trace ~time:nowt
-          (Icc_sim.Trace.Block_decided { round = b.Block.round });
+          (Icc_sim.Trace.Block_decided
+             {
+               round = b.Block.round;
+               block = Icc_crypto.Sha256.short_hex block_hash;
+             });
         List.iter
           (fun c ->
             incr committed_cmds;
@@ -388,13 +415,16 @@ let run scenario =
           honest_pools)
       (List.init limit (fun i -> i + 1))
   in
+  let prefix_ok = Check.outputs_consistent outputs in
+  let p2_ok = Check.no_conflicting_notarization honest_pools in
   {
     metrics;
+    monitor;
     duration = elapsed;
     outputs;
-    safety_ok =
-      Check.outputs_consistent outputs
-      && Check.no_conflicting_notarization honest_pools;
+    safety_ok = prefix_ok && p2_ok;
+    prefix_ok;
+    p2_ok;
     p1_ok =
       Check.every_round_notarized honest_pools
         ~limit:(if min_finished = max_int then 0 else min_finished);

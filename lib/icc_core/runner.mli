@@ -77,6 +77,10 @@ type scenario = {
   trace : Icc_sim.Trace.t option;
       (** Observe the run on an external trace bus (e.g. the [--trace]
           JSONL dump); [None] runs on a private bus feeding only metrics. *)
+  monitor : Icc_sim.Monitor.config option;
+      (** Attach the online invariant monitor to the run's bus.  With
+          [abort_on_violation] set, the run raises {!Icc_sim.Monitor.Abort}
+          at the first fatal violation instead of returning a bad result. *)
 }
 
 val default_scenario : n:int -> seed:int -> scenario
@@ -85,10 +89,14 @@ val behavior_of : scenario -> int -> Party.behavior
 
 type result = {
   metrics : Icc_sim.Metrics.t;
+  monitor : Icc_sim.Monitor.t option;
+      (** The attached monitor, for its online verdict and stall log. *)
   duration : float;  (** Simulated time actually elapsed. *)
   outputs : (int * Block.t list) list;
       (** Honest parties' committed chains. *)
-  safety_ok : bool;  (** Output consistency and P2. *)
+  safety_ok : bool;  (** [prefix_ok && p2_ok]. *)
+  prefix_ok : bool;  (** Committed chains pairwise prefix-consistent (§1). *)
+  p2_ok : bool;  (** No conflicting notarization next to a finalization. *)
   p1_ok : bool;  (** Deadlock freeness up to the slowest honest party. *)
   rounds_decided : int;  (** Highest round committed by every honest party. *)
   directly_finalized : int list;

@@ -116,6 +116,19 @@ let to_hex (d : t) =
   String.iter (fun c -> Buffer.add_string buf (Printf.sprintf "%02x" (Char.code c))) d;
   Buffer.contents buf
 
+(* First 12 hex chars: the abbreviated digest form used on the trace bus,
+   where full 64-char digests would dominate line size. *)
+let short_hex (d : t) =
+  let buf = Buffer.create 12 in
+  (try
+     String.iter
+       (fun c ->
+         if Buffer.length buf >= 12 then raise Exit;
+         Buffer.add_string buf (Printf.sprintf "%02x" (Char.code c)))
+       d
+   with Exit -> ());
+  Buffer.contents buf
+
 let equal = String.equal
 let compare = String.compare
 

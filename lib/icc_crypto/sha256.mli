@@ -12,6 +12,11 @@ val digest_bytes : Bytes.t -> t
 val digest_string : string -> t
 
 val to_hex : t -> string
+
+val short_hex : t -> string
+(** First 12 hex chars of {!to_hex} — the abbreviated digest form carried
+    on the simulation trace bus. *)
+
 val equal : t -> t -> bool
 val compare : t -> t -> int
 

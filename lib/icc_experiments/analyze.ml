@@ -1,0 +1,194 @@
+(* Offline trace analysis report — the printing layer of `icc analyze`.
+   All aggregation lives in Icc_sim.Replay; this module renders the
+   waterfall, bandwidth matrices, amplification factors and critical path
+   as terminal tables. *)
+
+type report = {
+  path : string;
+  load : Icc_sim.Replay.load_result;
+  monitor : Icc_sim.Monitor.t;
+  bandwidth : Icc_sim.Replay.bandwidth;
+  rounds : Icc_sim.Replay.round_row list;
+  amplification : Icc_sim.Replay.amplification;
+  critical_round : int option;
+  critical_path : Icc_sim.Replay.path_step list;
+}
+
+(* Pick the round whose critical path we walk by default: the last round
+   that actually decided tells the most complete story. *)
+let default_critical_round rounds =
+  List.fold_left
+    (fun acc (r : Icc_sim.Replay.round_row) ->
+      if r.r_decided <> None then Some r.r_round else acc)
+    None rounds
+
+let analyze ?config ?round path =
+  let load = Icc_sim.Replay.load_file path in
+  let monitor = Icc_sim.Replay.monitor ?config load.entries in
+  let rounds = Icc_sim.Replay.rounds load.entries in
+  let critical_round =
+    match round with Some r -> Some r | None -> default_critical_round rounds
+  in
+  {
+    path;
+    load;
+    monitor;
+    bandwidth = Icc_sim.Replay.bandwidth load.entries;
+    rounds;
+    amplification = Icc_sim.Replay.amplification load.entries;
+    critical_round;
+    critical_path =
+      (match critical_round with
+      | Some round -> Icc_sim.Replay.critical_path load.entries ~round
+      | None -> []);
+  }
+
+let ok r = Icc_sim.Monitor.ok r.monitor
+
+(* --- rendering --------------------------------------------------------- *)
+
+let opt_delta later earlier =
+  match (later, earlier) with
+  | Some l, Some e -> Printf.sprintf "%8.4f" (l -. e)
+  | _ -> "       -"
+
+let opt_time = function
+  | Some t -> Printf.sprintf "%9.4f" t
+  | None -> "        -"
+
+let human_bytes b =
+  if b >= 10_000_000 then Printf.sprintf "%.1fMB" (float_of_int b /. 1e6)
+  else if b >= 10_000 then Printf.sprintf "%.1fkB" (float_of_int b /. 1e3)
+  else Printf.sprintf "%dB" b
+
+let print_header r =
+  Printf.printf "trace    %s\n" r.path;
+  Printf.printf "events   %d parsed" (Array.length r.load.entries);
+  (match r.load.errors with
+  | [] -> print_newline ()
+  | errors ->
+      Printf.printf ", %d unparseable line%s (first: line %d: %s)\n"
+        (List.length errors)
+        (if List.length errors = 1 then "" else "s")
+        (1 + fst (List.hd errors))
+        (snd (List.hd errors)));
+  Printf.printf "parties  %d\n" r.bandwidth.bw_n
+
+let print_monitor r =
+  print_newline ();
+  print_endline (Icc_sim.Monitor.report r.monitor)
+
+(* Per-round pipeline waterfall: per-stage deltas, then p50/p99 rows over
+   the rounds that completed each stage. *)
+let print_waterfall r =
+  print_newline ();
+  print_endline "round pipeline (seconds; deltas between stage arrivals)";
+  print_endline
+    "round      entry    +propose  +notarize  +finalize   +decided";
+  let d_propose = ref [] and d_notarize = ref [] in
+  let d_finalize = ref [] and d_decided = ref [] in
+  let push acc later earlier =
+    match (later, earlier) with
+    | Some l, Some e -> acc := (l -. e) :: !acc
+    | _ -> ()
+  in
+  List.iter
+    (fun (row : Icc_sim.Replay.round_row) ->
+      push d_propose row.r_propose row.r_entry;
+      push d_notarize row.r_notarize row.r_propose;
+      push d_finalize row.r_finalize row.r_notarize;
+      push d_decided row.r_decided row.r_entry;
+      Printf.printf "%5d  %s   %s   %s   %s   %s\n" row.r_round
+        (opt_time row.r_entry)
+        (opt_delta row.r_propose row.r_entry)
+        (opt_delta row.r_notarize row.r_propose)
+        (opt_delta row.r_finalize row.r_notarize)
+        (opt_delta row.r_decided row.r_entry))
+    r.rounds;
+  let stat name samples =
+    if samples <> [] then
+      Printf.printf "%s  p50 %.4f  p99 %.4f  (n=%d)\n" name
+        (Icc_sim.Metrics.percentile 50. samples)
+        (Icc_sim.Metrics.percentile 99. samples)
+        (List.length samples)
+  in
+  stat "entry->propose " !d_propose;
+  stat "propose->notar " !d_notarize;
+  stat "notar->finalize" !d_finalize;
+  stat "entry->decided " !d_decided
+
+let print_bandwidth r =
+  let bw = r.bandwidth in
+  print_newline ();
+  Printf.printf "bandwidth: %d msgs, %s total\n" bw.bw_total_msgs
+    (human_bytes bw.bw_total_bytes);
+  print_endline "by kind:";
+  List.iter
+    (fun (kind, msgs, bytes) ->
+      Printf.printf "  %-18s %8d msgs  %10s\n" kind msgs (human_bytes bytes))
+    bw.bw_by_kind;
+  if bw.bw_n > 0 && bw.bw_n <= 16 then begin
+    print_endline "bytes src -> dst (broadcast spread over recipients):";
+    print_string "        ";
+    for dst = 1 to bw.bw_n do
+      Printf.printf "%9s" (Printf.sprintf "->%d" dst)
+    done;
+    print_string "      sent\n";
+    for src = 1 to bw.bw_n do
+      Printf.printf "  p%-3d  " src;
+      for dst = 1 to bw.bw_n do
+        Printf.printf "%9s"
+          (if src = dst then "." else human_bytes bw.bw_bytes.(src).(dst))
+      done;
+      Printf.printf "%10s\n" (human_bytes bw.bw_sent_bytes.(src))
+    done;
+    print_string "  recv  ";
+    for dst = 1 to bw.bw_n do
+      Printf.printf "%9s" (human_bytes bw.bw_recv_bytes.(dst))
+    done;
+    print_newline ()
+  end
+  else if bw.bw_n > 16 then
+    Printf.printf "(per-party matrix suppressed for n = %d > 16)\n" bw.bw_n
+
+let print_amplification r =
+  let a = r.amplification in
+  print_newline ();
+  Printf.printf "amplification: %d blocks decided" a.amp_decided;
+  if a.amp_decided > 0 then
+    Printf.printf ", %.1f msgs/block, %s/block" a.amp_msgs_per_block
+      (human_bytes (int_of_float a.amp_bytes_per_block));
+  print_newline ();
+  if a.amp_gossip_publish > 0 then
+    Printf.printf
+      "  gossip: %d publish, %d request, %d acquire (%.2f acquires/publish)\n"
+      a.amp_gossip_publish a.amp_gossip_request a.amp_gossip_acquire
+      a.amp_acquire_per_publish;
+  if a.amp_rbc_fragments > 0 || a.amp_rbc_echoes > 0 then
+    Printf.printf
+      "  rbc: %d fragments, %d echoes, %d reconstructs, %d inconsistent\n"
+      a.amp_rbc_fragments a.amp_rbc_echoes a.amp_rbc_reconstructs
+      a.amp_rbc_inconsistent
+
+let print_critical_path r =
+  match r.critical_round with
+  | None -> ()
+  | Some round ->
+      print_newline ();
+      Printf.printf "critical path, round %d (propose -> decided):\n" round;
+      if r.critical_path = [] then
+        print_endline "  (round not present in the trace)"
+      else
+        List.iter
+          (fun (s : Icc_sim.Replay.path_step) ->
+            Printf.printf "  %9.4f  +%.4f  %s\n" s.ps_time s.ps_delta
+              s.ps_label)
+          r.critical_path
+
+let print r =
+  print_header r;
+  print_monitor r;
+  print_waterfall r;
+  print_bandwidth r;
+  print_amplification r;
+  print_critical_path r

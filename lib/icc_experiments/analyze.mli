@@ -1,0 +1,27 @@
+(** The [icc analyze] report: re-run the invariant {!Icc_sim.Monitor}
+    offline over a [--trace] JSONL dump and render the per-round pipeline
+    waterfall, bandwidth matrices, dissemination amplification and the
+    causal critical path of one round. *)
+
+type report = {
+  path : string;
+  load : Icc_sim.Replay.load_result;
+  monitor : Icc_sim.Monitor.t;
+  bandwidth : Icc_sim.Replay.bandwidth;
+  rounds : Icc_sim.Replay.round_row list;
+  amplification : Icc_sim.Replay.amplification;
+  critical_round : int option;
+      (** The round the critical path walks: [?round] if given, else the
+          last decided round in the trace. *)
+  critical_path : Icc_sim.Replay.path_step list;
+}
+
+val analyze :
+  ?config:Icc_sim.Monitor.config -> ?round:int -> string -> report
+(** Load and aggregate a JSONL trace file.  Raises [Sys_error] if the
+    file cannot be read; unparseable lines are collected, not fatal. *)
+
+val ok : report -> bool
+(** The offline monitor re-run found no fatal violation. *)
+
+val print : report -> unit

@@ -87,7 +87,7 @@ let attach t trace =
       | Trace.Round_entry { round; _ } -> record_round_entry t ~round ~time
       | Trace.Propose { round; _ } -> record_proposal t ~round ~time
       | Trace.Notarize { round; _ } -> record_notarization t ~round ~time
-      | Trace.Block_decided { round } -> (
+      | Trace.Block_decided { round; _ } -> (
           record_finalization t ~round ~time;
           match Hashtbl.find_opt t.proposal_by_round round with
           | Some t0 -> record_latency t (time -. t0)

@@ -1,0 +1,321 @@
+(* Offline trace analysis: read a [--trace] JSONL dump back into typed
+   events ({!Trace.of_json}) and aggregate what the online consumers
+   compute incrementally — plus the matrices and causal views that are too
+   expensive to maintain during a run.
+
+   This module is pure aggregation; the [icc analyze] report printer lives
+   in Icc_experiments.Analyze. *)
+
+type entry = { time : float; event : Trace.event; line : int } (* 0-based *)
+
+type load_result = {
+  entries : entry array;
+  errors : (int * string) list; (* (0-based line, message), in file order *)
+}
+
+let parse_lines lines =
+  let entries = ref [] and errors = ref [] and line_no = ref (-1) in
+  List.iter
+    (fun line ->
+      incr line_no;
+      if String.trim line <> "" then
+        match Trace.of_json line with
+        | Ok (time, event) ->
+            entries := { time; event; line = !line_no } :: !entries
+        | Error msg -> errors := (!line_no, msg) :: !errors)
+    lines;
+  { entries = Array.of_list (List.rev !entries); errors = List.rev !errors }
+
+let load_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let lines = ref [] in
+      (try
+         while true do
+           lines := input_line ic :: !lines
+         done
+       with End_of_file -> ());
+      parse_lines (List.rev !lines))
+
+(* Re-run the online monitor over a recorded stream.  Monitor_* events
+   already present in the dump are fed through too (the monitor counts but
+   ignores them), so reported event indices keep matching file lines. *)
+let monitor ?(config = Monitor.default_config ~delta:1.0 ()) entries =
+  let m = Monitor.create config in
+  Array.iter (fun e -> Monitor.observe m ~time:e.time e.event) entries;
+  m
+
+(* --- traffic ----------------------------------------------------------- *)
+
+let parties entries =
+  let n = ref 0 in
+  Array.iter
+    (fun e ->
+      match e.event with
+      | Trace.Run_start { n = rn; _ } -> n := max !n rn
+      | Trace.Net_send { src; dst; _ } | Trace.Net_deliver { src; dst; _ } ->
+          n := max !n (max src dst)
+      | _ -> ())
+    entries;
+  !n
+
+type bandwidth = {
+  bw_n : int;
+  bw_msgs : int array array; (* [src][dst] transmissions, indices 1..n *)
+  bw_bytes : int array array;
+  bw_sent_bytes : int array; (* per src, row totals *)
+  bw_recv_bytes : int array; (* per dst, column totals *)
+  bw_by_kind : (string * int * int) list; (* kind, msgs, bytes — sorted *)
+  bw_total_msgs : int;
+  bw_total_bytes : int;
+}
+
+(* Broadcast convention (pinned by test/test_monitor.ml): a [Net_send] with
+   [dst = 0] models [copies] unicast transmissions from [src] — one to each
+   of the [copies] lowest-numbered parties other than [src].  The network
+   layer always emits broadcasts with [copies = n - 1], so this attributes
+   exactly one copy to every other party; the round-robin rule keeps the
+   row/column totals right even for foreign traces with partial fanout. *)
+let bandwidth entries =
+  let n = parties entries in
+  let msgs = Array.make_matrix (n + 1) (n + 1) 0 in
+  let bytes = Array.make_matrix (n + 1) (n + 1) 0 in
+  let by_kind_msgs = Hashtbl.create 16 and by_kind_bytes = Hashtbl.create 16 in
+  let bump tbl key v =
+    Hashtbl.replace tbl key (v + Option.value ~default:0 (Hashtbl.find_opt tbl key))
+  in
+  let record ~src ~dst ~size =
+    if src >= 0 && src <= n && dst >= 1 && dst <= n then begin
+      msgs.(src).(dst) <- msgs.(src).(dst) + 1;
+      bytes.(src).(dst) <- bytes.(src).(dst) + size
+    end
+  in
+  Array.iter
+    (fun e ->
+      match e.event with
+      | Trace.Net_send { src; dst; kind; size; copies } ->
+          if dst = 0 then begin
+            (* copies transmissions, spread over the other parties *)
+            let sent = ref 0 and d = ref 1 in
+            while !sent < copies && !d <= n do
+              if !d <> src then begin
+                record ~src ~dst:!d ~size;
+                incr sent
+              end;
+              incr d
+            done;
+            bump by_kind_msgs kind copies;
+            bump by_kind_bytes kind (size * copies)
+          end
+          else begin
+            record ~src ~dst ~size;
+            bump by_kind_msgs kind copies;
+            bump by_kind_bytes kind (size * copies)
+          end
+      | _ -> ())
+    entries;
+  let row_sum m i = Array.fold_left ( + ) 0 m.(i) in
+  let col_sum m j =
+    let s = ref 0 in
+    for i = 0 to n do
+      s := !s + m.(i).(j)
+    done;
+    !s
+  in
+  let by_kind =
+    Hashtbl.fold
+      (fun kind m acc ->
+        (kind, m, Option.value ~default:0 (Hashtbl.find_opt by_kind_bytes kind))
+        :: acc)
+      by_kind_msgs []
+    |> List.sort compare
+  in
+  {
+    bw_n = n;
+    bw_msgs = msgs;
+    bw_bytes = bytes;
+    bw_sent_bytes = Array.init (n + 1) (fun i -> row_sum bytes i);
+    bw_recv_bytes = Array.init (n + 1) (fun j -> col_sum bytes j);
+    bw_by_kind = by_kind;
+    bw_total_msgs = List.fold_left (fun a (_, m, _) -> a + m) 0 by_kind;
+    bw_total_bytes = List.fold_left (fun a (_, _, b) -> a + b) 0 by_kind;
+  }
+
+(* --- per-round pipeline ------------------------------------------------ *)
+
+type round_row = {
+  r_round : int;
+  r_entry : float option; (* first Round_entry *)
+  r_propose : float option;
+  r_notarize : float option;
+  r_finalize : float option;
+  r_decided : float option;
+}
+
+let rounds entries =
+  let tbl : (int, round_row ref) Hashtbl.t = Hashtbl.create 64 in
+  let row round =
+    match Hashtbl.find_opt tbl round with
+    | Some r -> r
+    | None ->
+        let r =
+          ref
+            {
+              r_round = round;
+              r_entry = None;
+              r_propose = None;
+              r_notarize = None;
+              r_finalize = None;
+              r_decided = None;
+            }
+        in
+        Hashtbl.add tbl round r;
+        r
+  in
+  let first field time = match field with None -> Some time | some -> some in
+  Array.iter
+    (fun e ->
+      match e.event with
+      | Trace.Round_entry { round; _ } ->
+          let r = row round in
+          r := { !r with r_entry = first !r.r_entry e.time }
+      | Trace.Propose { round; _ } ->
+          let r = row round in
+          r := { !r with r_propose = first !r.r_propose e.time }
+      | Trace.Notarize { round; _ } ->
+          let r = row round in
+          r := { !r with r_notarize = first !r.r_notarize e.time }
+      | Trace.Finalize { round; _ } ->
+          let r = row round in
+          r := { !r with r_finalize = first !r.r_finalize e.time }
+      | Trace.Block_decided { round; _ } ->
+          let r = row round in
+          r := { !r with r_decided = first !r.r_decided e.time }
+      | _ -> ())
+    entries;
+  Hashtbl.fold (fun _ r acc -> !r :: acc) tbl []
+  |> List.sort (fun a b -> compare a.r_round b.r_round)
+
+(* --- dissemination amplification --------------------------------------- *)
+
+type amplification = {
+  amp_decided : int; (* Block_decided count *)
+  amp_msgs_per_block : float;
+  amp_bytes_per_block : float;
+  amp_gossip_publish : int;
+  amp_gossip_request : int;
+  amp_gossip_acquire : int;
+  amp_acquire_per_publish : float; (* artifact fan-out over the peer graph *)
+  amp_rbc_fragments : int;
+  amp_rbc_echoes : int;
+  amp_rbc_reconstructs : int;
+  amp_rbc_inconsistent : int;
+}
+
+let amplification entries =
+  let decided = ref 0
+  and publish = ref 0
+  and request = ref 0
+  and acquire = ref 0
+  and fragments = ref 0
+  and echoes = ref 0
+  and reconstructs = ref 0
+  and inconsistent = ref 0
+  and msgs = ref 0
+  and bytes = ref 0 in
+  Array.iter
+    (fun e ->
+      match e.event with
+      | Trace.Block_decided _ -> incr decided
+      | Trace.Gossip_publish _ -> incr publish
+      | Trace.Gossip_request _ -> incr request
+      | Trace.Gossip_acquire _ -> incr acquire
+      | Trace.Rbc_fragment _ -> incr fragments
+      | Trace.Rbc_echo _ -> incr echoes
+      | Trace.Rbc_reconstruct _ -> incr reconstructs
+      | Trace.Rbc_inconsistent _ -> incr inconsistent
+      | Trace.Net_send { size; copies; _ } ->
+          msgs := !msgs + copies;
+          bytes := !bytes + (size * copies)
+      | _ -> ())
+    entries;
+  let per_block v =
+    if !decided = 0 then nan else float_of_int v /. float_of_int !decided
+  in
+  {
+    amp_decided = !decided;
+    amp_msgs_per_block = per_block !msgs;
+    amp_bytes_per_block = per_block !bytes;
+    amp_gossip_publish = !publish;
+    amp_gossip_request = !request;
+    amp_gossip_acquire = !acquire;
+    amp_acquire_per_publish =
+      (if !publish = 0 then nan
+       else float_of_int !acquire /. float_of_int !publish);
+    amp_rbc_fragments = !fragments;
+    amp_rbc_echoes = !echoes;
+    amp_rbc_reconstructs = !reconstructs;
+    amp_rbc_inconsistent = !inconsistent;
+  }
+
+(* --- causal critical path ---------------------------------------------- *)
+
+type path_step = { ps_label : string; ps_time : float; ps_delta : float }
+
+(* Milestone-level critical path of one round: entry, the proposal, the
+   first/median/last notarization (the last honest notarizer is what gates
+   the next round), the finalization certificate and the decision.  The
+   slowest link is the chain's bottleneck. *)
+let critical_path entries ~round =
+  let entry = ref None
+  and propose = ref None
+  and notarizes = ref []
+  and finalize = ref None
+  and decided = ref None in
+  Array.iter
+    (fun e ->
+      match e.event with
+      | Trace.Round_entry { round = r; _ } when r = round ->
+          if !entry = None then entry := Some e.time
+      | Trace.Propose { round = r; party } when r = round ->
+          if !propose = None then propose := Some (e.time, party)
+      | Trace.Notarize { round = r; party; _ } when r = round ->
+          notarizes := (e.time, party) :: !notarizes
+      | Trace.Finalize { round = r; _ } when r = round ->
+          if !finalize = None then finalize := Some e.time
+      | Trace.Block_decided { round = r; _ } when r = round ->
+          if !decided = None then decided := Some e.time
+      | _ -> ())
+    entries;
+  let notarizes = List.sort compare (List.rev !notarizes) in
+  let steps = ref [] in
+  let prev = ref None in
+  let add label time =
+    let delta = match !prev with None -> 0. | Some p -> time -. p in
+    prev := Some time;
+    steps := { ps_label = label; ps_time = time; ps_delta = delta } :: !steps
+  in
+  Option.iter (fun t -> add "round-entry" t) !entry;
+  Option.iter
+    (fun (t, party) -> add (Printf.sprintf "propose (party %d)" party) t)
+    !propose;
+  (match notarizes with
+  | [] -> ()
+  | l ->
+      let arr = Array.of_list l in
+      let len = Array.length arr in
+      let t0, p0 = arr.(0) in
+      add (Printf.sprintf "first notarize (party %d)" p0) t0;
+      if len > 2 then begin
+        let tm, pm = arr.(len / 2) in
+        add (Printf.sprintf "median notarize (party %d)" pm) tm
+      end;
+      if len > 1 then begin
+        let tl, pl = arr.(len - 1) in
+        add (Printf.sprintf "last notarize (party %d)" pl) tl
+      end);
+  Option.iter (fun t -> add "finalize cert" t) !finalize;
+  Option.iter (fun t -> add "block decided" t) !decided;
+  List.rev !steps

@@ -1,0 +1,91 @@
+(** Offline trace analysis: parse a [--trace] JSONL dump back into typed
+    events and aggregate per-round pipelines, bandwidth matrices,
+    dissemination amplification and causal critical paths.  Pure
+    aggregation — the [icc analyze] printer lives in
+    [Icc_experiments.Analyze]. *)
+
+type entry = {
+  time : float;
+  event : Trace.event;
+  line : int;  (** 0-based line in the source file. *)
+}
+
+type load_result = {
+  entries : entry array;  (** Parsed events, in file order. *)
+  errors : (int * string) list;  (** Unparseable lines: (line, message). *)
+}
+
+val parse_lines : string list -> load_result
+val load_file : string -> load_result
+
+val monitor : ?config:Monitor.config -> entry array -> Monitor.t
+(** Re-run the online {!Monitor} over a recorded stream.  [Monitor_*]
+    events already in the dump are counted but ignored, so reported
+    indices keep matching file lines. *)
+
+val parties : entry array -> int
+(** [n] from [Run_start], widened by any party id seen in traffic. *)
+
+(** {1 Bandwidth} *)
+
+type bandwidth = {
+  bw_n : int;
+  bw_msgs : int array array;
+      (** Transmissions, indexed [src][dst] over 1..n.  A broadcast
+          ([Net_send] with [dst = 0]) counts as [copies] transmissions:
+          one to each of the [copies] lowest-numbered parties other than
+          [src] (the network always emits [copies = n - 1], i.e. one per
+          other party). *)
+  bw_bytes : int array array;
+  bw_sent_bytes : int array;  (** Row totals per src. *)
+  bw_recv_bytes : int array;  (** Column totals per dst. *)
+  bw_by_kind : (string * int * int) list;  (** kind, msgs, bytes; sorted. *)
+  bw_total_msgs : int;
+  bw_total_bytes : int;
+}
+
+val bandwidth : entry array -> bandwidth
+
+(** {1 Per-round pipeline} *)
+
+type round_row = {
+  r_round : int;
+  r_entry : float option;  (** First [Round_entry]. *)
+  r_propose : float option;
+  r_notarize : float option;
+  r_finalize : float option;
+  r_decided : float option;
+}
+
+val rounds : entry array -> round_row list  (** Ascending by round. *)
+
+(** {1 Dissemination amplification} *)
+
+type amplification = {
+  amp_decided : int;
+  amp_msgs_per_block : float;
+  amp_bytes_per_block : float;
+  amp_gossip_publish : int;
+  amp_gossip_request : int;
+  amp_gossip_acquire : int;
+  amp_acquire_per_publish : float;
+  amp_rbc_fragments : int;
+  amp_rbc_echoes : int;
+  amp_rbc_reconstructs : int;
+  amp_rbc_inconsistent : int;
+}
+
+val amplification : entry array -> amplification
+
+(** {1 Causal critical path} *)
+
+type path_step = {
+  ps_label : string;
+  ps_time : float;
+  ps_delta : float;  (** Seconds since the previous step. *)
+}
+
+val critical_path : entry array -> round:int -> path_step list
+(** Milestone chain from a round's entry through its proposal, its
+    first/median/last notarizations, the finalization certificate and the
+    decision; empty if the round never appears. *)

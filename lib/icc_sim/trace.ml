@@ -4,19 +4,21 @@
 
    Two subscription levels keep the bus free when nobody is watching:
 
-     - [core] events are the ones {!Metrics} consumes (traffic accounting
-       and the per-round protocol milestones).  Their payloads are values
-       the emitting layer has already computed, so emitting them costs one
-       allocation plus a list dispatch.
+     - [core] events are the ones {!Metrics} and {!Monitor} consume
+       (traffic accounting and the per-round protocol milestones).  Their
+       payloads are values the emitting layer has already computed, so
+       emitting them costs one allocation plus a list dispatch.
      - detail events (deliveries, holds, gossip/RBC internals, engine
-       dispatch) exist only for observability.  Layers guard their
-       construction with {!detailed}, so an untraced run never builds
-       them — this is the zero-cost-when-off contract.
+       dispatch, per-party commits) exist only for observability.  Layers
+       guard their construction with {!detailed}, so an untraced run never
+       builds them — this is the zero-cost-when-off contract.
 
    Sinks run synchronously in subscription order and must not mutate
    simulation state; nothing about scheduling or randomness depends on who
    is listening, which is what keeps traced and untraced runs of the same
-   seed byte-identical. *)
+   seed byte-identical.  A sink may re-enter [emit] (the {!Monitor} does,
+   to announce violations); the re-emitted event reaches every sink after
+   the event being processed, preserving file order in JSONL dumps. *)
 
 type event =
   (* run framing *)
@@ -37,23 +39,30 @@ type event =
   | Rbc_echo of { party : int; round : int; proposer : int }
   | Rbc_reconstruct of { party : int; round : int; proposer : int }
   | Rbc_inconsistent of { party : int; round : int; proposer : int }
-  (* protocol layer *)
+  (* protocol layer; [block] is a short hex digest of the block involved *)
   | Round_entry of { party : int; round : int }
   | Propose of { party : int; round : int }
-  | Notarize of { party : int; round : int }
-  | Finalize of { party : int; round : int }
+  | Notarize of { party : int; round : int; block : string }
+  | Finalize of { party : int; round : int; block : string }
   | Beacon_share of { party : int; round : int }
-  | Block_decided of { round : int }
+  | Commit of { party : int; round : int; block : string }
+  | Block_decided of { round : int; block : string }
+  (* online invariant monitor *)
+  | Monitor_violation of { round : int; what : string; detail : string }
+  | Monitor_stall of { round : int; stage : string; waited : float }
+  | Monitor_clear of { round : int; stage : string; waited : float }
 
 type level = Core | Detail
 
 let level_of = function
   | Run_start _ | Run_end _ | Net_send _ | Round_entry _ | Propose _
-  | Notarize _ | Block_decided _ ->
+  | Notarize _ | Block_decided _ | Monitor_violation _ | Monitor_stall _
+  | Monitor_clear _ ->
       Core
   | Engine_dispatch _ | Net_deliver _ | Net_hold _ | Gossip_publish _
   | Gossip_request _ | Gossip_acquire _ | Rbc_fragment _ | Rbc_echo _
-  | Rbc_reconstruct _ | Rbc_inconsistent _ | Finalize _ | Beacon_share _ ->
+  | Rbc_reconstruct _ | Rbc_inconsistent _ | Finalize _ | Beacon_share _
+  | Commit _ ->
       Detail
 
 type sink = { all : bool; fn : time:float -> event -> unit }
@@ -100,7 +109,11 @@ let kind_of = function
   | Notarize _ -> "notarize"
   | Finalize _ -> "finalize"
   | Beacon_share _ -> "beacon-share"
+  | Commit _ -> "commit"
   | Block_decided _ -> "block-decided"
+  | Monitor_violation _ -> "monitor-violation"
+  | Monitor_stall _ -> "monitor-stall"
+  | Monitor_clear _ -> "monitor-clear"
 
 (* Strings on the bus are message kinds and artifact ids (printable ASCII),
    but escape defensively so every emitted line is valid JSON. *)
@@ -149,10 +162,288 @@ let to_json ~time ev =
         p {|"party":%d,"round":%d,"proposer":%d|} party round proposer
     | Round_entry { party; round }
     | Propose { party; round }
-    | Notarize { party; round }
-    | Finalize { party; round }
     | Beacon_share { party; round } ->
         p {|"party":%d,"round":%d|} party round
-    | Block_decided { round } -> p {|"round":%d|} round
+    | Notarize { party; round; block }
+    | Finalize { party; round; block }
+    | Commit { party; round; block } ->
+        p {|"party":%d,"round":%d,"block":"%s"|} party round
+          (json_escape block)
+    | Block_decided { round; block } ->
+        p {|"round":%d,"block":"%s"|} round (json_escape block)
+    | Monitor_violation { round; what; detail } ->
+        p {|"round":%d,"what":"%s","detail":"%s"|} round (json_escape what)
+          (json_escape detail)
+    | Monitor_stall { round; stage; waited } ->
+        p {|"round":%d,"stage":"%s","waited":%.6f|} round (json_escape stage)
+          waited
+    | Monitor_clear { round; stage; waited } ->
+        p {|"round":%d,"stage":"%s","waited":%.6f|} round (json_escape stage)
+          waited
   in
   p {|{"t":%.6f,"ev":"%s",%s}|} time (kind_of ev) fields
+
+(* --- parsing (the inverse of [to_json]) -------------------------------- *)
+
+(* [to_json] only ever produces flat objects whose values are integers,
+   floats and escaped strings, so the parser below covers exactly that
+   grammar (plus standard JSON escapes, defensively).  Keeping it inverse-
+   exact is what locks the JSONL schema: the round-trip property test in
+   test/test_trace.ml fails on any drift between the two. *)
+
+type jvalue = Jint of int | Jfloat of float | Jstring of string
+
+exception Parse_error of string
+
+let parse_flat_object line =
+  let len = String.length line in
+  let pos = ref 0 in
+  let fail msg = raise (Parse_error (Printf.sprintf "%s at byte %d" msg !pos)) in
+  let peek () = if !pos < len then Some line.[!pos] else None in
+  let skip_ws () =
+    while !pos < len && (line.[!pos] = ' ' || line.[!pos] = '\t') do incr pos done
+  in
+  let expect c =
+    if !pos < len && line.[!pos] = c then incr pos
+    else fail (Printf.sprintf "expected '%c'" c)
+  in
+  let hex4 () =
+    if !pos + 4 > len then fail "truncated \\u escape";
+    let h = String.sub line !pos 4 in
+    pos := !pos + 4;
+    match int_of_string_opt ("0x" ^ h) with
+    | Some c -> c
+    | None -> fail "bad \\u escape"
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      if !pos >= len then fail "unterminated string";
+      match line.[!pos] with
+      | '"' -> incr pos
+      | '\\' ->
+          incr pos;
+          if !pos >= len then fail "truncated escape";
+          let c = line.[!pos] in
+          incr pos;
+          (match c with
+          | '"' -> Buffer.add_char b '"'
+          | '\\' -> Buffer.add_char b '\\'
+          | '/' -> Buffer.add_char b '/'
+          | 'n' -> Buffer.add_char b '\n'
+          | 't' -> Buffer.add_char b '\t'
+          | 'r' -> Buffer.add_char b '\r'
+          | 'b' -> Buffer.add_char b '\b'
+          | 'f' -> Buffer.add_char b '\012'
+          | 'u' ->
+              let c = hex4 () in
+              if c > 0xff then fail "non-ASCII \\u escape"
+              else Buffer.add_char b (Char.chr c)
+          | _ -> fail "unknown escape");
+          go ()
+      | c ->
+          Buffer.add_char b c;
+          incr pos;
+          go ()
+    in
+    go ();
+    Buffer.contents b
+  in
+  let parse_number () =
+    let start = !pos in
+    let numchar c =
+      (c >= '0' && c <= '9') || c = '-' || c = '+' || c = '.' || c = 'e'
+      || c = 'E'
+    in
+    while !pos < len && numchar line.[!pos] do incr pos done;
+    if !pos = start then fail "expected number";
+    let s = String.sub line start (!pos - start) in
+    let is_float =
+      String.exists (fun c -> c = '.' || c = 'e' || c = 'E') s
+    in
+    if is_float then
+      match float_of_string_opt s with
+      | Some f -> Jfloat f
+      | None -> fail "bad float"
+    else
+      match int_of_string_opt s with
+      | Some i -> Jint i
+      | None -> fail "bad integer"
+  in
+  skip_ws ();
+  expect '{';
+  let fields = ref [] in
+  skip_ws ();
+  if peek () = Some '}' then incr pos
+  else begin
+    let rec members () =
+      skip_ws ();
+      let key = parse_string () in
+      skip_ws ();
+      expect ':';
+      skip_ws ();
+      let v =
+        match peek () with
+        | Some '"' -> Jstring (parse_string ())
+        | _ -> parse_number ()
+      in
+      fields := (key, v) :: !fields;
+      skip_ws ();
+      match peek () with
+      | Some ',' ->
+          incr pos;
+          members ()
+      | Some '}' -> incr pos
+      | _ -> fail "expected ',' or '}'"
+    in
+    members ()
+  end;
+  skip_ws ();
+  if !pos <> len then fail "trailing garbage";
+  List.rev !fields
+
+let of_json line =
+  match parse_flat_object line with
+  | exception Parse_error msg -> Error msg
+  | fields -> (
+      let find name =
+        match List.assoc_opt name fields with
+        | Some v -> v
+        | None -> raise (Parse_error (Printf.sprintf "missing field %S" name))
+      in
+      let int name =
+        match find name with
+        | Jint i -> i
+        | _ -> raise (Parse_error (Printf.sprintf "field %S: expected int" name))
+      in
+      let str name =
+        match find name with
+        | Jstring s -> s
+        | _ ->
+            raise (Parse_error (Printf.sprintf "field %S: expected string" name))
+      in
+      let flt name =
+        match find name with
+        | Jfloat f -> f
+        | Jint i -> float_of_int i
+        | _ ->
+            raise (Parse_error (Printf.sprintf "field %S: expected number" name))
+      in
+      match
+        let time = flt "t" in
+        let ev =
+          match str "ev" with
+          | "run-start" -> Run_start { n = int "n"; label = str "label" }
+          | "run-end" -> Run_end { label = str "label" }
+          | "engine-dispatch" -> Engine_dispatch { seq = int "seq" }
+          | "net-send" ->
+              Net_send
+                {
+                  src = int "src";
+                  dst = int "dst";
+                  kind = str "kind";
+                  size = int "size";
+                  copies = int "copies";
+                }
+          | "net-deliver" ->
+              Net_deliver
+                {
+                  src = int "src";
+                  dst = int "dst";
+                  kind = str "kind";
+                  size = int "size";
+                }
+          | "net-hold" ->
+              Net_hold
+                {
+                  src = int "src";
+                  dst = int "dst";
+                  kind = str "kind";
+                  release = flt "release";
+                }
+          | "gossip-publish" ->
+              Gossip_publish { party = int "party"; artifact = str "artifact" }
+          | "gossip-request" ->
+              Gossip_request
+                {
+                  party = int "party";
+                  peer = int "peer";
+                  artifact = str "artifact";
+                }
+          | "gossip-acquire" ->
+              Gossip_acquire
+                {
+                  party = int "party";
+                  peer = int "peer";
+                  artifact = str "artifact";
+                }
+          | "rbc-fragment" ->
+              Rbc_fragment
+                {
+                  party = int "party";
+                  round = int "round";
+                  proposer = int "proposer";
+                  index = int "index";
+                }
+          | "rbc-echo" ->
+              Rbc_echo
+                {
+                  party = int "party";
+                  round = int "round";
+                  proposer = int "proposer";
+                }
+          | "rbc-reconstruct" ->
+              Rbc_reconstruct
+                {
+                  party = int "party";
+                  round = int "round";
+                  proposer = int "proposer";
+                }
+          | "rbc-inconsistent" ->
+              Rbc_inconsistent
+                {
+                  party = int "party";
+                  round = int "round";
+                  proposer = int "proposer";
+                }
+          | "round-entry" ->
+              Round_entry { party = int "party"; round = int "round" }
+          | "propose" -> Propose { party = int "party"; round = int "round" }
+          | "notarize" ->
+              Notarize
+                { party = int "party"; round = int "round"; block = str "block" }
+          | "finalize" ->
+              Finalize
+                { party = int "party"; round = int "round"; block = str "block" }
+          | "beacon-share" ->
+              Beacon_share { party = int "party"; round = int "round" }
+          | "commit" ->
+              Commit
+                { party = int "party"; round = int "round"; block = str "block" }
+          | "block-decided" ->
+              Block_decided { round = int "round"; block = str "block" }
+          | "monitor-violation" ->
+              Monitor_violation
+                { round = int "round"; what = str "what"; detail = str "detail" }
+          | "monitor-stall" ->
+              Monitor_stall
+                {
+                  round = int "round";
+                  stage = str "stage";
+                  waited = flt "waited";
+                }
+          | "monitor-clear" ->
+              Monitor_clear
+                {
+                  round = int "round";
+                  stage = str "stage";
+                  waited = flt "waited";
+                }
+          | other ->
+              raise (Parse_error (Printf.sprintf "unknown event kind %S" other))
+        in
+        (time, ev)
+      with
+      | exception Parse_error msg -> Error msg
+      | parsed -> Ok parsed)

@@ -4,10 +4,15 @@
 
     {!Metrics.attach} subscribes at the [core] level (traffic accounting and
     per-round milestones); external observers — the [--trace] JSONL dump,
-    the bench timeline — subscribe to everything.  Detail events are only
-    constructed when {!detailed} is true, so an unobserved run pays nothing
-    for them, and sinks never influence scheduling, so traced and untraced
-    runs of the same seed are byte-identical. *)
+    the bench timeline, the online {!Monitor} — subscribe to everything.
+    Detail events are only constructed when {!detailed} is true, so an
+    unobserved run pays nothing for them, and sinks never influence
+    scheduling, so traced and untraced runs of the same seed are
+    byte-identical.
+
+    The JSONL schema is bidirectional: {!to_json} serialises one event per
+    line and {!of_json} parses it back, round-tripping every constructor
+    (property-tested in test/test_trace.ml). *)
 
 type event =
   | Run_start of { n : int; label : string }
@@ -27,19 +32,31 @@ type event =
   | Rbc_inconsistent of { party : int; round : int; proposer : int }
   | Round_entry of { party : int; round : int }
   | Propose of { party : int; round : int }
-  | Notarize of { party : int; round : int }
-  | Finalize of { party : int; round : int }
+  | Notarize of { party : int; round : int; block : string }
+      (** A party assembled a notarization certificate for [block] (short
+          hex digest). *)
+  | Finalize of { party : int; round : int; block : string }
       (** A party assembled a finalization certificate. *)
   | Beacon_share of { party : int; round : int }
-  | Block_decided of { round : int }
+  | Commit of { party : int; round : int; block : string }
+      (** One party appended [block] to its committed chain. *)
+  | Block_decided of { round : int; block : string }
       (** Every honest party committed the round's block. *)
+  | Monitor_violation of { round : int; what : string; detail : string }
+      (** {!Monitor} caught an invariant violation or Byzantine evidence. *)
+  | Monitor_stall of { round : int; stage : string; waited : float }
+      (** {!Monitor}'s liveness watchdog: [stage] of [round] has made no
+          progress for [waited] simulated seconds. *)
+  | Monitor_clear of { round : int; stage : string; waited : float }
+      (** A previously flagged stall recovered after [waited] seconds. *)
 
 type level = Core | Detail
 
 val level_of : event -> level
-(** [Core] events drive {!Metrics}; [Detail] events exist for observability
-    only and are skipped entirely (not even constructed, at guarded call
-    sites) unless a full subscriber is present. *)
+(** [Core] events drive {!Metrics} and {!Monitor} safety checks; [Detail]
+    events exist for observability only and are skipped entirely (not even
+    constructed, at guarded call sites) unless a full subscriber is
+    present. *)
 
 type t
 
@@ -48,7 +65,8 @@ val create : unit -> t
 val subscribe : ?all:bool -> t -> (time:float -> event -> unit) -> unit
 (** Register a sink, called synchronously in subscription order.  With
     [all:false] the sink receives only [Core] events.  Sinks must not
-    mutate simulation state. *)
+    mutate simulation state; they may re-enter {!emit} (the monitor
+    announces violations this way). *)
 
 val active : t -> bool
 (** Some sink is subscribed. *)
@@ -67,3 +85,8 @@ val kind_of : event -> string
 val to_json : time:float -> event -> string
 (** One JSON object (no trailing newline):
     [{"t":<time>,"ev":"<kind>",...payload fields}]. *)
+
+val of_json : string -> (float * event, string) result
+(** Parse one line produced by {!to_json} back into [(time, event)].
+    Exact inverse over every constructor; [Error] carries a message with
+    the offending byte offset for malformed input. *)

@@ -14,6 +14,8 @@ let () =
       ("merkle", Test_merkle.suite);
       ("sim", Test_sim.suite);
       ("trace", Test_trace.suite);
+      ("monitor", Test_monitor.suite);
+      ("replay", Test_replay.suite);
       ("erasure", Test_erasure.suite);
       ("block", Test_block.suite);
       ("pool", Test_pool.suite);

@@ -1,0 +1,194 @@
+(* Offline trace analysis: JSONL parsing, the pinned broadcast accounting
+   convention in the bandwidth matrices, per-round pipelines, amplification
+   and critical paths — plus a live round trip: dump a run through the
+   JSONL sink, parse it back, and re-run the monitor offline. *)
+
+let lines_of events =
+  List.mapi
+    (fun i ev -> Icc_sim.Trace.to_json ~time:(0.1 *. float_of_int i) ev)
+    events
+
+let test_parse_lines () =
+  let events =
+    [
+      Icc_sim.Trace.Run_start { n = 4; label = "x" };
+      Round_entry { party = 1; round = 1 };
+      Run_end { label = "x" };
+    ]
+  in
+  let r = Icc_sim.Replay.parse_lines (lines_of events @ [ "garbage" ]) in
+  Alcotest.(check int) "entries" 3 (Array.length r.Icc_sim.Replay.entries);
+  (match r.Icc_sim.Replay.errors with
+  | [ (3, _) ] -> ()
+  | _ -> Alcotest.fail "expected one error on line 3");
+  Alcotest.(check int) "line numbers preserved" 2
+    r.Icc_sim.Replay.entries.(2).Icc_sim.Replay.line;
+  Alcotest.(check bool) "events typed" true
+    (r.Icc_sim.Replay.entries.(1).Icc_sim.Replay.event
+    = Icc_sim.Trace.Round_entry { party = 1; round = 1 })
+
+(* The broadcast convention (satellite of the Net_send accounting fix): a
+   dst = 0 send with [copies] counts as [copies] transmissions, one to each
+   of the [copies] lowest-numbered parties other than src. *)
+let test_bandwidth_broadcast_convention () =
+  let r =
+    Icc_sim.Replay.parse_lines
+      (lines_of
+         [
+           Icc_sim.Trace.Run_start { n = 4; label = "" };
+           Net_send { src = 1; dst = 0; kind = "blk"; size = 100; copies = 3 };
+           Net_send { src = 3; dst = 1; kind = "share"; size = 40; copies = 1 };
+         ])
+  in
+  let bw = Icc_sim.Replay.bandwidth r.Icc_sim.Replay.entries in
+  Alcotest.(check int) "n" 4 bw.Icc_sim.Replay.bw_n;
+  (* src 1's broadcast spreads to parties 2, 3, 4 — 100 bytes each *)
+  Alcotest.(check int) "1->2" 100 bw.Icc_sim.Replay.bw_bytes.(1).(2);
+  Alcotest.(check int) "1->3" 100 bw.Icc_sim.Replay.bw_bytes.(1).(3);
+  Alcotest.(check int) "1->4" 100 bw.Icc_sim.Replay.bw_bytes.(1).(4);
+  Alcotest.(check int) "nothing to self" 0 bw.Icc_sim.Replay.bw_bytes.(1).(1);
+  Alcotest.(check int) "broadcast = copies msgs" 3
+    (Array.fold_left ( + ) 0 bw.Icc_sim.Replay.bw_msgs.(1));
+  Alcotest.(check int) "row total" 300 bw.Icc_sim.Replay.bw_sent_bytes.(1);
+  Alcotest.(check int) "unicast cell" 40 bw.Icc_sim.Replay.bw_bytes.(3).(1);
+  (* src receives nothing from its own broadcast *)
+  Alcotest.(check int) "recv column 1" 40 bw.Icc_sim.Replay.bw_recv_bytes.(1);
+  Alcotest.(check int) "recv column 2" 100 bw.Icc_sim.Replay.bw_recv_bytes.(2);
+  Alcotest.(check int) "total msgs" 4 bw.Icc_sim.Replay.bw_total_msgs;
+  Alcotest.(check int) "total bytes" 340 bw.Icc_sim.Replay.bw_total_bytes;
+  (match bw.Icc_sim.Replay.bw_by_kind with
+  | [ ("blk", 3, 300); ("share", 1, 40) ] -> ()
+  | _ -> Alcotest.fail "per-kind accounting");
+  (* a partial broadcast (copies < n - 1) reaches only the lowest ids *)
+  let r2 =
+    Icc_sim.Replay.parse_lines
+      (lines_of
+         [
+           Icc_sim.Trace.Run_start { n = 4; label = "" };
+           Net_send { src = 2; dst = 0; kind = "g"; size = 10; copies = 2 };
+         ])
+  in
+  let bw2 = Icc_sim.Replay.bandwidth r2.Icc_sim.Replay.entries in
+  Alcotest.(check int) "2->1" 10 bw2.Icc_sim.Replay.bw_bytes.(2).(1);
+  Alcotest.(check int) "2->3" 10 bw2.Icc_sim.Replay.bw_bytes.(2).(3);
+  Alcotest.(check int) "2->4 skipped" 0 bw2.Icc_sim.Replay.bw_bytes.(2).(4)
+
+(* Metrics sees the same convention: copies transmissions, copies * size
+   bytes, attributed to the sender. *)
+let test_metrics_broadcast_convention () =
+  let tr = Icc_sim.Trace.create () in
+  let m = Icc_sim.Metrics.create 4 in
+  Icc_sim.Metrics.attach m tr;
+  Icc_sim.Trace.emit tr ~time:0.
+    (Icc_sim.Trace.Net_send
+       { src = 1; dst = 0; kind = "blk"; size = 100; copies = 3 });
+  Alcotest.(check int) "copies transmissions" 3 (Icc_sim.Metrics.total_msgs m);
+  Alcotest.(check int) "copies * size bytes" 300
+    (Icc_sim.Metrics.total_bytes m)
+
+let test_rounds_and_critical_path () =
+  let r =
+    Icc_sim.Replay.parse_lines
+      (lines_of
+         [
+           Icc_sim.Trace.Run_start { n = 4; label = "" };
+           Round_entry { party = 1; round = 1 };
+           Propose { party = 2; round = 1 };
+           Notarize { party = 1; round = 1; block = "aa" };
+           Notarize { party = 3; round = 1; block = "aa" };
+           Finalize { party = 1; round = 1; block = "aa" };
+           Block_decided { round = 1; block = "aa" };
+           Round_entry { party = 1; round = 2 };
+         ])
+  in
+  (match Icc_sim.Replay.rounds r.Icc_sim.Replay.entries with
+  | [ r1; r2 ] ->
+      Alcotest.(check int) "round 1 first" 1 r1.Icc_sim.Replay.r_round;
+      Alcotest.(check (option (float 1e-9))) "entry" (Some 0.1)
+        r1.Icc_sim.Replay.r_entry;
+      Alcotest.(check (option (float 1e-9))) "first notarize" (Some 0.3)
+        r1.Icc_sim.Replay.r_notarize;
+      Alcotest.(check (option (float 1e-9))) "decided" (Some 0.6)
+        r1.Icc_sim.Replay.r_decided;
+      Alcotest.(check (option (float 1e-9))) "round 2 open" None
+        r2.Icc_sim.Replay.r_decided
+  | l -> Alcotest.failf "expected 2 rounds, got %d" (List.length l));
+  let path = Icc_sim.Replay.critical_path r.Icc_sim.Replay.entries ~round:1 in
+  let labels = List.map (fun s -> s.Icc_sim.Replay.ps_label) path in
+  Alcotest.(check (list string)) "milestone chain"
+    [
+      "round-entry"; "propose (party 2)"; "first notarize (party 1)";
+      "last notarize (party 3)"; "finalize cert"; "block decided";
+    ]
+    labels;
+  (* deltas chain: each step measured from the previous *)
+  let decided = List.nth path 5 in
+  Alcotest.(check (float 1e-9)) "decided delta" 0.1
+    decided.Icc_sim.Replay.ps_delta;
+  Alcotest.(check (list string)) "absent round"
+    []
+    (List.map
+       (fun s -> s.Icc_sim.Replay.ps_label)
+       (Icc_sim.Replay.critical_path r.Icc_sim.Replay.entries ~round:9))
+
+(* Live round trip: run ICC1 with a JSONL sink, parse every line back,
+   re-run the monitor offline — same event count, clean verdict, and the
+   analyzer's aggregates are populated. *)
+let test_live_round_trip () =
+  let buf = Buffer.create (1 lsl 16) in
+  let tr = Icc_sim.Trace.create () in
+  Icc_sim.Trace.subscribe tr (fun ~time ev ->
+      Buffer.add_string buf (Icc_sim.Trace.to_json ~time ev);
+      Buffer.add_char buf '\n');
+  let scenario =
+    {
+      (Icc_core.Runner.default_scenario ~n:4 ~seed:21) with
+      Icc_core.Runner.duration = 1e6;
+      max_rounds = Some 6;
+      delay = Icc_core.Runner.Fixed_delay 0.02;
+      epsilon = 0.05;
+      trace = Some tr;
+    }
+  in
+  ignore (Icc_gossip.Icc1.run scenario);
+  let lines =
+    String.split_on_char '\n' (Buffer.contents buf)
+    |> List.filter (fun l -> l <> "")
+  in
+  let r = Icc_sim.Replay.parse_lines lines in
+  Alcotest.(check (list (pair int string))) "every line parses" []
+    r.Icc_sim.Replay.errors;
+  Alcotest.(check int) "all events recovered" (List.length lines)
+    (Array.length r.Icc_sim.Replay.entries);
+  let m = Icc_sim.Replay.monitor r.Icc_sim.Replay.entries in
+  Alcotest.(check bool) "offline monitor clean" true (Icc_sim.Monitor.ok m);
+  Alcotest.(check int) "offline monitor saw every event"
+    (Array.length r.Icc_sim.Replay.entries)
+    (Icc_sim.Monitor.events_seen m);
+  Alcotest.(check int) "parties recovered" 4
+    (Icc_sim.Replay.parties r.Icc_sim.Replay.entries);
+  let rounds = Icc_sim.Replay.rounds r.Icc_sim.Replay.entries in
+  Alcotest.(check bool) "six decided rounds" true (List.length rounds >= 6);
+  let amp = Icc_sim.Replay.amplification r.Icc_sim.Replay.entries in
+  Alcotest.(check bool) "blocks decided" true
+    (amp.Icc_sim.Replay.amp_decided >= 6);
+  Alcotest.(check bool) "gossip counters populated" true
+    (amp.Icc_sim.Replay.amp_gossip_publish > 0
+    && amp.Icc_sim.Replay.amp_acquire_per_publish > 0.);
+  let bw = Icc_sim.Replay.bandwidth r.Icc_sim.Replay.entries in
+  Alcotest.(check bool) "bandwidth populated" true
+    (bw.Icc_sim.Replay.bw_total_bytes > 0)
+
+let suite =
+  [
+    Alcotest.test_case "parse_lines: entries, errors, line numbers" `Quick
+      test_parse_lines;
+    Alcotest.test_case "bandwidth pins the broadcast convention" `Quick
+      test_bandwidth_broadcast_convention;
+    Alcotest.test_case "metrics counts broadcasts as copies sends" `Quick
+      test_metrics_broadcast_convention;
+    Alcotest.test_case "round pipeline and critical path" `Quick
+      test_rounds_and_critical_path;
+    Alcotest.test_case "live dump parses back and re-verifies" `Quick
+      test_live_round_trip;
+  ]

@@ -61,8 +61,11 @@ let test_levels () =
       ev_send ();
       Round_entry { party = 1; round = 1 };
       Propose { party = 1; round = 1 };
-      Notarize { party = 1; round = 1 };
-      Block_decided { round = 1 };
+      Notarize { party = 1; round = 1; block = "ab" };
+      Block_decided { round = 1; block = "ab" };
+      Monitor_violation { round = 1; what = "w"; detail = "d" };
+      Monitor_stall { round = 1; stage = "entry"; waited = 1. };
+      Monitor_clear { round = 1; stage = "entry"; waited = 1. };
     ]
   in
   List.iter
@@ -83,8 +86,9 @@ let test_levels () =
       Net_deliver { src = 1; dst = 2; kind = "x"; size = 1 };
       Net_hold { src = 1; dst = 2; kind = "x"; release = 1. };
       ev_detail ();
-      Finalize { party = 1; round = 1 };
+      Finalize { party = 1; round = 1; block = "ab" };
       Beacon_share { party = 1; round = 1 };
+      Commit { party = 1; round = 1; block = "ab" };
       Rbc_fragment { party = 1; round = 1; proposer = 1; index = 0 };
     ]
 
@@ -100,8 +104,10 @@ let test_metrics_via_trace () =
   Icc_sim.Trace.emit tr ~time:0.2
     (Icc_sim.Trace.Round_entry { party = 1; round = 1 });
   Icc_sim.Trace.emit tr ~time:0.3 (Icc_sim.Trace.Propose { party = 1; round = 1 });
-  Icc_sim.Trace.emit tr ~time:0.4 (Icc_sim.Trace.Notarize { party = 1; round = 1 });
-  Icc_sim.Trace.emit tr ~time:0.9 (Icc_sim.Trace.Block_decided { round = 1 });
+  Icc_sim.Trace.emit tr ~time:0.4
+    (Icc_sim.Trace.Notarize { party = 1; round = 1; block = "ab" });
+  Icc_sim.Trace.emit tr ~time:0.9
+    (Icc_sim.Trace.Block_decided { round = 1; block = "ab" });
   Alcotest.(check int) "msgs" 4 (Icc_sim.Metrics.total_msgs m);
   Alcotest.(check int) "bytes" 350 (Icc_sim.Metrics.total_bytes m);
   Alcotest.(check int) "blk msgs" 3 (Icc_sim.Metrics.msgs_of_kind m "blk");
@@ -159,6 +165,129 @@ let test_json_shape () =
     {|{"t":0.000000,"ev":"gossip-publish","party":1,"artifact":"a\"b\\c"}|}
     tricky
 
+(* -------------------------------------------------- json round-trip *)
+
+(* One witness per constructor, with payloads exercising escaping and
+   numeric corner cases. *)
+let all_constructor_witnesses : Icc_sim.Trace.event list =
+  [
+    Icc_sim.Trace.Run_start { n = 4; label = {|wan "q" \x|} };
+    Run_end { label = "" };
+    Engine_dispatch { seq = 123456789 };
+    Net_send { src = 1; dst = 0; kind = "blk"; size = 100; copies = 3 };
+    Net_deliver { src = 3; dst = 1; kind = "share"; size = 0 };
+    Net_hold { src = 2; dst = 4; kind = "prop"; release = 1.75 };
+    Gossip_publish { party = 1; artifact = {|prop|1|a"b\c|} };
+    Gossip_request { party = 2; peer = 3; artifact = "nz|2|ff" };
+    Gossip_acquire { party = 3; peer = 1; artifact = "\ttab\nnewline" };
+    Rbc_fragment { party = 1; round = 2; proposer = 3; index = 0 };
+    Rbc_echo { party = 2; round = 9; proposer = 1 };
+    Rbc_reconstruct { party = 4; round = 7; proposer = 2 };
+    Rbc_inconsistent { party = 1; round = 1; proposer = 1 };
+    Round_entry { party = 2; round = 5 };
+    Propose { party = 1; round = 5 };
+    Notarize { party = 3; round = 5; block = "ab12cd34ef56" };
+    Finalize { party = 3; round = 5; block = "ab12cd34ef56" };
+    Beacon_share { party = 4; round = 6 };
+    Commit { party = 2; round = 5; block = "ab12cd34ef56" };
+    Block_decided { round = 5; block = "ab12cd34ef56" };
+    Monitor_violation
+      { round = 5; what = "conflicting-notarization"; detail = {|"aa" vs "bb"|} };
+    Monitor_stall { round = 6; stage = "notarize"; waited = 0.42 };
+    Monitor_clear { round = 6; stage = "notarize"; waited = 0.84 };
+  ]
+
+let test_json_round_trip () =
+  List.iteri
+    (fun i ev ->
+      let time = 0.125 *. float_of_int i in
+      let line = Icc_sim.Trace.to_json ~time ev in
+      match Icc_sim.Trace.of_json line with
+      | Error msg ->
+          Alcotest.failf "%s failed to parse back (%s): %s"
+            (Icc_sim.Trace.kind_of ev) msg line
+      | Ok (t, ev') ->
+          Alcotest.(check (float 1e-9))
+            (Icc_sim.Trace.kind_of ev ^ " time")
+            time t;
+          Alcotest.(check bool)
+            (Icc_sim.Trace.kind_of ev ^ " payload survives the round trip")
+            true (ev = ev'))
+    all_constructor_witnesses
+
+let test_json_round_trip_is_exhaustive () =
+  (* Every kind the bus can produce appears in the witness list, so adding
+     a constructor without extending of_json fails here. *)
+  let witnessed =
+    List.map Icc_sim.Trace.kind_of all_constructor_witnesses
+    |> List.sort_uniq compare
+  in
+  Alcotest.(check int) "one witness per constructor" 23
+    (List.length witnessed)
+
+(* Property: round-tripping holds for arbitrary payload contents, not just
+   the hand-picked witnesses — random strings (any bytes), ints, floats. *)
+let prop_json_round_trip =
+  let gen =
+    QCheck.Gen.(
+      let str = string_size ~gen:(char_range '\000' '\255') (int_bound 40) in
+      let pid = int_range 0 99 and rnd = int_range 0 9999 in
+      (* to_json renders floats with %.6f, so only generate values exact at
+         six decimals — millisecond multiples. *)
+      let fl = map (fun k -> float_of_int k /. 1000.) (int_bound 999_999) in
+      oneof
+        [
+          map2 (fun n label -> Icc_sim.Trace.Run_start { n; label }) pid str;
+          map (fun label -> Icc_sim.Trace.Run_end { label }) str;
+          map2
+            (fun party artifact ->
+              Icc_sim.Trace.Gossip_publish { party; artifact })
+            pid str;
+          map3
+            (fun (src, dst) kind (size, copies) ->
+              Icc_sim.Trace.Net_send { src; dst; kind; size; copies })
+            (pair pid pid) str (pair rnd pid);
+          map2
+            (fun party round ->
+              Icc_sim.Trace.Beacon_share { party; round })
+            pid rnd;
+          map3
+            (fun round what detail ->
+              Icc_sim.Trace.Monitor_violation { round; what; detail })
+            rnd str str;
+          map3
+            (fun round stage waited ->
+              Icc_sim.Trace.Monitor_stall { round; stage; waited })
+            rnd str fl;
+        ])
+  in
+  QCheck.Test.make ~name:"of_json inverts to_json on random payloads"
+    ~count:500
+    (QCheck.make ~print:(fun ev -> Icc_sim.Trace.to_json ~time:1. ev) gen)
+    (fun ev ->
+      match Icc_sim.Trace.of_json (Icc_sim.Trace.to_json ~time:1. ev) with
+      | Ok (1., ev') -> ev = ev'
+      | _ -> false)
+
+let test_json_malformed () =
+  let is_error s =
+    match Icc_sim.Trace.of_json s with Error _ -> true | Ok _ -> false
+  in
+  List.iter
+    (fun s -> Alcotest.(check bool) ("rejects " ^ s) true (is_error s))
+    [
+      "";
+      "not json";
+      "{";
+      {|{"t":1.0}|};
+      {|{"ev":"propose","party":1,"round":2}|};
+      {|{"t":1.0,"ev":"no-such-kind"}|};
+      {|{"t":1.0,"ev":"propose","party":1}|};
+      {|{"t":1.0,"ev":"propose","party":"one","round":2}|};
+      {|{"t":1.0,"ev":"propose","party":1,"round":2} trailing|};
+      {|{"t":1.0,"ev":"net-send","src":1,"dst":2,"kind":"blk","size":100,"copies":1|};
+    ]
+
 (* ------------------------------------- traced/untraced determinism *)
 
 let scenario ~seed =
@@ -176,30 +305,64 @@ let fingerprint (r : Icc_core.Runner.result) =
       Icc_sim.Metrics.total_bytes r.Icc_core.Runner.metrics ),
     (r.Icc_core.Runner.duration, r.Icc_core.Runner.mean_latency) )
 
-let check_deterministic name run =
-  let untraced = run None in
-  let tr = Icc_sim.Trace.create () in
-  let events = ref 0 in
-  Icc_sim.Trace.subscribe tr (fun ~time:_ _ -> incr events);
-  let traced = run (Some tr) in
+let fp_check name expected actual =
   Alcotest.(
     check
       (pair (triple int int int) (pair (float 1e-12) (float 1e-12)))
-      (name ^ ": traced run identical to untraced")
-      (fingerprint untraced) (fingerprint traced));
-  Alcotest.(check bool) (name ^ ": trace saw events") true (!events > 1000)
+      name expected actual)
+
+(* Four runs of the same seed — untraced, traced, monitored, traced AND
+   monitored — must produce identical results: neither observer may
+   influence scheduling. *)
+let check_deterministic name run =
+  let untraced = run (None, false) in
+  let tr = Icc_sim.Trace.create () in
+  let events = ref 0 in
+  Icc_sim.Trace.subscribe tr (fun ~time:_ _ -> incr events);
+  let traced = run (Some tr, false) in
+  fp_check
+    (name ^ ": traced run identical to untraced")
+    (fingerprint untraced) (fingerprint traced);
+  Alcotest.(check bool) (name ^ ": trace saw events") true (!events > 1000);
+  let monitored = run (None, true) in
+  fp_check
+    (name ^ ": monitored run identical to unmonitored")
+    (fingerprint untraced) (fingerprint monitored);
+  let both = run (Some (Icc_sim.Trace.create ()), true) in
+  fp_check
+    (name ^ ": traced+monitored run identical")
+    (fingerprint untraced) (fingerprint both);
+  (match (monitored.Icc_core.Runner.monitor, both.Icc_core.Runner.monitor) with
+  | Some m1, Some m2 ->
+      Alcotest.(check bool) (name ^ ": monitor clean") true
+        (Icc_sim.Monitor.ok m1 && Icc_sim.Monitor.ok m2);
+      Alcotest.(check bool)
+        (name ^ ": monitor saw events")
+        true
+        (Icc_sim.Monitor.events_seen m1 > 100)
+  | _ -> Alcotest.fail (name ^ ": monitor not attached"))
+
+let with_observers (trace, monitored) base =
+  {
+    base with
+    Icc_core.Runner.trace;
+    monitor =
+      (if monitored then
+         Some (Icc_sim.Monitor.default_config ~delta:0.02 ())
+       else None);
+  }
 
 let test_determinism_icc0 () =
-  check_deterministic "icc0" (fun trace ->
-      Icc_core.Runner.run { (scenario ~seed:11) with trace })
+  check_deterministic "icc0" (fun obs ->
+      Icc_core.Runner.run (with_observers obs (scenario ~seed:11)))
 
 let test_determinism_icc1 () =
-  check_deterministic "icc1" (fun trace ->
-      Icc_gossip.Icc1.run { (scenario ~seed:12) with trace })
+  check_deterministic "icc1" (fun obs ->
+      Icc_gossip.Icc1.run (with_observers obs (scenario ~seed:12)))
 
 let test_determinism_icc2 () =
-  check_deterministic "icc2" (fun trace ->
-      Icc_rbc.Icc2.run { (scenario ~seed:13) with trace })
+  check_deterministic "icc2" (fun obs ->
+      Icc_rbc.Icc2.run (with_observers obs (scenario ~seed:13)))
 
 (* -------------------------------------------------- run coverage *)
 
@@ -219,7 +382,7 @@ let test_run_event_coverage () =
     [
       "run-start"; "run-end"; "engine-dispatch"; "net-send"; "net-deliver";
       "gossip-publish"; "gossip-acquire"; "round-entry"; "propose";
-      "notarize"; "finalize"; "beacon-share"; "block-decided";
+      "notarize"; "finalize"; "beacon-share"; "commit"; "block-decided";
     ]
 
 let suite =
@@ -240,6 +403,13 @@ let suite =
     Alcotest.test_case "percentile edge cases" `Quick
       test_percentile_edge_cases;
     Alcotest.test_case "json serialization shape" `Quick test_json_shape;
+    Alcotest.test_case "of_json round-trips every constructor" `Quick
+      test_json_round_trip;
+    Alcotest.test_case "round-trip witness list is exhaustive" `Quick
+      test_json_round_trip_is_exhaustive;
+    Alcotest.test_case "of_json rejects malformed lines" `Quick
+      test_json_malformed;
+    QCheck_alcotest.to_alcotest prop_json_round_trip;
     Alcotest.test_case "icc0 traced = untraced" `Quick test_determinism_icc0;
     Alcotest.test_case "icc1 traced = untraced" `Quick test_determinism_icc1;
     Alcotest.test_case "icc2 traced = untraced" `Quick test_determinism_icc2;
