@@ -88,6 +88,80 @@ let with_monitor_abort f =
       (Icc_sim.Monitor.violation_message v);
     exit 2
 
+(* Shared nemesis flags (run / baselines): a fault script assembled from
+   the quick link flags, an optional JSON script file, and crash cycles. *)
+let drop_arg =
+  Arg.(value & opt (some float) None
+       & info [ "drop" ] ~docv:"P"
+           ~doc:"Nemesis: drop every message with probability $(docv).")
+
+let dup_arg =
+  Arg.(value & opt (some float) None
+       & info [ "dup" ] ~docv:"P"
+           ~doc:"Nemesis: deliver a delayed duplicate with probability \
+                 $(docv).")
+
+let reorder_arg =
+  Arg.(value & opt (some float) None
+       & info [ "reorder" ] ~docv:"P"
+           ~doc:"Nemesis: add a reordering extra delay with probability \
+                 $(docv).")
+
+let flap_arg =
+  Arg.(value & opt (some float) None
+       & info [ "flap" ] ~docv:"PERIOD"
+           ~doc:"Nemesis: flap every link with this period in seconds (up \
+                 for the first half of each period).")
+
+let nemesis_file_arg =
+  Arg.(value & opt (some string) None
+       & info [ "nemesis" ] ~docv:"FILE"
+           ~doc:"JSON nemesis script: an array of objects selected by their \
+                 \"fault\" field (drop, dup, reorder, flap, partition, \
+                 crash, recover); see DESIGN.md §3.3.")
+
+let crash_cycle_arg =
+  Arg.(value & opt_all (t3 ~sep:':' int float float) []
+       & info [ "crash-cycle" ] ~docv:"ID:DOWN:UP"
+           ~doc:"Nemesis: crash party $(i,ID) at time $(i,DOWN), recover it \
+                 at $(i,UP).  Repeatable.")
+
+let read_file path =
+  let ic =
+    try open_in_bin path
+    with Sys_error msg ->
+      Printf.eprintf "icc: cannot open nemesis script: %s\n" msg;
+      exit 1
+  in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let nemesis_script ~drop ~dup ~reorder ~flap ~file ~cycles =
+  let base =
+    match file with
+    | None -> []
+    | Some path -> (
+        match Icc_sim.Fault.script_of_json (read_file path) with
+        | Ok s -> s
+        | Error msg ->
+            Printf.eprintf "icc: bad nemesis script %s: %s\n" path msg;
+            exit 1)
+  in
+  let opt f = function None -> [] | Some v -> [ f v ] in
+  let script =
+    base
+    @ opt (fun p -> Icc_sim.Fault.drop p) drop
+    @ opt (fun p -> Icc_sim.Fault.duplicate p) dup
+    @ opt (fun p -> Icc_sim.Fault.reorder p) reorder
+    @ opt (fun period -> Icc_sim.Fault.flap ~period ()) flap
+    @ List.concat_map
+        (fun (party, down, up) ->
+          Icc_sim.Fault.crash_recover ~party ~down ~up)
+        cycles
+  in
+  match script with [] -> None | s -> Some s
+
 (* ------------------------------------------------------------------ run *)
 
 let run_cmd =
@@ -140,7 +214,12 @@ let run_cmd =
     Arg.(value & opt int 4 & info [ "fanout" ] ~doc:"Gossip fanout (icc1).")
   in
   let exec protocol n seed duration delta wan epsilon delta_bnd load block_size
-      corrupt async_until fanout trace_file monitor monitor_abort stall_factor =
+      corrupt async_until fanout drop dup reorder flap nemesis_file crash_cycles
+      trace_file monitor monitor_abort stall_factor =
+    let nemesis =
+      nemesis_script ~drop ~dup ~reorder ~flap ~file:nemesis_file
+        ~cycles:crash_cycles
+    in
     let r =
       with_monitor_abort (fun () ->
           with_trace_file trace_file (fun trace ->
@@ -148,6 +227,7 @@ let run_cmd =
                 {
                   (Icc_core.Runner.default_scenario ~n ~seed) with
                   Icc_core.Runner.duration;
+                  nemesis;
                   delay =
                     (if wan then
                        Icc_core.Runner.Wan { rtt_lo = 0.006; rtt_hi = 0.110 }
@@ -214,7 +294,9 @@ let run_cmd =
     Term.(
       const exec $ protocol $ n $ seed $ duration $ delta $ wan $ epsilon
       $ delta_bnd $ load $ block_size $ corrupt $ async_until $ fanout
-      $ trace_arg $ monitor_arg $ monitor_abort_arg $ stall_factor_arg)
+      $ drop_arg $ dup_arg $ reorder_arg $ flap_arg $ nemesis_file_arg
+      $ crash_cycle_arg $ trace_arg $ monitor_arg $ monitor_abort_arg
+      $ stall_factor_arg)
 
 (* ------------------------------------------------------------ exhibits *)
 
@@ -281,8 +363,12 @@ let baselines_cmd =
   let crashed =
     Arg.(value & opt_all int [] & info [ "crash" ] ~doc:"Crashed replica id.")
   in
-  let exec proto n duration delta crashed trace_file monitor monitor_abort
+  let exec proto n duration delta crashed drop trace_file monitor monitor_abort
       stall_factor =
+    let nemesis =
+      nemesis_script ~drop ~dup:None ~reorder:None ~flap:None ~file:None
+        ~cycles:[]
+    in
     let r =
       with_monitor_abort (fun () ->
           with_trace_file trace_file (fun trace ->
@@ -292,6 +378,7 @@ let baselines_cmd =
                   Icc_baselines.Harness.duration;
                   delay = Icc_core.Runner.Fixed_delay delta;
                   crashed;
+                  nemesis;
                   trace;
                   monitor =
                     (* The watchdog scales by the view-change timeout: the
@@ -321,8 +408,8 @@ let baselines_cmd =
   Cmd.v
     (Cmd.info "baselines" ~doc:"Run a baseline protocol (PBFT / HotStuff / Tendermint).")
     Term.(
-      const exec $ proto $ n $ duration $ delta $ crashed $ trace_arg
-      $ monitor_arg $ monitor_abort_arg $ stall_factor_arg)
+      const exec $ proto $ n $ duration $ delta $ crashed $ drop_arg
+      $ trace_arg $ monitor_arg $ monitor_abort_arg $ stall_factor_arg)
 
 (* ------------------------------------------------------------- analyze *)
 

@@ -15,6 +15,7 @@ type scenario = {
   pipeline_window : int; (* PBFT: batches in flight *)
   trace : Icc_sim.Trace.t option; (* observe the run; None = untraced *)
   monitor : Icc_sim.Monitor.config option; (* online invariant monitor *)
+  nemesis : Icc_sim.Fault.script option; (* link faults on the baseline's net *)
 }
 
 let default_scenario ~n ~seed =
@@ -31,6 +32,7 @@ let default_scenario ~n ~seed =
     pipeline_window = 1;
     trace = None;
     monitor = None;
+    nemesis = None;
   }
 
 (* Attach the scenario's monitor to a freshly built transport env; called
@@ -39,6 +41,20 @@ let attach_monitor scenario (env : Icc_sim.Transport.env) =
   Option.map
     (fun config -> Icc_sim.Monitor.attach ~config env.Icc_sim.Transport.trace)
     scenario.monitor
+
+(* Install the scenario's nemesis (if any) on a baseline's network.  The
+   baselines honour only the link faults (drop / duplicate / reorder /
+   flap / partition); crash and recover directives are ignored — use
+   [crashed] / [kill_at] for baseline crash faults.  The fault RNG is split
+   only when a script is present, preserving historical streams. *)
+let install_nemesis scenario ~rng ~trace net =
+  match scenario.nemesis with
+  | None -> ()
+  | Some script ->
+      let fault =
+        Icc_sim.Fault.create ~rng:(Icc_sim.Rng.split rng) ~trace script
+      in
+      Icc_sim.Network.set_fault net fault
 
 type result = {
   metrics : Icc_sim.Metrics.t;

@@ -16,6 +16,10 @@ type scenario = {
   trace : Icc_sim.Trace.t option;  (** Observe the run; [None] = untraced. *)
   monitor : Icc_sim.Monitor.config option;
       (** Attach the online invariant monitor to the run's bus. *)
+  nemesis : Icc_sim.Fault.script option;
+      (** Link faults (drop / duplicate / reorder / flap / partition) on
+          the baseline's network; crash/recover directives are ignored by
+          the baselines — use [crashed] / [kill_at] instead. *)
 }
 
 val default_scenario : n:int -> seed:int -> scenario
@@ -24,6 +28,13 @@ val attach_monitor :
   scenario -> Icc_sim.Transport.env -> Icc_sim.Monitor.t option
 (** Attach the scenario's monitor (if any) to a freshly built transport
     env, before any event flows. *)
+
+val install_nemesis :
+  scenario -> rng:Icc_sim.Rng.t -> trace:Icc_sim.Trace.t ->
+  'msg Icc_sim.Network.t -> unit
+(** Install the scenario's nemesis (if any) on a baseline's network; call
+    right after building the network.  Splits [rng] only when a script is
+    present, preserving historical streams. *)
 
 type result = {
   metrics : Icc_sim.Metrics.t;

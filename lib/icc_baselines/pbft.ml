@@ -362,6 +362,7 @@ let run (scenario : Harness.scenario) : Harness.result =
     Icc_sim.Transport.network_of env
       ~delay_model:(Harness.delay_model net_rng scenario.Harness.delay ~n) ()
   in
+  Harness.install_nemesis scenario ~rng ~trace net;
   let honest =
     List.init n (fun i -> i + 1)
     |> List.filter (fun id -> not (List.mem id scenario.Harness.crashed))

@@ -191,6 +191,8 @@ let tag_notarization = 3
 let tag_final_share = 4
 let tag_finalization = 5
 let tag_beacon_share = 6
+let tag_pool_summary = 7
+let tag_pool_request = 8
 
 let encode (msg : Message.t) : string =
   let buf = Buffer.create 256 in
@@ -220,7 +222,17 @@ let encode (msg : Message.t) : string =
       w_byte buf tag_beacon_share;
       w_int buf b_round;
       w_int buf b_signer;
-      w_vuf_share buf b_share);
+      w_vuf_share buf b_share
+  | Message.Pool_summary { ps_party; ps_round; ps_kmax } ->
+      w_byte buf tag_pool_summary;
+      w_int buf ps_party;
+      w_int buf ps_round;
+      w_int buf ps_kmax
+  | Message.Pool_request { pr_party; pr_from; pr_upto } ->
+      w_byte buf tag_pool_request;
+      w_int buf pr_party;
+      w_int buf pr_from;
+      w_int buf pr_upto);
   Buffer.contents buf
 
 let decode (data : string) : Message.t option =
@@ -248,6 +260,18 @@ let decode (data : string) : Message.t option =
         let b_signer = r_int c in
         let b_share = r_vuf_share c in
         Message.Beacon_share { b_round; b_signer; b_share }
+      end
+      else if tag = tag_pool_summary then begin
+        let ps_party = r_int c in
+        let ps_round = r_int c in
+        let ps_kmax = r_int c in
+        Message.Pool_summary { ps_party; ps_round; ps_kmax }
+      end
+      else if tag = tag_pool_request then begin
+        let pr_party = r_int c in
+        let pr_from = r_int c in
+        let pr_upto = r_int c in
+        Message.Pool_request { pr_party; pr_from; pr_upto }
       end
       else raise Malformed
     in

@@ -8,6 +8,24 @@
    epsilon is the "governor" that keeps the protocol from running too
    fast. *)
 
+(* The pool-resync sub-layer (not in the paper's Fig. 1/2): under lossy
+   links the eventual-delivery assumption breaks, so parties periodically
+   unicast a pool summary to one rotating peer and retransmit whatever the
+   peer's frontier is missing.  The period backs off exponentially (capped)
+   while the sender's round makes no progress and resets on progress, so a
+   healthy network pays one small summary per period and a wedged one
+   retransmits just often enough to heal. *)
+type resync = {
+  rs_period : float; (* base summary interval, seconds *)
+  rs_backoff_cap : float; (* interval ceiling while the round is stuck *)
+  rs_chunk : int; (* max rounds retransmitted per reply *)
+}
+
+let default_resync ?(period = 0.5) ?(backoff_cap = 4.0) ?(chunk = 4) () =
+  if not (period > 0. && backoff_cap >= period && chunk >= 1) then
+    invalid_arg "Config.default_resync";
+  { rs_period = period; rs_backoff_cap = backoff_cap; rs_chunk = chunk }
+
 type t = {
   n : int;
   t : int; (* maximum corrupt parties; 3t < n *)
@@ -17,10 +35,11 @@ type t = {
   delta_ntry : Types.rank -> float;
   adaptive : bool; (* adapt delta_bnd to an unknown network delay (paper §1) *)
   prune_depth : int option; (* keep this many rounds below kmax; None = keep all *)
+  resync : resync option; (* pool-resync retransmission; None = off *)
 }
 
 let recommended ?(delta_bnd = 1.0) ?(epsilon = 0.0) ?(adaptive = false)
-    ?prune_depth ~n ~t () =
+    ?prune_depth ?resync ~n ~t () =
   if not (n >= 1 && t >= 0 && 3 * t < n) then
     invalid_arg "Config.recommended: need 3t < n";
   {
@@ -32,6 +51,7 @@ let recommended ?(delta_bnd = 1.0) ?(epsilon = 0.0) ?(adaptive = false)
     delta_ntry = (fun r -> (2. *. delta_bnd *. float_of_int r) +. epsilon);
     adaptive;
     prune_depth;
+    resync;
   }
 
 (* A deliberately non-responsive variant (Tendermint-style): every party

@@ -6,6 +6,23 @@
     liveness requirement [2*delta + delta_prop 0 <= delta_ntry 1] whenever
     the actual network delay is at most [delta_bnd]. *)
 
+(** Parameters of the pool-resync retransmission sub-layer: each party
+    unicasts a {!Message.Pool_summary} to one rotating peer every
+    [rs_period] seconds; the interval doubles up to [rs_backoff_cap] while
+    its round makes no progress and resets on progress.  Replies retransmit
+    at most [rs_chunk] rounds of artifacts. *)
+type resync = {
+  rs_period : float;
+  rs_backoff_cap : float;
+  rs_chunk : int;
+}
+
+val default_resync :
+  ?period:float -> ?backoff_cap:float -> ?chunk:int -> unit -> resync
+(** Defaults: period 0.5 s, cap 4 s, chunk 4 rounds.  Raises
+    [Invalid_argument] unless [0 < period <= backoff_cap] and
+    [chunk >= 1]. *)
+
 type t = {
   n : int;
   t : int;  (** Maximum corrupt parties; [3t < n]. *)
@@ -21,11 +38,14 @@ type t = {
   prune_depth : int option;
       (** Keep only this many rounds of pool state below the finalization
           cursor (paper §3.1's discard optimisation); [None] keeps all. *)
+  resync : resync option;
+      (** Enable the pool-resync retransmission sub-layer; required for
+          liveness under lossy links and for crash–recovery rejoin. *)
 }
 
 val recommended :
   ?delta_bnd:float -> ?epsilon:float -> ?adaptive:bool -> ?prune_depth:int ->
-  n:int -> t:int -> unit -> t
+  ?resync:resync -> n:int -> t:int -> unit -> t
 (** The paper's recommended delay functions.  Raises [Invalid_argument]
     unless [3t < n]. *)
 

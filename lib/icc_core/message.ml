@@ -23,12 +23,28 @@ type t =
       b_signer : Types.party_id;
       b_share : Icc_crypto.Threshold_vuf.signature_share;
     }
+  (* Pool-resync sub-layer (not part of the paper's Fig. 1/2): a periodic
+     frontier announcement and an explicit pull, both unicast.  They carry
+     no signatures — they only trigger retransmission of messages that are
+     themselves verified on admission. *)
+  | Pool_summary of {
+      ps_party : Types.party_id; (* sender, so the peer can answer *)
+      ps_round : Types.round; (* sender's current tree-building round *)
+      ps_kmax : Types.round; (* sender's finalization cursor *)
+    }
+  | Pool_request of {
+      pr_party : Types.party_id;
+      pr_from : Types.round;
+      pr_upto : Types.round;
+    }
 
 let share_msg_wire_size = 12 + 32 + Icc_crypto.Multisig.share_wire_size
 
 let cert_wire_size ~n = 12 + 32 + 48 + ((n + 7) / 8)
 
 let beacon_share_wire_size = 12 + Icc_crypto.Threshold_vuf.share_wire_size
+
+let resync_wire_size = 24 (* three varint-packed rounds/ids *)
 
 let wire_size ~n = function
   | Proposal p ->
@@ -37,6 +53,7 @@ let wire_size ~n = function
   | Notarization_share _ | Finalization_share _ -> share_msg_wire_size
   | Notarization _ | Finalization _ -> cert_wire_size ~n
   | Beacon_share _ -> beacon_share_wire_size
+  | Pool_summary _ | Pool_request _ -> resync_wire_size
 
 let kind = function
   | Proposal _ -> "proposal"
@@ -45,3 +62,9 @@ let kind = function
   | Finalization_share _ -> "finalization-share"
   | Finalization _ -> "finalization"
   | Beacon_share _ -> "beacon-share"
+  | Pool_summary _ -> "pool-summary"
+  | Pool_request _ -> "pool-request"
+
+let is_resync = function
+  | Pool_summary _ | Pool_request _ -> true
+  | _ -> false

@@ -22,13 +22,36 @@ type t =
       b_signer : Types.party_id;
       b_share : Icc_crypto.Threshold_vuf.signature_share;
     }
+  | Pool_summary of {
+      ps_party : Types.party_id;
+      ps_round : Types.round;
+      ps_kmax : Types.round;
+    }
+      (** Resync sub-layer: a party's periodic frontier announcement
+          (current round and finalization cursor), unicast to one rotating
+          peer.  Unsigned — it only triggers retransmission of messages
+          that are themselves verified on admission. *)
+  | Pool_request of {
+      pr_party : Types.party_id;
+      pr_from : Types.round;
+      pr_upto : Types.round;
+    }
+      (** Resync sub-layer: an explicit pull for the artifacts of rounds
+          [\[pr_from, pr_upto\]], sent to a peer whose summary announced a
+          higher frontier. *)
 
 val share_msg_wire_size : int
 val cert_wire_size : n:int -> int
 val beacon_share_wire_size : int
+val resync_wire_size : int
 
 val wire_size : n:int -> t -> int
 (** Modeled size in bytes for traffic accounting. *)
 
 val kind : t -> string
 (** Short label for per-kind metrics. *)
+
+val is_resync : t -> bool
+(** Resync control messages bypass gossip flooding and RBC dissemination:
+    they are point-to-point and intentionally repeatable, so they must not
+    enter any artifact dedup table. *)

@@ -90,6 +90,10 @@ type t = {
   mutable output_log : Block.t list; (* committed blocks, newest first *)
   mutable rounds_finished : int;
   mutable delay_scale : float; (* adaptive delta_bnd multiplier (config.adaptive) *)
+  (* Pool-resync sub-layer state (only used when config.resync is Some). *)
+  mutable resync_peer : int; (* rotation cursor for summary targets *)
+  mutable resync_interval : float; (* current (backed-off) summary interval *)
+  mutable resync_last_round : Types.round; (* round seen at the last tick *)
 }
 
 let create env ~id ~keys ~behavior =
@@ -112,6 +116,9 @@ let create env ~id ~keys ~behavior =
     output_log = [];
     rounds_finished = 0;
     delay_scale = 1.0;
+    resync_peer = id;
+    resync_interval = 0.;
+    resync_last_round = 0;
   }
 
 let output_chain p = List.rev p.output_log
@@ -550,6 +557,131 @@ and equivocating_propose p =
         step p
   end
 
+(* --- pool-resync sub-layer ---------------------------------------------- *)
+(* Periodic summary/retransmit repair (config.resync): under lossy links the
+   eventual-delivery assumption behind Fig. 1's "wait for" semantics breaks,
+   so each party unicasts its frontier (round, kmax) to one rotating peer
+   and the two sides retransmit whatever the other is missing.  All
+   retransmissions are the original wire messages, re-admitted through the
+   verified Pool paths, so the sub-layer cannot inject anything a direct
+   broadcast could not. *)
+
+let resync_config p = p.env.config.Config.resync
+
+let emit_detail p ev =
+  if Icc_sim.Trace.detailed p.env.trace then emit p ev
+
+(* Unicast our frontier to the next peer in a deterministic rotation. *)
+let send_summary p =
+  let n = p.env.config.Config.n in
+  if n > 1 then begin
+    let next = (p.resync_peer mod n) + 1 in
+    let next = if next = p.id then (next mod n) + 1 else next in
+    p.resync_peer <- next;
+    emit_detail p
+      (Icc_sim.Trace.Resync_summary
+         { party = p.id; peer = next; round = p.round; kmax = p.kmax });
+    unicast p ~dst:next
+      (Message.Pool_summary
+         { ps_party = p.id; ps_round = p.round; ps_kmax = p.kmax })
+  end
+
+(* The tick reschedules itself unconditionally — including while crashed, so
+   a recovered party resumes summaries without re-arming — and backs off
+   exponentially (capped) while the round is stuck, resetting on progress. *)
+let rec resync_tick p (rs : Config.resync) =
+  if not p.behavior.crashed then begin
+    if p.round > p.resync_last_round then begin
+      p.resync_last_round <- p.round;
+      p.resync_interval <- rs.Config.rs_period
+    end
+    else
+      p.resync_interval <- min rs.Config.rs_backoff_cap (p.resync_interval *. 2.);
+    send_summary p
+  end;
+  Icc_sim.Engine.schedule p.env.engine ~delay:p.resync_interval (fun () ->
+      resync_tick p rs)
+
+let start_resync p =
+  match resync_config p with
+  | None -> ()
+  | Some rs ->
+      (* Deterministic per-party stagger so summaries don't synchronise. *)
+      let n = p.env.config.Config.n in
+      let stagger =
+        rs.Config.rs_period
+        *. (1. +. (float_of_int p.id /. float_of_int (n + 1)))
+      in
+      p.resync_interval <- rs.Config.rs_period;
+      Icc_sim.Engine.schedule p.env.engine ~delay:stagger (fun () ->
+          resync_tick p rs)
+
+(* Retransmit the artifacts of rounds [from_round, upto] — clamped to the
+   chunk size, our own round, and the prune horizon — unicast to [dst]. *)
+let retransmit p ~dst ~from_round ~upto =
+  match resync_config p with
+  | None -> ()
+  | Some rs ->
+      let horizon =
+        match p.env.config.Config.prune_depth with
+        | Some depth -> max 1 (p.kmax - depth + 1)
+        | None -> 1
+      in
+      let from_round = max from_round horizon in
+      let upto = min upto (min p.round (from_round + rs.Config.rs_chunk - 1)) in
+      if upto >= from_round then begin
+        let count = ref 0 in
+        let send msg =
+          incr count;
+          unicast p ~dst msg
+        in
+        for r = from_round to upto do
+          List.iter send (Pool.retransmit_set p.pool ~round:r)
+        done;
+        (* The pipelined beacon shares of the round after the window let the
+           peer enter its next round without waiting for another cycle. *)
+        List.iter send (Pool.beacon_share_msgs p.pool ~round:(upto + 1));
+        emit_detail p
+          (Icc_sim.Trace.Resync_reply
+             { party = p.id; peer = dst; from_round; upto; count = !count })
+      end
+
+let resync_on_summary p ~ps_party ~ps_round ~ps_kmax =
+  if
+    resync_config p <> None
+    && ps_party <> p.id
+    && ps_party >= 1
+    && ps_party <= p.env.config.Config.n
+  then begin
+    if ps_round > p.round then begin
+      (* Peer is ahead: pull everything from just above our cursor. *)
+      let from_round = max 1 (min (p.kmax + 1) p.round) in
+      emit_detail p
+        (Icc_sim.Trace.Resync_request
+           { party = p.id; peer = ps_party; from_round; upto = ps_round });
+      unicast p ~dst:ps_party
+        (Message.Pool_request
+           { pr_party = p.id; pr_from = from_round; pr_upto = ps_round })
+    end
+    else if ps_round < p.round || ps_kmax < p.kmax then
+      (* Peer is behind: push from just above its cursor. *)
+      retransmit p ~dst:ps_party
+        ~from_round:(max 1 (min (ps_kmax + 1) ps_round))
+        ~upto:p.round
+    else
+      (* Same frontier — possibly symmetrically stuck (each side holds
+         shares the other lacks): swap the current round's artifacts. *)
+      retransmit p ~dst:ps_party ~from_round:p.round ~upto:p.round
+  end
+
+let resync_on_request p ~pr_party ~pr_from ~pr_upto =
+  if
+    resync_config p <> None
+    && pr_party <> p.id
+    && pr_party >= 1
+    && pr_party <= p.env.config.Config.n
+  then retransmit p ~dst:pr_party ~from_round:(max 1 pr_from) ~upto:pr_upto
+
 (* --- inbound ------------------------------------------------------------ *)
 
 let on_message p (msg : Message.t) =
@@ -575,13 +707,46 @@ let on_message p (msg : Message.t) =
       | Message.Finalization c -> Pool.add_finalization p.pool c
       | Message.Beacon_share { b_round; b_share; _ } ->
           Pool.add_beacon_share p.pool ~round:b_round b_share
+      | Message.Pool_summary { ps_party; ps_round; ps_kmax } ->
+          resync_on_summary p ~ps_party ~ps_round ~ps_kmax;
+          false
+      | Message.Pool_request { pr_party; pr_from; pr_upto } ->
+          resync_on_request p ~pr_party ~pr_from ~pr_upto;
+          false
     in
     if changed then step p
   end
 
-(* Protocol start: release the round-1 beacon share, then run the guards. *)
+(* Protocol start: release the round-1 beacon share, then run the guards.
+   The resync tick loop is armed even for a party that starts crashed, so
+   it begins summarising as soon as it recovers. *)
 let start p =
+  start_resync p;
   if not p.behavior.crashed then begin
     broadcast_beacon_share p ~round:1;
+    step p
+  end
+
+(* Crash–recovery: the pool models persistent storage and survives the
+   crash; what is lost is the in-flight state — pending timers and whatever
+   peers sent while we were down.  Recovery restarts the round clock (so
+   the (b)/(c) delay edges are measured from the recovery instant rather
+   than a stale t0), re-releases our beacon shares, announces our frontier
+   so peers retransmit the gap, and re-runs the guards. *)
+let recover p =
+  if p.behavior.crashed then begin
+    p.behavior <- { p.behavior with crashed = false };
+    if p.round_started then begin
+      p.t0 <- now p;
+      p.scheduled_ntry <- []
+    end;
+    broadcast_beacon_share p ~round:p.round;
+    broadcast_beacon_share p ~round:(p.round + 1);
+    (match resync_config p with
+    | Some rs ->
+        p.resync_interval <- rs.Config.rs_period;
+        p.resync_last_round <- p.round;
+        send_summary p
+    | None -> ());
     step p
   end

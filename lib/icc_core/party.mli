@@ -64,7 +64,16 @@ val start : t -> unit
 (** Broadcast the round-1 beacon share and begin evaluating guards. *)
 
 val on_message : t -> Message.t -> unit
-(** Deliver one message into the party's pool and re-run the guards. *)
+(** Deliver one message into the party's pool and re-run the guards.
+    Idempotent under duplicate delivery: every pool admission deduplicates,
+    so replaying a message changes nothing and triggers no re-send. *)
+
+val recover : t -> unit
+(** Crash–recovery: clear the crashed flag, restart the round clock (stale
+    delay edges are measured from the recovery instant), re-release our
+    beacon shares, announce our frontier so peers retransmit the gap (when
+    [config.resync] is enabled), and re-run the guards.  The pool models
+    persistent storage and survives the crash.  No-op if not crashed. *)
 
 (** {1 Inspection} *)
 

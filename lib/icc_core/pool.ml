@@ -271,6 +271,91 @@ let prune t ~below =
       Hashtbl.remove t.beacon_shares round)
     doomed_rounds
 
+(* --- resync retransmission --------------------------------------------- *)
+
+let beacon_share_msgs t ~round =
+  List.map
+    (fun (sh : Icc_crypto.Threshold_vuf.signature_share) ->
+      Message.Beacon_share
+        {
+          b_round = round;
+          b_signer = sh.Icc_crypto.Threshold_vuf.signer;
+          b_share = sh;
+        })
+    (multi_get t.beacon_shares round)
+
+(* Everything this pool can re-send for one round, as the original wire
+   messages, so a lagging peer admits them through the ordinary verified
+   path.  Proposal bundles are capped at two per round (one honest block
+   plus at most one equivocation suffices to unblock any peer); shares are
+   resent only where no certificate subsumes them, and only for blocks we
+   hold (the share text needs the proposer, which only the block names). *)
+let retransmit_set t ~round =
+  let keys = multi_get t.by_round round in
+  let proposals =
+    List.filteri
+      (fun i _ -> i < 2)
+      (List.filter_map
+         (fun key ->
+           match (find_block t key, authenticator t key) with
+           | Some b, Some auth ->
+               let parent = (round - 1, b.Block.parent_hash) in
+               if round = 1 then
+                 Some
+                   (Message.Proposal
+                      {
+                        Message.p_block = b;
+                        p_authenticator = auth;
+                        p_parent_cert = None;
+                      })
+               else begin
+                 match Hashtbl.find_opt t.notar_certs parent with
+                 | Some cert ->
+                     Some
+                       (Message.Proposal
+                          {
+                            Message.p_block = b;
+                            p_authenticator = auth;
+                            p_parent_cert = Some cert;
+                          })
+                 | None -> None (* cannot form a well-formed bundle yet *)
+               end
+           | _ -> None)
+         keys)
+  in
+  let certs_and_shares which_certs which_shares mk_cert mk_share =
+    List.concat_map
+      (fun ((_, h) as key) ->
+        match Hashtbl.find_opt which_certs key with
+        | Some cert -> [ mk_cert cert ]
+        | None -> (
+            match find_block t key with
+            | None -> []
+            | Some b ->
+                List.map
+                  (fun share ->
+                    mk_share
+                      {
+                        Types.s_round = round;
+                        s_proposer = b.Block.proposer;
+                        s_block_hash = h;
+                        s_share = share;
+                      })
+                  (multi_get which_shares key)))
+      keys
+  in
+  let notar =
+    certs_and_shares t.notar_certs t.notar_shares
+      (fun c -> Message.Notarization c)
+      (fun s -> Message.Notarization_share s)
+  in
+  let final =
+    certs_and_shares t.final_certs t.final_shares
+      (fun c -> Message.Finalization c)
+      (fun s -> Message.Finalization_share s)
+  in
+  proposals @ notar @ final @ beacon_share_msgs t ~round
+
 (* --- condition-(a) and finalization-subprotocol queries ---------------- *)
 
 let quorum t = t.system.Icc_crypto.Keygen.n - t.system.Icc_crypto.Keygen.t

@@ -60,6 +60,20 @@ val beacon_shares : t -> Types.round -> Icc_crypto.Threshold_vuf.signature_share
 val max_round : t -> Types.round
 val quorum : t -> int
 
+(** {1 Resync retransmission} *)
+
+val retransmit_set : t -> round:Types.round -> Message.t list
+(** Everything this pool can re-send for [round], as the original wire
+    messages, so a lagging peer admits them through the ordinary verified
+    path: up to two proposal bundles (authenticator + parent certificate),
+    notarization / finalization certificates, shares where no certificate
+    subsumes them (and the block — hence the proposer the share text needs
+    — is held), and the round's beacon shares. *)
+
+val beacon_share_msgs : t -> round:Types.round -> Message.t list
+(** Just the round's beacon shares, as wire messages; used to retransmit
+    the pipelined shares of the round after a resync window. *)
+
 (** {1 Garbage collection} *)
 
 val stored_blocks : t -> int

@@ -17,6 +17,7 @@ type transport_ctx = {
   tr_rng : Icc_sim.Rng.t;
   tr_delay_model : Icc_sim.Network.delay_model;
   tr_async_until : float;
+  tr_fault : Icc_sim.Fault.t option; (* nemesis, installed on every network *)
   tr_is_active : int -> bool; (* false once a party has crashed *)
   tr_deliver : dst:int -> Message.t -> unit;
   tr_system : Icc_crypto.Keygen.system;
@@ -61,6 +62,10 @@ type scenario = {
   prune_depth : int option; (* pool garbage collection below kmax *)
   trace : Icc_sim.Trace.t option; (* observe the run on an external bus *)
   monitor : Icc_sim.Monitor.config option; (* online invariant monitor *)
+  nemesis : Icc_sim.Fault.script option; (* deterministic fault injection *)
+  resync : Config.resync option;
+      (* pool-resync retransmission; defaults on (with default parameters)
+         whenever a nemesis script is present *)
 }
 
 let default_scenario ~n ~seed =
@@ -83,6 +88,8 @@ let default_scenario ~n ~seed =
     prune_depth = None;
     trace = None;
     monitor = None;
+    nemesis = None;
+    resync = None;
   }
 
 (* ICC0's transport: one broadcast network, messages accounted at their
@@ -91,7 +98,7 @@ let direct_transport ctx =
   let net =
     Icc_sim.Transport.network ~engine:ctx.tr_engine ~n:ctx.tr_n
       ~trace:ctx.tr_trace ~delay_model:ctx.tr_delay_model
-      ~async_until:ctx.tr_async_until ()
+      ~async_until:ctx.tr_async_until ?fault:ctx.tr_fault ()
   in
   Icc_sim.Network.set_handler net (fun ~dst ~src:_ msg -> ctx.tr_deliver ~dst msg);
   {
@@ -177,6 +184,18 @@ let run scenario =
       Config.recommended ~delta_bnd:scenario.delta_bnd ~epsilon:scenario.epsilon
         ~adaptive:scenario.adaptive ?prune_depth:scenario.prune_depth ~n ~t ()
   in
+  (* Lossy links and crash–recovery both need the resync sub-layer for
+     liveness, so a nemesis script switches it on by default. *)
+  let config =
+    let resync =
+      match scenario.resync with
+      | Some _ as r -> r
+      | None ->
+          if scenario.nemesis = None then None
+          else Some (Config.default_resync ())
+    in
+    { config with Config.resync }
+  in
   let tenv = Icc_sim.Transport.env ?trace:scenario.trace ~n () in
   let engine = tenv.Icc_sim.Transport.engine in
   let metrics = tenv.Icc_sim.Transport.metrics in
@@ -198,6 +217,14 @@ let run scenario =
     | Uniform_delay (lo, hi) -> Uniform { rng = net_rng; lo; hi }
     | Wan { rtt_lo; rtt_hi } ->
         Matrix (Icc_sim.Network.wan_matrix net_rng ~n ~rtt_lo ~rtt_hi)
+  in
+  (* The fault layer owns a private RNG stream, split only when a script is
+     present so nemesis-free scenarios keep their exact historical streams. *)
+  let fault =
+    match scenario.nemesis with
+    | None -> None
+    | Some script ->
+        Some (Icc_sim.Fault.create ~rng:(Icc_sim.Rng.split rng) ~trace script)
   in
   (* Client workload: commands are submitted to every party (clients
      broadcast); client->replica traffic is not consensus traffic and is not
@@ -252,10 +279,19 @@ let run scenario =
 
   (* Commit tracking: a block counts as decided when every honest party has
      output it; latency is measured from its proposal broadcast. *)
+  (* Parties a nemesis script crashes without recovering are excluded from
+     the honest set (like kill_at); crash–recover cycles keep a party
+     honest — it is expected to rejoin and commit everything. *)
+  let nemesis_down =
+    match scenario.nemesis with
+    | None -> []
+    | Some script -> Icc_sim.Fault.finally_down script
+  in
   let honest_ids =
     List.init n (fun i -> i + 1)
     |> List.filter (fun id -> behavior_of scenario id = Party.honest)
     |> List.filter (fun id -> not (List.mem_assoc id scenario.kill_at))
+    |> List.filter (fun id -> not (List.mem id nemesis_down))
   in
   let n_honest = List.length honest_ids in
   let commit_count : (Types.round * Icc_crypto.Sha256.t, int) Hashtbl.t =
@@ -335,6 +371,7 @@ let run scenario =
       tr_rng = Icc_sim.Rng.split rng;
       tr_delay_model = delay_model;
       tr_async_until = scenario.async_until;
+      tr_fault = fault;
       tr_is_active =
         (fun id ->
           not (Party.behavior (!parties_ref).(id - 1)).Party.crashed);
@@ -374,6 +411,34 @@ let run scenario =
       Icc_sim.Engine.schedule_at engine ~time (fun () ->
           Party.set_behavior parties.(id - 1) Party.crashed))
     scenario.kill_at;
+  (* Nemesis crash/recover directives.  Crashing preserves the party's other
+     behaviour flags; recovery goes through Party.recover so the party
+     rehydrates via resync and rejoins at the current round. *)
+  (match scenario.nemesis with
+  | None -> ()
+  | Some script ->
+      List.iter
+        (fun (time, what, party) ->
+          if party >= 1 && party <= n then
+            Icc_sim.Engine.schedule_at engine ~time (fun () ->
+                let p = parties.(party - 1) in
+                match what with
+                | `Crash ->
+                    if not (Party.behavior p).Party.crashed then begin
+                      Icc_sim.Trace.emit trace
+                        ~time:(Icc_sim.Engine.now engine)
+                        (Icc_sim.Trace.Fault_crash { party });
+                      Party.set_behavior p
+                        { (Party.behavior p) with Party.crashed = true }
+                    end
+                | `Recover ->
+                    if (Party.behavior p).Party.crashed then begin
+                      Icc_sim.Trace.emit trace
+                        ~time:(Icc_sim.Engine.now engine)
+                        (Icc_sim.Trace.Fault_recover { party });
+                      Party.recover p
+                    end))
+        (Icc_sim.Fault.crash_schedule script));
   Array.iter Party.start parties;
   Icc_sim.Engine.run ~until:scenario.duration engine;
 

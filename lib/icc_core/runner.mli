@@ -26,6 +26,10 @@ type transport_ctx = {
   tr_rng : Icc_sim.Rng.t;
   tr_delay_model : Icc_sim.Network.delay_model;
   tr_async_until : float;
+  tr_fault : Icc_sim.Fault.t option;
+      (** The scenario's nemesis, when present; a transport must install it
+          on every {!Icc_sim.Network} it creates so link faults apply
+          uniformly to direct, gossip and RBC traffic. *)
   tr_is_active : int -> bool;  (** False once a party has crashed. *)
   tr_deliver : dst:int -> Message.t -> unit;
   tr_system : Icc_crypto.Keygen.system;
@@ -81,6 +85,16 @@ type scenario = {
       (** Attach the online invariant monitor to the run's bus.  With
           [abort_on_violation] set, the run raises {!Icc_sim.Monitor.Abort}
           at the first fatal violation instead of returning a bad result. *)
+  nemesis : Icc_sim.Fault.script option;
+      (** Deterministic fault injection: link loss / duplication /
+          reordering / flaps, healing partitions, and timed crash–recover
+          directives.  Parties the script crashes without recovering are
+          treated like [kill_at] (excluded from the honest set);
+          crash–recover cycles keep the party honest — it must rejoin and
+          commit everything. *)
+  resync : Config.resync option;
+      (** Override the pool-resync parameters.  [None] means: off without a
+          nemesis, {!Config.default_resync} with one. *)
 }
 
 val default_scenario : n:int -> seed:int -> scenario

@@ -170,6 +170,48 @@ let print_amplification r =
       a.amp_rbc_fragments a.amp_rbc_echoes a.amp_rbc_reconstructs
       a.amp_rbc_inconsistent
 
+(* Nemesis / recovery summary: what the fault layer did to this run and
+   how much resync traffic it took to repair. *)
+let print_faults r =
+  let drops = ref 0 and dups = ref 0 and reorders = ref 0 in
+  let link_downs = ref 0 and crashes = ref [] and recovers = ref [] in
+  let summaries = ref 0 and requests = ref 0 and replies = ref 0 in
+  let resent = ref 0 in
+  Array.iter
+    (fun (e : Icc_sim.Replay.entry) ->
+      match e.Icc_sim.Replay.event with
+      | Icc_sim.Trace.Fault_drop _ -> incr drops
+      | Icc_sim.Trace.Fault_duplicate _ -> incr dups
+      | Icc_sim.Trace.Fault_reorder _ -> incr reorders
+      | Icc_sim.Trace.Fault_link_down _ -> incr link_downs
+      | Icc_sim.Trace.Fault_crash { party } -> crashes := party :: !crashes
+      | Icc_sim.Trace.Fault_recover { party } -> recovers := party :: !recovers
+      | Icc_sim.Trace.Resync_summary _ -> incr summaries
+      | Icc_sim.Trace.Resync_request _ -> incr requests
+      | Icc_sim.Trace.Resync_reply { count; _ } ->
+          incr replies;
+          resent := !resent + count
+      | _ -> ())
+    r.load.Icc_sim.Replay.entries;
+  let total_faults = !drops + !dups + !reorders + !link_downs in
+  if total_faults > 0 || !crashes <> [] || !summaries > 0 then begin
+    print_newline ();
+    Printf.printf
+      "nemesis: %d drops, %d duplicates, %d reorders, %d link holds\n" !drops
+      !dups !reorders !link_downs;
+    (if !crashes <> [] || !recovers <> [] then
+       let ids l =
+         String.concat "," (List.map string_of_int (List.sort_uniq compare l))
+       in
+       Printf.printf "  crashes: %d (parties %s), recoveries: %d (parties %s)\n"
+         (List.length !crashes) (ids !crashes) (List.length !recovers)
+         (ids !recovers));
+    if !summaries > 0 then
+      Printf.printf
+        "  resync: %d summaries, %d requests, %d replies (%d artifacts resent)\n"
+        !summaries !requests !replies !resent
+  end
+
 let print_critical_path r =
   match r.critical_round with
   | None -> ()
@@ -191,4 +233,5 @@ let print r =
   print_waterfall r;
   print_bandwidth r;
   print_amplification r;
+  print_faults r;
   print_critical_path r

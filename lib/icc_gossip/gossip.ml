@@ -80,6 +80,10 @@ let artifact_id_of (msg : Icc_core.Message.t) =
         (Icc_crypto.Sha256.to_hex c.Icc_core.Types.c_block_hash)
   | Icc_core.Message.Beacon_share { b_round; b_signer; _ } ->
       Printf.sprintf "bs|%d|%d" b_round b_signer
+  | Icc_core.Message.Pool_summary { ps_party; ps_round; ps_kmax } ->
+      Printf.sprintf "sum|%d|%d|%d" ps_party ps_round ps_kmax
+  | Icc_core.Message.Pool_request { pr_party; pr_from; pr_upto } ->
+      Printf.sprintf "req|%d|%d|%d" pr_party pr_from pr_upto
 
 let is_large = function Icc_core.Message.Proposal _ -> true | _ -> false
 
@@ -142,12 +146,17 @@ let on_wire t ~dst ~src w =
         | Some msg -> send t ~src:dst ~dst:src (Deliver { id; msg })
         | None -> ())
     | Deliver { id; msg } | Push { id; msg } ->
-        acquire t ~party:dst ~from_peer:src id msg
+        (* Resync control is point-to-point and intentionally repeatable:
+           it must never enter the known/store dedup tables, or repeated
+           identical summaries would be swallowed. *)
+        if Icc_core.Message.is_resync msg then t.deliver_up ~dst msg
+        else acquire t ~party:dst ~from_peer:src id msg
 
-let create ~engine ~trace ~n ~rng ~delay_model ?(async_until = 0.) ~fanout
-    ~is_active ~deliver_up () =
+let create ~engine ~trace ~n ~rng ~delay_model ?(async_until = 0.) ?fault
+    ~fanout ~is_active ~deliver_up () =
   let net =
-    Icc_sim.Transport.network ~engine ~n ~trace ~delay_model ~async_until ()
+    Icc_sim.Transport.network ~engine ~n ~trace ~delay_model ~async_until
+      ?fault ()
   in
   let t =
     {
@@ -189,7 +198,11 @@ let publish t ~src msg =
    the advert/request discipline.  The receiver re-gossips as usual. *)
 let inject t ~src ~dst msg =
   let id = artifact_id_of msg in
-  if dst = src then publish t ~src msg
+  if Icc_core.Message.is_resync msg then
+    (* Point-to-point resync control: skip the dedup tables on the send
+       side too (see on_wire) so every retransmission actually travels. *)
+    send t ~src ~dst (Deliver { id; msg })
+  else if dst = src then publish t ~src msg
   else begin
     (* sender remembers its own artifact *)
     mark_known t src id;

@@ -30,6 +30,7 @@ val create :
   rng:Icc_sim.Rng.t ->
   delay_model:Icc_sim.Network.delay_model ->
   ?async_until:float ->
+  ?fault:Icc_sim.Fault.t ->
   fanout:int ->
   is_active:(int -> bool) ->
   deliver_up:(dst:int -> Icc_core.Message.t -> unit) ->
@@ -47,6 +48,9 @@ val publish : t -> src:int -> Icc_core.Message.t -> unit
 
 val inject : t -> src:int -> dst:int -> Icc_core.Message.t -> unit
 (** Byzantine split delivery: hand an artifact directly to one party,
-    outside the advert/request discipline; the receiver re-gossips. *)
+    outside the advert/request discipline; the receiver re-gossips.
+    Resync control messages ({!Icc_core.Message.is_resync}) also travel
+    through here and bypass the known/store dedup tables on both ends —
+    they are point-to-point and intentionally repeatable. *)
 
 val peers : t -> int -> int list

@@ -14,9 +14,11 @@ let transport () : Icc_core.Runner.transport =
       ~t:ctx.Icc_core.Runner.tr_t
       ~delay_model:ctx.Icc_core.Runner.tr_delay_model
       ~async_until:ctx.Icc_core.Runner.tr_async_until
+      ?fault:ctx.Icc_core.Runner.tr_fault
       ~is_active:ctx.Icc_core.Runner.tr_is_active
       ~deliver_up:ctx.Icc_core.Runner.tr_deliver
       ~system:ctx.Icc_core.Runner.tr_system ~keys:ctx.Icc_core.Runner.tr_keys
+      ()
   in
   {
     Icc_core.Runner.tx_broadcast = (fun ~src msg -> Rbc.tx_broadcast rbc ~src msg);

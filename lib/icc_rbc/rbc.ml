@@ -256,10 +256,11 @@ let on_frag t ~dst (f : frag) =
     end
   end
 
-let create ~engine ~trace ~n ~t:t_corrupt ~delay_model ~async_until
-    ~is_active ~deliver_up ~system ~keys =
+let create ~engine ~trace ~n ~t:t_corrupt ~delay_model ~async_until ?fault
+    ~is_active ~deliver_up ~system ~keys () =
   let net =
-    Icc_sim.Transport.network ~engine ~n ~trace ~delay_model ~async_until ()
+    Icc_sim.Transport.network ~engine ~n ~trace ~delay_model ~async_until
+      ?fault ()
   in
   let t =
     {

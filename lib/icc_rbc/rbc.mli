@@ -37,10 +37,12 @@ val create :
   t:int ->
   delay_model:Icc_sim.Network.delay_model ->
   async_until:float ->
+  ?fault:Icc_sim.Fault.t ->
   is_active:(int -> bool) ->
   deliver_up:(dst:int -> Icc_core.Message.t -> unit) ->
   system:Icc_crypto.Keygen.system ->
   keys:Icc_crypto.Keygen.party_keys array ->
+  unit ->
   t
 
 val tx_broadcast : t -> src:int -> Icc_core.Message.t -> unit

@@ -442,12 +442,25 @@ let observe t ~time ev =
       | Trace.Commit { party; round; block } ->
           on_commit t ~time ~party ~round ~block
       | Trace.Block_decided { round; block } -> on_decided t ~time ~round ~block
+      | Trace.Fault_recover { party } ->
+          (* a recovered party legitimately re-releases the beacon shares
+             for its current rounds; forget its counters so the rebroadcast
+             is not flagged as equivocation *)
+          let stale =
+            Hashtbl.fold
+              (fun ((_, p) as key) _ acc -> if p = party then key :: acc else acc)
+              t.per_party_beacon []
+          in
+          List.iter (Hashtbl.remove t.per_party_beacon) stale
       | Trace.Engine_dispatch _ | Trace.Net_send _ | Trace.Net_deliver _
       | Trace.Net_hold _ | Trace.Gossip_publish _ | Trace.Gossip_request _
       | Trace.Gossip_acquire _ | Trace.Rbc_fragment _ | Trace.Rbc_echo _
       | Trace.Rbc_reconstruct _ | Trace.Rbc_inconsistent _
       | Trace.Monitor_violation _ | Trace.Monitor_stall _
-      | Trace.Monitor_clear _ ->
+      | Trace.Monitor_clear _ | Trace.Fault_drop _ | Trace.Fault_duplicate _
+      | Trace.Fault_reorder _ | Trace.Fault_link_down _ | Trace.Fault_crash _
+      | Trace.Resync_summary _ | Trace.Resync_request _
+      | Trace.Resync_reply _ ->
           ());
       if time >= t.next_deadline && not t.ended then sweep t ~time
 

@@ -29,6 +29,7 @@ type 'msg t = {
   mutable delay_model : delay_model;
   mutable hold_until : float; (* global asynchronous interval end *)
   mutable link_hold : (int -> int -> float) option; (* partition model *)
+  mutable fault : Fault.t option; (* nemesis interposition *)
   mutable handler : dst:int -> src:int -> 'msg -> unit;
   mutable delivered : int;
 }
@@ -41,12 +42,14 @@ let create engine ~n ~trace ~delay_model =
     delay_model;
     hold_until = neg_infinity;
     link_hold = None;
+    fault = None;
     handler = (fun ~dst:_ ~src:_ _ -> ());
     delivered = 0;
   }
 
 let set_handler t handler = t.handler <- handler
 let set_delay_model t m = t.delay_model <- m
+let set_fault t f = t.fault <- Some f
 
 let hold_all_until t time = t.hold_until <- time
 let set_link_hold t f = t.link_hold <- Some f
@@ -64,24 +67,37 @@ let deliver_self t ~src msg =
   Engine.schedule t.engine ~delay:0. (fun () -> t.handler ~dst:src ~src msg)
 
 (* Schedule one remote transmission.  The delay is sampled before anything
-   else so the RNG stream is independent of hold state and tracing. *)
+   else so the RNG stream is independent of hold state, fault state and
+   tracing; the nemesis (when installed) is consulted exactly once per
+   transmission, also independent of hold state. *)
 let transmit t ~src ~dst ~size ~kind msg =
   let now = Engine.now t.engine in
   let d = sample_delay t ~src ~dst in
+  let deliveries, fault_floor =
+    match t.fault with
+    | None -> ([ 0. ], neg_infinity)
+    | Some f ->
+        let v = Fault.on_transmit f ~now ~src ~dst ~kind in
+        (v.Fault.deliveries, v.Fault.release_floor)
+  in
   let release =
     let global = max now t.hold_until in
+    let global = max global fault_floor in
     match t.link_hold with
     | None -> global
     | Some f -> max global (f src dst)
   in
-  if release > now && Trace.detailed t.trace then
+  if deliveries <> [] && release > now && Trace.detailed t.trace then
     Trace.emit t.trace ~time:now (Trace.Net_hold { src; dst; kind; release });
-  Engine.schedule_at t.engine ~time:(release +. d) (fun () ->
-      t.delivered <- t.delivered + 1;
-      if Trace.detailed t.trace then
-        Trace.emit t.trace ~time:(Engine.now t.engine)
-          (Trace.Net_deliver { src; dst; kind; size });
-      t.handler ~dst ~src msg)
+  List.iter
+    (fun extra ->
+      Engine.schedule_at t.engine ~time:(release +. d +. extra) (fun () ->
+          t.delivered <- t.delivered + 1;
+          if Trace.detailed t.trace then
+            Trace.emit t.trace ~time:(Engine.now t.engine)
+              (Trace.Net_deliver { src; dst; kind; size });
+          t.handler ~dst ~src msg))
+    deliveries
 
 let unicast t ~src ~dst ~size ~kind msg =
   if dst < 1 || dst > t.n then invalid_arg "Network.unicast: bad destination";

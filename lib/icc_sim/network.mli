@@ -19,16 +19,38 @@ val create :
   Engine.t -> n:int -> trace:Trace.t -> delay_model:delay_model -> 'msg t
 
 val set_handler : 'msg t -> (dst:int -> src:int -> 'msg -> unit) -> unit
+
 val set_delay_model : 'msg t -> delay_model -> unit
+(** Swap the delay model mid-run.
+
+    Release semantics (pinned by a regression test in test/test_sim.ml):
+    every transmission is priced {e at send time} — the delay is sampled
+    from the model installed at the moment of [unicast]/[broadcast], and
+    the release floor (the max of {!hold_all_until}, {!set_link_hold} and
+    the nemesis floor) is read at that same moment.  A message already in
+    flight or already held is therefore {e never} re-priced: changing the
+    delay model, shortening a hold or clearing a link hold after the send
+    does not move its scheduled delivery at [release + delay], and
+    extending a hold does not recapture it.  Only messages sent after the
+    change observe the new model or hold state. *)
 
 val hold_all_until : 'msg t -> float -> unit
 (** Adversarial asynchrony: messages sent while [now < time] are released at
-    [time] (plus their sampled delay). *)
+    [time] (plus their sampled delay, per the send-time pricing above). *)
 
 val set_link_hold : 'msg t -> (int -> int -> float) -> unit
-(** Per-link release floor (absolute time), e.g. for partitions. *)
+(** Per-link release floor (absolute time), e.g. for partitions.  Consulted
+    at send time only, like the global hold. *)
 
 val clear_link_hold : 'msg t -> unit
+
+val set_fault : 'msg t -> Fault.t -> unit
+(** Interpose a {!Fault} nemesis: from now on every remote transmission is
+    submitted to {!Fault.on_transmit}, which may drop it, duplicate it,
+    delay copies out of order, or declare the link administratively down
+    (its floor joins the hold maximum).  Self-delivery is never subject to
+    faults.  The delay-model RNG stream is sampled before the nemesis is
+    consulted, so installing a fault never shifts the delay sequence. *)
 
 val unicast : 'msg t -> src:int -> dst:int -> size:int -> kind:string -> 'msg -> unit
 val broadcast : 'msg t -> src:int -> size:int -> kind:string -> 'msg -> unit

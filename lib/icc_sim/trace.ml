@@ -51,18 +51,36 @@ type event =
   | Monitor_violation of { round : int; what : string; detail : string }
   | Monitor_stall of { round : int; stage : string; waited : float }
   | Monitor_clear of { round : int; stage : string; waited : float }
+  (* fault injection (the {!Fault} nemesis layer) *)
+  | Fault_drop of { src : int; dst : int; kind : string }
+  | Fault_duplicate of { src : int; dst : int; kind : string; copies : int }
+  | Fault_reorder of { src : int; dst : int; kind : string; extra : float }
+  | Fault_link_down of { src : int; dst : int; kind : string; release : float }
+  | Fault_crash of { party : int }
+  | Fault_recover of { party : int }
+  (* pool resync (retransmission/recovery sub-layer) *)
+  | Resync_summary of { party : int; peer : int; round : int; kmax : int }
+  | Resync_request of { party : int; peer : int; from_round : int; upto : int }
+  | Resync_reply of {
+      party : int;
+      peer : int;
+      from_round : int;
+      upto : int;
+      count : int;
+    }
 
 type level = Core | Detail
 
 let level_of = function
   | Run_start _ | Run_end _ | Net_send _ | Round_entry _ | Propose _
   | Notarize _ | Block_decided _ | Monitor_violation _ | Monitor_stall _
-  | Monitor_clear _ ->
+  | Monitor_clear _ | Fault_crash _ | Fault_recover _ ->
       Core
   | Engine_dispatch _ | Net_deliver _ | Net_hold _ | Gossip_publish _
   | Gossip_request _ | Gossip_acquire _ | Rbc_fragment _ | Rbc_echo _
   | Rbc_reconstruct _ | Rbc_inconsistent _ | Finalize _ | Beacon_share _
-  | Commit _ ->
+  | Commit _ | Fault_drop _ | Fault_duplicate _ | Fault_reorder _
+  | Fault_link_down _ | Resync_summary _ | Resync_request _ | Resync_reply _ ->
       Detail
 
 type sink = { all : bool; fn : time:float -> event -> unit }
@@ -114,6 +132,15 @@ let kind_of = function
   | Monitor_violation _ -> "monitor-violation"
   | Monitor_stall _ -> "monitor-stall"
   | Monitor_clear _ -> "monitor-clear"
+  | Fault_drop _ -> "fault-drop"
+  | Fault_duplicate _ -> "fault-duplicate"
+  | Fault_reorder _ -> "fault-reorder"
+  | Fault_link_down _ -> "fault-link-down"
+  | Fault_crash _ -> "fault-crash"
+  | Fault_recover _ -> "fault-recover"
+  | Resync_summary _ -> "resync-summary"
+  | Resync_request _ -> "resync-request"
+  | Resync_reply _ -> "resync-reply"
 
 (* Strings on the bus are message kinds and artifact ids (printable ASCII),
    but escape defensively so every emitted line is valid JSON. *)
@@ -180,6 +207,27 @@ let to_json ~time ev =
     | Monitor_clear { round; stage; waited } ->
         p {|"round":%d,"stage":"%s","waited":%.6f|} round (json_escape stage)
           waited
+    | Fault_drop { src; dst; kind } ->
+        p {|"src":%d,"dst":%d,"kind":"%s"|} src dst (json_escape kind)
+    | Fault_duplicate { src; dst; kind; copies } ->
+        p {|"src":%d,"dst":%d,"kind":"%s","copies":%d|} src dst
+          (json_escape kind) copies
+    | Fault_reorder { src; dst; kind; extra } ->
+        p {|"src":%d,"dst":%d,"kind":"%s","extra":%.6f|} src dst
+          (json_escape kind) extra
+    | Fault_link_down { src; dst; kind; release } ->
+        p {|"src":%d,"dst":%d,"kind":"%s","release":%.6f|} src dst
+          (json_escape kind) release
+    | Fault_crash { party } | Fault_recover { party } ->
+        p {|"party":%d|} party
+    | Resync_summary { party; peer; round; kmax } ->
+        p {|"party":%d,"peer":%d,"round":%d,"kmax":%d|} party peer round kmax
+    | Resync_request { party; peer; from_round; upto } ->
+        p {|"party":%d,"peer":%d,"from":%d,"upto":%d|} party peer from_round
+          upto
+    | Resync_reply { party; peer; from_round; upto; count } ->
+        p {|"party":%d,"peer":%d,"from":%d,"upto":%d,"count":%d|} party peer
+          from_round upto count
   in
   p {|{"t":%.6f,"ev":"%s",%s}|} time (kind_of ev) fields
 
@@ -439,6 +487,59 @@ let of_json line =
                   round = int "round";
                   stage = str "stage";
                   waited = flt "waited";
+                }
+          | "fault-drop" ->
+              Fault_drop { src = int "src"; dst = int "dst"; kind = str "kind" }
+          | "fault-duplicate" ->
+              Fault_duplicate
+                {
+                  src = int "src";
+                  dst = int "dst";
+                  kind = str "kind";
+                  copies = int "copies";
+                }
+          | "fault-reorder" ->
+              Fault_reorder
+                {
+                  src = int "src";
+                  dst = int "dst";
+                  kind = str "kind";
+                  extra = flt "extra";
+                }
+          | "fault-link-down" ->
+              Fault_link_down
+                {
+                  src = int "src";
+                  dst = int "dst";
+                  kind = str "kind";
+                  release = flt "release";
+                }
+          | "fault-crash" -> Fault_crash { party = int "party" }
+          | "fault-recover" -> Fault_recover { party = int "party" }
+          | "resync-summary" ->
+              Resync_summary
+                {
+                  party = int "party";
+                  peer = int "peer";
+                  round = int "round";
+                  kmax = int "kmax";
+                }
+          | "resync-request" ->
+              Resync_request
+                {
+                  party = int "party";
+                  peer = int "peer";
+                  from_round = int "from";
+                  upto = int "upto";
+                }
+          | "resync-reply" ->
+              Resync_reply
+                {
+                  party = int "party";
+                  peer = int "peer";
+                  from_round = int "from";
+                  upto = int "upto";
+                  count = int "count";
                 }
           | other ->
               raise (Parse_error (Printf.sprintf "unknown event kind %S" other))

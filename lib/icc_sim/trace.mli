@@ -49,6 +49,31 @@ type event =
           progress for [waited] simulated seconds. *)
   | Monitor_clear of { round : int; stage : string; waited : float }
       (** A previously flagged stall recovered after [waited] seconds. *)
+  | Fault_drop of { src : int; dst : int; kind : string }
+      (** {!Fault} nemesis dropped a transmission. *)
+  | Fault_duplicate of { src : int; dst : int; kind : string; copies : int }
+      (** Nemesis delivered [copies] total copies ([copies >= 2]). *)
+  | Fault_reorder of { src : int; dst : int; kind : string; extra : float }
+      (** Nemesis delayed a delivery by [extra] seconds out of order. *)
+  | Fault_link_down of { src : int; dst : int; kind : string; release : float }
+      (** Nemesis link flap or partition: held until [release]. *)
+  | Fault_crash of { party : int }
+      (** Nemesis crash directive took a party down mid-run. *)
+  | Fault_recover of { party : int }
+      (** A crashed party rejoined (it resyncs its pool from peers). *)
+  | Resync_summary of { party : int; peer : int; round : int; kmax : int }
+      (** Periodic pool summary ([round], finalization cursor [kmax])
+          unicast to one rotating peer. *)
+  | Resync_request of { party : int; peer : int; from_round : int; upto : int }
+      (** Pull request for rounds [\[from_round, upto\]] from a peer that
+          announced a higher frontier. *)
+  | Resync_reply of {
+      party : int;
+      peer : int;
+      from_round : int;
+      upto : int;
+      count : int;
+    }  (** [count] pool artifacts retransmitted for the window. *)
 
 type level = Core | Detail
 

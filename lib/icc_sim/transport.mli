@@ -22,12 +22,14 @@ val network :
   trace:Trace.t ->
   delay_model:Network.delay_model ->
   ?async_until:float ->
+  ?fault:Fault.t ->
   unit ->
   'msg Network.t
 (** An instrumented network; [async_until > 0] installs the adversarial
-    hold ({!Network.hold_all_until}) before any message is sent. *)
+    hold ({!Network.hold_all_until}) before any message is sent, and
+    [fault] interposes a {!Fault} nemesis ({!Network.set_fault}). *)
 
 val network_of :
-  env -> delay_model:Network.delay_model -> ?async_until:float -> unit ->
-  'msg Network.t
+  env -> delay_model:Network.delay_model -> ?async_until:float ->
+  ?fault:Fault.t -> unit -> 'msg Network.t
 (** {!network} with the environment's engine, size and bus. *)

@@ -30,6 +30,7 @@ let () =
       ("rbc-unit", Test_rbc_unit.suite);
       ("icc1", Test_icc1.suite);
       ("icc2", Test_icc2.suite);
+      ("fault", Test_fault.suite);
       ("baselines", Test_baselines.suite);
       ("tendermint", Test_tendermint.suite);
       ("smr", Test_smr.suite);

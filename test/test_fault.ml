@@ -1,0 +1,191 @@
+(* Nemesis-layer tests.
+
+   - a QCheck property: ICC0 stays safe and live (and the online monitor
+     stays clean) under random drop (<= 20%) / duplication / reordering
+     schedules;
+   - trace determinism: the same seed and nemesis script produce a
+     byte-identical trace JSONL across two runs, for ICC0, ICC1 and ICC2;
+   - the combined acceptance schedule from the issue: 20% drop +
+     duplication + a healed two-way partition + crash-recover of f
+     parties, with every party (including the recovered ones) committing
+     the full chain. *)
+
+let base ?(n = 4) ~seed ~duration () =
+  {
+    (Icc_core.Runner.default_scenario ~n ~seed) with
+    Icc_core.Runner.duration;
+    delay = Icc_core.Runner.Fixed_delay 0.05;
+    epsilon = 0.2;
+    delta_bnd = 0.5;
+  }
+
+let monitored (scenario : Icc_core.Runner.scenario) =
+  {
+    scenario with
+    Icc_core.Runner.monitor = Some (Icc_sim.Monitor.default_config ~delta:0.05 ())
+  }
+
+let monitor_ok (r : Icc_core.Runner.result) =
+  match r.Icc_core.Runner.monitor with
+  | Some m -> Icc_sim.Monitor.ok m
+  | None -> false
+
+(* ------------------------------------------- random fault schedules *)
+
+(* A schedule is a short list of rule specs drawn from small integers so
+   QCheck can shrink a failing case to a minimal schedule.  [kind] picks
+   the action, [permille] caps drop probability at 200/1000 = 20%, and the
+   window [w0, w0 + w1 + 1) lies inside the 15 s run. *)
+let script_of_specs specs =
+  List.map
+    (fun (kind, permille, w0, w1) ->
+      let from_ = float_of_int w0 and until = float_of_int (w0 + w1 + 1) in
+      let p = float_of_int permille /. 1000. in
+      match kind mod 3 with
+      | 0 -> Icc_sim.Fault.drop ~from_ ~until p
+      | 1 -> Icc_sim.Fault.duplicate ~from_ ~until ~spread:0.05 (p *. 2.)
+      | _ -> Icc_sim.Fault.reorder ~from_ ~until ~max_extra:0.2 (p *. 2.))
+    specs
+
+let prop_icc0_safe_under_random_schedules =
+  let spec_gen =
+    QCheck.Gen.(
+      quad (int_bound 2) (int_bound 200) (int_bound 9) (int_bound 5))
+  in
+  let gen = QCheck.Gen.(pair (int_bound 1000) (list_size (int_range 1 3) spec_gen)) in
+  let print (seed, specs) =
+    Printf.sprintf "seed=%d specs=[%s]" seed
+      (String.concat "; "
+         (List.map
+            (fun (k, p, w0, w1) -> Printf.sprintf "(%d,%d,%d,%d)" k p w0 w1)
+            specs))
+  in
+  QCheck.Test.make
+    ~name:"icc0 safe and live under random drop/dup/reorder schedules"
+    ~count:10
+    (QCheck.make ~print gen)
+    (fun (seed, specs) ->
+      let scenario =
+        monitored
+          { (base ~seed ~duration:15. ()) with
+            Icc_core.Runner.nemesis = Some (script_of_specs specs) }
+      in
+      let r = Icc_core.Runner.run scenario in
+      r.Icc_core.Runner.safety_ok && r.Icc_core.Runner.p1_ok
+      && monitor_ok r
+      && r.Icc_core.Runner.rounds_decided >= 10)
+
+(* ------------------------------------------- combined acceptance schedule *)
+
+(* 20% loss + duplication over the middle of the run, a healed two-way
+   partition, and a crash-recover cycle of f = t parties.  n = 4, t = 1:
+   party 2 crashes at 6 s and recovers at 12 s. *)
+let combined_script =
+  Icc_sim.Fault.drop ~from_:4. ~until:14. 0.2
+  :: Icc_sim.Fault.duplicate ~from_:4. ~until:14. 0.3
+  :: Icc_sim.Fault.partition ~from_:9. ~until:11. [ [ 1; 3 ]; [ 4 ] ]
+  :: Icc_sim.Fault.crash_recover ~party:2 ~down:6. ~up:12.
+
+let combined_scenario ~seed =
+  monitored
+    { (base ~seed ~duration:25. ()) with
+      Icc_core.Runner.nemesis = Some combined_script }
+
+let check_combined name (r : Icc_core.Runner.result) =
+  Alcotest.(check bool) (name ^ ": safety ok") true r.Icc_core.Runner.safety_ok;
+  Alcotest.(check bool) (name ^ ": p1 ok") true r.Icc_core.Runner.p1_ok;
+  Alcotest.(check bool) (name ^ ": monitor clean") true (monitor_ok r);
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: liveness (%d rounds)" name
+       r.Icc_core.Runner.rounds_decided)
+    true
+    (r.Icc_core.Runner.rounds_decided >= 20);
+  (* the crash-recovered party stays in the honest set and commits the
+     same chain as everyone else *)
+  Alcotest.(check int) (name ^ ": all parties honest") 4
+    (List.length r.Icc_core.Runner.outputs);
+  match r.Icc_core.Runner.outputs with
+  | (_, reference) :: rest ->
+      List.iter
+        (fun (id, chain) ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s: party %d chain identical" name id)
+            true (chain = reference))
+        rest
+  | [] -> Alcotest.fail (name ^ ": no outputs")
+
+(* Run a protocol over the combined schedule with a trace sink, returning
+   the result and the full JSONL dump. *)
+let traced_run run_fn ~seed =
+  let tr = Icc_sim.Trace.create () in
+  let buf = Buffer.create (1 lsl 16) in
+  Icc_sim.Trace.subscribe tr (fun ~time ev ->
+      Buffer.add_string buf (Icc_sim.Trace.to_json ~time ev);
+      Buffer.add_char buf '\n');
+  let r = run_fn { (combined_scenario ~seed) with Icc_core.Runner.trace = Some tr } in
+  (r, Buffer.contents buf)
+
+let check_deterministic_combined name run_fn ~seed =
+  let r1, jsonl1 = traced_run run_fn ~seed in
+  let _r2, jsonl2 = traced_run run_fn ~seed in
+  check_combined name r1;
+  Alcotest.(check bool) (name ^ ": trace non-empty") true
+    (String.length jsonl1 > 10_000);
+  Alcotest.(check bool)
+    (name ^ ": byte-identical trace JSONL across two runs")
+    true
+    (String.equal jsonl1 jsonl2);
+  (* the nemesis visibly did something: fault events are on the bus *)
+  Alcotest.(check bool) (name ^ ": fault events present") true
+    (let contains sub =
+       let n = String.length jsonl1 and m = String.length sub in
+       let rec go i = i + m <= n && (String.sub jsonl1 i m = sub || go (i + 1)) in
+       go 0
+     in
+     contains {|"ev":"fault-drop"|} && contains {|"ev":"fault-crash"|}
+     && contains {|"ev":"fault-recover"|})
+
+let test_determinism_icc0 () =
+  check_deterministic_combined "icc0" Icc_core.Runner.run ~seed:41
+
+let test_determinism_icc1 () =
+  check_deterministic_combined "icc1" Icc_gossip.Icc1.run ~seed:42
+
+let test_determinism_icc2 () =
+  check_deterministic_combined "icc2" Icc_rbc.Icc2.run ~seed:43
+
+(* ------------------------------------------- resync heals a partition *)
+
+let test_partition_heals_without_crash () =
+  (* a pure two-way partition with no crash: both sides stall (no quorum
+     on either side with n=4, t=1), heal, and the resync retransmission
+     gets everyone back to one chain *)
+  let script =
+    [ Icc_sim.Fault.partition ~from_:5. ~until:8. [ [ 1; 2 ]; [ 3; 4 ] ] ]
+  in
+  let r =
+    Icc_core.Runner.run
+      (monitored
+         { (base ~seed:57 ~duration:20. ()) with
+           Icc_core.Runner.nemesis = Some script })
+  in
+  Alcotest.(check bool) "safety" true r.Icc_core.Runner.safety_ok;
+  Alcotest.(check bool) "monitor" true (monitor_ok r);
+  Alcotest.(check bool)
+    (Printf.sprintf "liveness resumes after healing (%d rounds)"
+       r.Icc_core.Runner.rounds_decided)
+    true
+    (r.Icc_core.Runner.rounds_decided >= 30)
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_icc0_safe_under_random_schedules;
+    Alcotest.test_case "icc0: combined schedule, deterministic trace" `Quick
+      test_determinism_icc0;
+    Alcotest.test_case "icc1: combined schedule, deterministic trace" `Quick
+      test_determinism_icc1;
+    Alcotest.test_case "icc2: combined schedule, deterministic trace" `Quick
+      test_determinism_icc2;
+    Alcotest.test_case "partition heals via resync" `Quick
+      test_partition_heals_without_crash;
+  ]

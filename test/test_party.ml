@@ -31,6 +31,51 @@ let base ?(n = 4) ?(seed = 5) () =
 
 let is_proposal = function Icc_core.Message.Proposal _ -> true | _ -> false
 
+(* A transport that sends every message twice: with a fixed delay model both
+   copies arrive back-to-back, so the run exercises duplicate delivery of
+   every single protocol message. *)
+let duplicating_transport : Icc_core.Runner.transport =
+ fun ctx ->
+  let inner = Icc_core.Runner.direct_transport ctx in
+  {
+    Icc_core.Runner.tx_broadcast =
+      (fun ~src msg ->
+        inner.Icc_core.Runner.tx_broadcast ~src msg;
+        inner.Icc_core.Runner.tx_broadcast ~src msg);
+    tx_unicast =
+      (fun ~src ~dst msg ->
+        inner.Icc_core.Runner.tx_unicast ~src ~dst msg;
+        inner.Icc_core.Runner.tx_unicast ~src ~dst msg);
+  }
+
+let test_on_message_idempotent () =
+  (* Party.on_message must be idempotent: replaying every message twice
+     (second copy arriving immediately after the first, same content) leaves
+     the committed chains byte-identical to the clean run.  The fixed delay
+     model keeps the duplicate from perturbing any RNG stream, so any chain
+     difference is a genuine idempotency failure. *)
+  let once = Icc_core.Runner.run (base ()) in
+  let twice =
+    Icc_core.Runner.run
+      { (base ()) with
+        Icc_core.Runner.transport = Some duplicating_transport }
+  in
+  Alcotest.(check bool) "safety under duplication" true
+    twice.Icc_core.Runner.safety_ok;
+  Alcotest.(check int) "same rounds decided"
+    once.Icc_core.Runner.rounds_decided twice.Icc_core.Runner.rounds_decided;
+  Alcotest.(check int) "same parties reporting"
+    (List.length once.Icc_core.Runner.outputs)
+    (List.length twice.Icc_core.Runner.outputs);
+  List.iter2
+    (fun (id1, c1) (id2, c2) ->
+      Alcotest.(check int) "same party id" id1 id2;
+      Alcotest.(check bool)
+        (Printf.sprintf "party %d chain identical under duplication" id1)
+        true
+        (c1 = c2))
+    once.Icc_core.Runner.outputs twice.Icc_core.Runner.outputs
+
 let test_echo_repairs_selective_proposals () =
   (* party 1's proposals never reach parties 3 and 4 directly; the echo
      step (condition (c)) must still disseminate them, so liveness and the
@@ -137,4 +182,6 @@ let suite =
       test_proposal_broadcast_bound;
     Alcotest.test_case "beacon pipelining" `Quick
       test_beacon_pipelining_is_one_round_ahead;
+    Alcotest.test_case "on_message idempotent under full duplication" `Quick
+      test_on_message_idempotent;
   ]

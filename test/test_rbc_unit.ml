@@ -29,7 +29,7 @@ let make_world ?(delay = 0.01) () =
       ~deliver_up:(fun ~dst msg ->
         let l = Hashtbl.find delivered dst in
         l := msg :: !l)
-      ~system:kit.Kit.system ~keys:kit.Kit.keys
+      ~system:kit.Kit.system ~keys:kit.Kit.keys ()
   in
   { engine; metrics; rbc; delivered; active }
 

@@ -106,6 +106,45 @@ let test_network_link_hold () =
   Alcotest.(check (float 1e-9)) "into 3 held" 5.1 (List.assoc 3 !times);
   Alcotest.(check (float 1e-9)) "into 2 normal" 0.1 (List.assoc 2 !times)
 
+let test_network_send_time_pricing () =
+  (* Regression pin for the release semantics documented on
+     Network.set_delay_model: every transmission is priced at send time —
+     the delay comes from the model installed at the moment of unicast and
+     the release floor is read at that same moment.  Swapping the model,
+     shortening a hold or extending one afterwards never re-prices a
+     message already in flight or already held. *)
+  let e, _, net = make_net ~delay:0.1 () in
+  let times = ref [] in
+  Icc_sim.Network.set_handler net (fun ~dst:_ ~src:_ msg ->
+      times := (msg, Icc_sim.Engine.now e) :: !times);
+  let at msg = List.assoc msg !times in
+  (* 1. model swap does not move an in-flight message *)
+  Icc_sim.Network.unicast net ~src:1 ~dst:2 ~size:1 ~kind:"x" "before-swap";
+  Icc_sim.Network.set_delay_model net (Icc_sim.Network.Fixed 3.);
+  Icc_sim.Network.unicast net ~src:1 ~dst:2 ~size:1 ~kind:"x" "after-swap";
+  (* 2. held message keeps its original release even if the hold is
+     shortened later; messages sent after the shortening use the new
+     hold state *)
+  Icc_sim.Network.hold_all_until net 10.;
+  Icc_sim.Network.unicast net ~src:1 ~dst:2 ~size:1 ~kind:"x" "held";
+  Icc_sim.Engine.schedule_at e ~time:4. (fun () ->
+      Icc_sim.Network.hold_all_until net 0.;
+      Icc_sim.Network.unicast net ~src:1 ~dst:2 ~size:1 ~kind:"x" "post-heal";
+      (* 3. extending the hold after a send does not recapture it *)
+      Icc_sim.Network.unicast net ~src:1 ~dst:2 ~size:1 ~kind:"x" "escaped";
+      Icc_sim.Network.hold_all_until net 50.);
+  Icc_sim.Engine.run ~until:60. e;
+  Alcotest.(check (float 1e-9)) "in-flight message not re-priced" 0.1
+    (at "before-swap");
+  Alcotest.(check (float 1e-9)) "later send uses the new model" 3.
+    (at "after-swap");
+  Alcotest.(check (float 1e-9)) "held message keeps original release" 13.
+    (at "held");
+  Alcotest.(check (float 1e-9)) "send after heal is unheld" 7.
+    (at "post-heal");
+  Alcotest.(check (float 1e-9)) "extending a hold does not recapture" 7.
+    (at "escaped")
+
 let test_wan_matrix_symmetric () =
   let r = Icc_sim.Rng.create 1 in
   let m = Icc_sim.Network.wan_matrix r ~n:13 ~rtt_lo:0.006 ~rtt_hi:0.110 in
@@ -148,6 +187,8 @@ let suite =
     Alcotest.test_case "self delivery" `Quick test_network_self_delivery_immediate;
     Alcotest.test_case "hold until" `Quick test_network_hold_until;
     Alcotest.test_case "link hold" `Quick test_network_link_hold;
+    Alcotest.test_case "send-time pricing of delay and holds" `Quick
+      test_network_send_time_pricing;
     Alcotest.test_case "wan matrix" `Quick test_wan_matrix_symmetric;
     Alcotest.test_case "metrics percentile" `Quick test_metrics_percentile;
     QCheck_alcotest.to_alcotest prop_engine_fifo_at_same_time;

@@ -66,6 +66,8 @@ let test_levels () =
       Monitor_violation { round = 1; what = "w"; detail = "d" };
       Monitor_stall { round = 1; stage = "entry"; waited = 1. };
       Monitor_clear { round = 1; stage = "entry"; waited = 1. };
+      Fault_crash { party = 1 };
+      Fault_recover { party = 1 };
     ]
   in
   List.iter
@@ -90,6 +92,10 @@ let test_levels () =
       Beacon_share { party = 1; round = 1 };
       Commit { party = 1; round = 1; block = "ab" };
       Rbc_fragment { party = 1; round = 1; proposer = 1; index = 0 };
+      Fault_drop { src = 1; dst = 2; kind = "blk" };
+      Fault_link_down { src = 1; dst = 2; kind = "blk"; release = 1. };
+      Resync_summary { party = 1; peer = 2; round = 1; kmax = 0 };
+      Resync_reply { party = 1; peer = 2; from_round = 1; upto = 1; count = 0 };
     ]
 
 (* -------------------------------------------------- metrics consumer *)
@@ -195,6 +201,15 @@ let all_constructor_witnesses : Icc_sim.Trace.event list =
       { round = 5; what = "conflicting-notarization"; detail = {|"aa" vs "bb"|} };
     Monitor_stall { round = 6; stage = "notarize"; waited = 0.42 };
     Monitor_clear { round = 6; stage = "notarize"; waited = 0.84 };
+    Fault_drop { src = 1; dst = 2; kind = {|blk "q"|} };
+    Fault_duplicate { src = 2; dst = 3; kind = "share"; copies = 3 };
+    Fault_reorder { src = 4; dst = 1; kind = "prop"; extra = 0.125 };
+    Fault_link_down { src = 1; dst = 4; kind = "blk"; release = 2.5 };
+    Fault_crash { party = 3 };
+    Fault_recover { party = 3 };
+    Resync_summary { party = 1; peer = 2; round = 9; kmax = 7 };
+    Resync_request { party = 2; peer = 1; from_round = 8; upto = 9 };
+    Resync_reply { party = 1; peer = 2; from_round = 8; upto = 9; count = 11 };
   ]
 
 let test_json_round_trip () =
@@ -222,7 +237,7 @@ let test_json_round_trip_is_exhaustive () =
     List.map Icc_sim.Trace.kind_of all_constructor_witnesses
     |> List.sort_uniq compare
   in
-  Alcotest.(check int) "one witness per constructor" 23
+  Alcotest.(check int) "one witness per constructor" 32
     (List.length witnessed)
 
 (* Property: round-tripping holds for arbitrary payload contents, not just
