@@ -447,6 +447,49 @@ let analyze_cmd =
              report round pipelines, bandwidth and critical paths.")
     Term.(const exec $ file $ round $ delta $ stall_factor_arg)
 
+(* ---------------------------------------------------------------- lint *)
+
+let lint_cmd =
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Emit findings as flat JSON objects (one per line), matching \
+                the trace-bus format.")
+  in
+  let paths =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"PATH"
+          ~doc:"Directories or .cmt/.cmti files to lint (default: \
+                _build/default/lib, falling back to lib).")
+  in
+  let deps =
+    Arg.(
+      value & opt_all string []
+      & info [ "deps" ] ~docv:"DIR"
+          ~doc:"Extra artifact directories contributing type definitions \
+                without being linted themselves.")
+  in
+  let exec json paths deps =
+    let args =
+      (if json then [ "--json" ] else [])
+      @ List.concat_map (fun d -> [ "--deps"; d ]) deps
+      @ paths
+    in
+    match Icc_lint.Driver.config_of_args args with
+    | Error msg ->
+        prerr_endline msg;
+        exit 2
+    | Ok config -> exit (Icc_lint.Driver.run config)
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:"Check the compiled libraries' typed ASTs for determinism \
+             hazards (polymorphic compare, hash-order leaks, wall-clock \
+             reads, catch-all handlers).")
+    Term.(const exec $ json $ paths $ deps)
+
 (* ---------------------------------------------------------------- keys *)
 
 let keys_cmd =
@@ -498,4 +541,12 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "icc" ~doc)
-          [ run_cmd; table1_cmd; exp_cmd; baselines_cmd; analyze_cmd; keys_cmd ]))
+          [
+            run_cmd;
+            table1_cmd;
+            exp_cmd;
+            baselines_cmd;
+            analyze_cmd;
+            lint_cmd;
+            keys_cmd;
+          ]))

@@ -218,6 +218,8 @@ and check_prepared t r (e : entry) ~view ~seq =
 and start_view_change t r ~new_view =
   if new_view > r.view then begin
     r.view <- new_view;
+    (* canonical ascending-seq order: this list is emitted on the wire in
+       the View_change message, so log bucket order must not leak (D2) *)
     let prepared =
       Hashtbl.fold
         (fun seq (e : entry) acc ->
@@ -227,6 +229,7 @@ and start_view_change t r ~new_view =
             | None -> acc
           else acc)
         r.log []
+      |> List.sort (fun (s1, _, _, _) (s2, _, _, _) -> Int.compare s1 s2)
     in
     let sig_ =
       Icc_crypto.Schnorr.sign r.auth
@@ -262,15 +265,18 @@ and on_view_change t r ~new_view ~replica ~max_seq ~prepared =
         (* Re-propose prepared batches (highest pre-prepare view wins per
            slot) and fill unprepared gaps with no-ops. *)
         let best : (int, string * int * int) Hashtbl.t = Hashtbl.create 16 in
-        Hashtbl.iter
-          (fun _ prep ->
-            List.iter
-              (fun (seq, digest, view, size) ->
-                match Hashtbl.find_opt best seq with
-                | Some (_, v, _) when v >= view -> ()
-                | _ -> Hashtbl.replace best seq (digest, view, size))
-              prep)
-          per_view;
+        (* visit votes in ascending replica order: a Byzantine pair of
+           equal-view, different-digest claims would otherwise be resolved
+           by bucket order (D2) *)
+        Hashtbl.fold (fun replica prep acc -> (replica, prep) :: acc) per_view []
+        |> List.sort (fun (r1, _) (r2, _) -> Int.compare r1 r2)
+        |> List.iter (fun (_, prep) ->
+               List.iter
+                 (fun (seq, digest, view, size) ->
+                   match Hashtbl.find_opt best seq with
+                   | Some (_, v, _) when v >= view -> ()
+                   | _ -> Hashtbl.replace best seq (digest, view, size))
+                 prep);
         let batches = ref [] in
         for seq = r.max_seq_seen downto r.next_exec do
           let batch, digest =

@@ -50,14 +50,17 @@ let no_conflicting_notarization (pools : Pool.t list) =
           (Pool.blocks_of_round pool round)
       done)
     pools;
-  Hashtbl.fold
-    (fun round fh acc ->
-      acc
-      &&
-      match Hashtbl.find_opt notarized round with
-      | None -> true
-      | Some l -> List.for_all (Icc_crypto.Sha256.equal fh) !l)
-    finalized true
+  (Hashtbl.fold
+     (fun round fh acc ->
+       acc
+       &&
+       match Hashtbl.find_opt notarized round with
+       | None -> true
+       | Some l -> List.for_all (Icc_crypto.Sha256.equal fh) !l)
+     finalized true
+   [@icc.allow
+     "d2-hashtbl-order: conjunction over all bindings with no side effects \
+      — the boolean result is the same in any visit order"])
 
 (* P1 up to [limit]: every round some honest party finished has at least one
    notarized block in some honest pool. *)

@@ -67,4 +67,6 @@ let kind = function
 
 let is_resync = function
   | Pool_summary _ | Pool_request _ -> true
-  | _ -> false
+  | Proposal _ | Notarization_share _ | Notarization _ | Finalization_share _
+  | Finalization _ | Beacon_share _ ->
+      false

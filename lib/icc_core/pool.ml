@@ -243,10 +243,14 @@ let stored_blocks t = Hashtbl.length t.blocks
    notarized blocks at the current frontier, and Fig. 2 only outputs
    segments above kmax. *)
 let prune t ~below =
+  (* [by_round] is a multi-table (one binding per block), so the fold both
+     repeats rounds and enumerates them in bucket order; sort_uniq by the
+     round key so removal proceeds in one canonical order. *)
   let doomed_rounds =
     Hashtbl.fold
       (fun round _ acc -> if round < below then round :: acc else acc)
       t.by_round []
+    |> List.sort_uniq Int.compare
   in
   List.iter
     (fun round ->

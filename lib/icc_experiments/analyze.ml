@@ -191,7 +191,18 @@ let print_faults r =
       | Icc_sim.Trace.Resync_reply { count; _ } ->
           incr replies;
           resent := !resent + count
-      | _ -> ())
+      | Icc_sim.Trace.Run_start _ | Icc_sim.Trace.Run_end _
+      | Icc_sim.Trace.Engine_dispatch _ | Icc_sim.Trace.Net_send _
+      | Icc_sim.Trace.Net_deliver _ | Icc_sim.Trace.Net_hold _
+      | Icc_sim.Trace.Gossip_publish _ | Icc_sim.Trace.Gossip_request _
+      | Icc_sim.Trace.Gossip_acquire _ | Icc_sim.Trace.Rbc_fragment _
+      | Icc_sim.Trace.Rbc_echo _ | Icc_sim.Trace.Rbc_reconstruct _
+      | Icc_sim.Trace.Rbc_inconsistent _ | Icc_sim.Trace.Round_entry _
+      | Icc_sim.Trace.Propose _ | Icc_sim.Trace.Notarize _
+      | Icc_sim.Trace.Finalize _ | Icc_sim.Trace.Beacon_share _
+      | Icc_sim.Trace.Commit _ | Icc_sim.Trace.Block_decided _
+      | Icc_sim.Trace.Monitor_violation _ | Icc_sim.Trace.Monitor_stall _
+      | Icc_sim.Trace.Monitor_clear _ -> ())
     r.load.Icc_sim.Replay.entries;
   let total_faults = !drops + !dups + !reorders + !link_downs in
   if total_faults > 0 || !crashes <> [] || !summaries > 0 then begin

@@ -85,7 +85,13 @@ let artifact_id_of (msg : Icc_core.Message.t) =
   | Icc_core.Message.Pool_request { pr_party; pr_from; pr_upto } ->
       Printf.sprintf "req|%d|%d|%d" pr_party pr_from pr_upto
 
-let is_large = function Icc_core.Message.Proposal _ -> true | _ -> false
+let is_large = function
+  | Icc_core.Message.Proposal _ -> true
+  | Icc_core.Message.Notarization_share _ | Icc_core.Message.Notarization _
+  | Icc_core.Message.Finalization_share _ | Icc_core.Message.Finalization _
+  | Icc_core.Message.Beacon_share _ | Icc_core.Message.Pool_summary _
+  | Icc_core.Message.Pool_request _ ->
+      false
 
 let wire_size t = function
   | Advert _ -> advert_wire_size

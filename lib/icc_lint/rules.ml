@@ -1,0 +1,296 @@
+(* The lint pass proper: one [Tast_iterator] walk over a typed structure,
+   enforcing the repo's determinism invariants (DESIGN.md §3.4):
+
+     D1 [d1-poly-compare]   no polymorphic compare/equality/hash at
+                            protocol, structured or abstract types —
+                            require the dedicated keyed comparators.
+     D2 [d2-hashtbl-order]  no [Hashtbl.fold]/[iter]/[to_seq] whose
+                            bucket-order can escape — unless the result
+                            feeds a keyed [List.sort] directly, or an
+                            [@icc.allow] justifies order-insensitivity.
+     D3 [d3-banned-fn]      no [Random.self_init], [Sys.time],
+                            [Unix.gettimeofday]/[time], no [Marshal].
+        [d3-float-eq]       no [=]/[<>] at float.
+     D4 [d4-catchall-exn]   no [try ... with _ ->] swallowing
+                            [Assert_failure] in protocol code.
+
+   Working on the *typed* tree matters: D1 needs the instantiation type of
+   each primitive occurrence (so [compare] at [int] stays legal while
+   [compare] at [Types.cert] does not), and detection survives aliasing,
+   [open] and eta-expansion because paths arrive fully resolved. *)
+
+open Typedtree
+
+type context = {
+  table : Typeinfo.table;
+  protocol : string -> bool;
+  allows : Allowlist.t;
+  report : Diag.t -> unit;
+  (* Expression locs cleared by an enclosing construct (a keyed sort over
+     a Hashtbl.fold, an [= None] tag probe): parents are visited first,
+     so they can exempt a child before the child's own check runs. *)
+  exempt : (string * int * int, unit) Hashtbl.t;
+}
+
+let loc_key (loc : Location.t) =
+  ( loc.Location.loc_start.Lexing.pos_fname,
+    loc.Location.loc_start.Lexing.pos_cnum,
+    loc.Location.loc_end.Lexing.pos_cnum )
+
+let exempted ctx loc = Hashtbl.mem ctx.exempt (loc_key loc)
+let exempt ctx loc = Hashtbl.replace ctx.exempt (loc_key loc) ()
+
+let emit ctx loc rule msg =
+  if not (Diag.is_suppressible rule && Allowlist.permits ctx.allows rule) then
+    ctx.report (Diag.of_location loc ~rule ~msg)
+
+(* --- primitive tables --------------------------------------------------- *)
+
+let mem s l = List.exists (String.equal s) l
+
+(* Order-sensitive primitives where even floats deserve an explicit
+   comparator ([Float.compare] handles nan; polymorphic [compare] boxes). *)
+let order_prims = [ "Stdlib.compare" ]
+
+let hash_prims =
+  [ "Stdlib.Hashtbl.hash"; "Stdlib.Hashtbl.seeded_hash"; "Stdlib.Hashtbl.hash_param" ]
+
+(* Order primitives that are fine at floats (pure IEEE comparisons). *)
+let order_prims_float_ok =
+  [ "Stdlib.min"; "Stdlib.max"; "Stdlib.<"; "Stdlib.>"; "Stdlib.<="; "Stdlib.>=" ]
+
+let eq_prims = [ "Stdlib.="; "Stdlib.<>" ]
+
+(* Functions applying structural equality to their element/key argument. *)
+let eq_carrier_prims =
+  [
+    "Stdlib.List.mem"; "Stdlib.List.assoc"; "Stdlib.List.assoc_opt";
+    "Stdlib.List.mem_assoc"; "Stdlib.List.remove_assoc"; "Stdlib.Array.mem";
+  ]
+
+let hashtbl_order_prims =
+  [
+    "Stdlib.Hashtbl.fold"; "Stdlib.Hashtbl.iter"; "Stdlib.Hashtbl.to_seq";
+    "Stdlib.Hashtbl.to_seq_keys"; "Stdlib.Hashtbl.to_seq_values";
+  ]
+
+let sort_prims =
+  [
+    "Stdlib.List.sort"; "Stdlib.List.stable_sort"; "Stdlib.List.fast_sort";
+    "Stdlib.List.sort_uniq"; "Stdlib.Array.sort"; "Stdlib.Array.stable_sort";
+  ]
+
+(* Banned-by-name idents, matched on the last two (normalized) path
+   components so [Stdlib.Random.self_init] and [Random.self_init] agree. *)
+let banned_tails =
+  [
+    ("Random.self_init", "nondeterministic seeding — thread a seeded Rng instead");
+    ("Sys.time", "wall-clock reads break replay — use simulation time");
+    ("Unix.gettimeofday", "wall-clock reads break replay — use simulation time");
+    ("Unix.time", "wall-clock reads break replay — use simulation time");
+  ]
+
+let tail2 comps =
+  let rec go = function
+    | [ a; b ] -> a ^ "." ^ b
+    | [ a ] -> a
+    | _ :: tl -> go tl
+    | [] -> ""
+  in
+  go comps
+
+(* --- small expression shape helpers ------------------------------------ *)
+
+let ident_name (e : expression) =
+  match e.exp_desc with
+  | Texp_ident (p, _, _) -> Some (Typeinfo.norm_path p)
+  | _ -> None
+
+(* The typechecker rewrites [x |> f] / [f @@ x] into (possibly nested,
+   curried) plain applications, so analyses must see through apply
+   chains: [(f a) b] has an inner apply node as its function. *)
+let rec flatten_apply (e : expression) =
+  match e.exp_desc with
+  | Texp_apply (fn, args) ->
+      let head, inner = flatten_apply fn in
+      (head, inner @ args)
+  | _ -> (e, [])
+
+let head_name (e : expression) = ident_name (fst (flatten_apply e))
+
+let is_app_of (e : expression) names =
+  match e.exp_desc with
+  | Texp_apply _ -> (
+      match head_name e with Some n -> mem n names | None -> false)
+  | _ -> false
+
+(* Follow a [List.rev] post-processing chain back to the expression that
+   produced the data ([|>]/[@@] are already gone by this stage). *)
+let rec source_of (e : expression) =
+  match e.exp_desc with
+  | Texp_apply _ -> (
+      let head, args = flatten_apply e in
+      match (ident_name head, args) with
+      | Some "Stdlib.List.rev", [ (_, Some x) ] -> source_of x
+      | _ -> e)
+  | _ -> e
+
+(* If [e]'s data source is an order-sensitive Hashtbl traversal, exempt it:
+   the enclosing keyed sort re-establishes a canonical order. *)
+let exempt_sorted_source ctx e =
+  let src = source_of e in
+  if is_app_of src hashtbl_order_prims then exempt ctx src.exp_loc
+
+let is_constant_construct (e : expression) =
+  match e.exp_desc with
+  | Texp_construct (_, _, []) -> true
+  | Texp_constant _ -> true
+  | _ -> false
+
+let first_arrow_arg ty =
+  match Types.get_desc ty with Tarrow (_, a, _, _) -> Some a | _ -> None
+
+(* --- per-node checks ---------------------------------------------------- *)
+
+let fuel = 32
+
+let check_order ctx loc ~what ~float_ok ty =
+  match first_arrow_arg ty with
+  | None -> ()
+  | Some a -> (
+      match
+        Typeinfo.order_hazard ~table:ctx.table ~protocol:ctx.protocol ~float_ok
+          ~fuel a
+      with
+      | Typeinfo.Safe -> ()
+      | Typeinfo.Hazard why ->
+          emit ctx loc Diag.rule_poly_compare
+            (Printf.sprintf "polymorphic %s instantiated at %s" what why))
+
+let check_equality ctx loc ~what ty =
+  match first_arrow_arg ty with
+  | None -> ()
+  | Some a ->
+      if Typeinfo.is_float ~table:ctx.table a then
+        emit ctx loc Diag.rule_float_eq
+          (Printf.sprintf
+             "float %s — IEEE equality is a determinism trap (nan, -0.); \
+              compare against an explicit epsilon or use Float.equal"
+             what)
+      else (
+        match
+          Typeinfo.equality_hazard ~table:ctx.table ~protocol:ctx.protocol
+            ~fuel a
+        with
+        | Typeinfo.Safe -> ()
+        | Typeinfo.Hazard why ->
+            emit ctx loc Diag.rule_poly_compare
+              (Printf.sprintf "structural %s instantiated at %s" what why))
+
+let check_ident ctx (e : expression) p =
+  let name = Typeinfo.norm_path p in
+  let comps = Typeinfo.path_components p in
+  if mem "Marshal" comps then
+    emit ctx e.exp_loc Diag.rule_banned_fn
+      (name
+     ^ ": Marshal has no canonical byte representation across versions — \
+        use the explicit codecs")
+  else
+    match List.assoc_opt (tail2 comps) banned_tails with
+    | Some why -> emit ctx e.exp_loc Diag.rule_banned_fn (name ^ ": " ^ why)
+    | None ->
+        if mem name order_prims then
+          check_order ctx e.exp_loc ~what:"compare" ~float_ok:false e.exp_type
+        else if mem name hash_prims then
+          check_order ctx e.exp_loc ~what:"Hashtbl.hash" ~float_ok:false
+            e.exp_type
+        else if mem name order_prims_float_ok then
+          check_order ctx e.exp_loc
+            ~what:(Typeinfo.norm_component (tail2 comps))
+            ~float_ok:true e.exp_type
+        else if mem name eq_prims then begin
+          if not (exempted ctx e.exp_loc) then
+            check_equality ctx e.exp_loc ~what:"equality" e.exp_type
+        end
+        else if mem name eq_carrier_prims then
+          check_equality ctx e.exp_loc
+            ~what:("equality via " ^ tail2 comps)
+            e.exp_type
+
+let check_apply ctx (e : expression) fn =
+  (* An apply whose function is itself an apply is one curried call: only
+     the outermost node speaks for it (prevents double reports and keeps
+     the exemption keyed to one loc). *)
+  (match fn.exp_desc with Texp_apply _ -> exempt ctx fn.exp_loc | _ -> ());
+  let head, args = flatten_apply e in
+  (match ident_name head with
+  | Some n when mem n sort_prims ->
+      List.iter (fun (_, a) -> Option.iter (exempt_sorted_source ctx) a) args
+  | Some n when mem n eq_prims ->
+      (* [x = None], [l <> []], [c = 'a'], [n = 0]: tag/constant probes
+         never traverse the payload — exempt the operator occurrence. *)
+      let constant_probe =
+        List.exists
+          (fun (_, a) ->
+            match a with Some a -> is_constant_construct a | None -> false)
+          args
+      in
+      if constant_probe then exempt ctx head.exp_loc
+  | _ -> ());
+  (* D2: an order-sensitive Hashtbl traversal not cleared by a parent. *)
+  match head_name e with
+  | Some n when mem n hashtbl_order_prims ->
+      if not (exempted ctx e.exp_loc) then
+        emit ctx e.exp_loc Diag.rule_hashtbl_order
+          (Typeinfo.norm_component (tail2 (String.split_on_char '.' n))
+          ^ " iterates in unspecified bucket order — sort the result with a \
+             keyed comparator, or justify order-insensitivity with \
+             [@icc.allow \"d2-hashtbl-order: ...\"]")
+  | _ -> ()
+
+let rec pattern_catches_all (p : pattern) =
+  match p.pat_desc with
+  | Tpat_any -> true
+  | Tpat_or (a, b, _) -> pattern_catches_all a || pattern_catches_all b
+  | _ -> false
+
+let check_try ctx (e : expression) cases =
+  List.iter
+    (fun (c : value case) ->
+      if pattern_catches_all c.c_lhs then
+        emit ctx c.c_lhs.pat_loc Diag.rule_catchall_exn
+          "catch-all exception handler swallows Assert_failure (and \
+           Stack_overflow, Out_of_memory) — match the specific exceptions \
+           expected here")
+    cases;
+  ignore e
+
+(* --- the iterator ------------------------------------------------------- *)
+
+let lint_structure ~table ~protocol ~report (st : structure) =
+  let ctx =
+    {
+      table;
+      protocol;
+      allows = Allowlist.create ~report;
+      report;
+      exempt = Hashtbl.create 64;
+    }
+  in
+  let expr sub (e : expression) =
+    let pushed = Allowlist.push ctx.allows e.exp_attributes in
+    (match e.exp_desc with
+    | Texp_apply (fn, _) -> check_apply ctx e fn
+    | Texp_ident (p, _, _) -> check_ident ctx e p
+    | Texp_try (_, cases) -> check_try ctx e cases
+    | _ -> ());
+    Tast_iterator.default_iterator.expr sub e;
+    if pushed then Allowlist.pop ctx.allows
+  in
+  let value_binding sub (vb : value_binding) =
+    let pushed = Allowlist.push ctx.allows vb.vb_attributes in
+    Tast_iterator.default_iterator.value_binding sub vb;
+    if pushed then Allowlist.pop ctx.allows
+  in
+  let iter = { Tast_iterator.default_iterator with expr; value_binding } in
+  iter.structure iter st

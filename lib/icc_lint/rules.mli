@@ -1,0 +1,10 @@
+(** The determinism & protocol-invariant rules (D1-D4), run as one
+    [Tast_iterator] pass over a typed structure.  Findings (and any
+    allow-attribute misuse) are delivered through [report]. *)
+
+val lint_structure :
+  table:Typeinfo.table ->
+  protocol:(string -> bool) ->
+  report:(Diag.t -> unit) ->
+  Typedtree.structure ->
+  unit

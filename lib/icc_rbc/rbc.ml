@@ -124,7 +124,11 @@ let disseminate t ~src (msg : Icc_core.Message.t) =
     match msg with
     | Icc_core.Message.Proposal p ->
         (p.p_block.Icc_core.Block.round, p.p_block.Icc_core.Block.proposer)
-    | _ -> invalid_arg "Rbc.disseminate: only proposals use the RBC"
+    | Icc_core.Message.Notarization_share _ | Icc_core.Message.Notarization _
+    | Icc_core.Message.Finalization_share _ | Icc_core.Message.Finalization _
+    | Icc_core.Message.Beacon_share _ | Icc_core.Message.Pool_summary _
+    | Icc_core.Message.Pool_request _ ->
+        invalid_arg "Rbc.disseminate: only proposals use the RBC"
   in
   (* Signed with the sender's key over (round, proposer, root): receivers
      verify against the *proposer's* public key, so only the real proposer
@@ -146,7 +150,10 @@ let disseminate t ~src (msg : Icc_core.Message.t) =
           p.p_block.Icc_core.Block.round,
           Icc_crypto.Sha256.to_hex (Icc_core.Block.hash p.p_block) )
         ()
-  | _ -> ());
+  | Icc_core.Message.Notarization_share _ | Icc_core.Message.Notarization _
+  | Icc_core.Message.Finalization_share _ | Icc_core.Message.Finalization _
+  | Icc_core.Message.Beacon_share _ | Icc_core.Message.Pool_summary _
+  | Icc_core.Message.Pool_request _ -> ());
   t.deliver_up ~dst:src msg;
   for dst = 1 to t.n do
     if dst <> src then
@@ -218,7 +225,13 @@ let try_reconstruct t ~party key (inst : instance) (f : frag) =
                       Icc_crypto.Sha256.to_hex
                         (Icc_core.Block.hash p.p_block) )
                     ()
-              | _ -> ());
+              | Icc_core.Message.Notarization_share _
+              | Icc_core.Message.Notarization _
+              | Icc_core.Message.Finalization_share _
+              | Icc_core.Message.Finalization _
+              | Icc_core.Message.Beacon_share _
+              | Icc_core.Message.Pool_summary _
+              | Icc_core.Message.Pool_request _ -> ());
               t.deliver_up ~dst:party msg)
   end
 
@@ -305,7 +318,11 @@ let tx_broadcast t ~src msg =
             Icc_crypto.Sha256.to_hex (Icc_core.Block.hash b) )
       then () (* totality already ensured by the fragment echo *)
       else broadcast_wire t ~src (Core msg)
-  | _ -> broadcast_wire t ~src (Core msg)
+  | Icc_core.Message.Notarization_share _ | Icc_core.Message.Notarization _
+  | Icc_core.Message.Finalization_share _ | Icc_core.Message.Finalization _
+  | Icc_core.Message.Beacon_share _ | Icc_core.Message.Pool_summary _
+  | Icc_core.Message.Pool_request _ ->
+      broadcast_wire t ~src (Core msg)
 
 (* Byzantine split delivery: ship the full bundle directly (accounted at
    full size); the receiver's round logic takes it from there. *)

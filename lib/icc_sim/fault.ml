@@ -63,7 +63,7 @@ let emit_detail t ~now ev =
   if Trace.detailed t.trace then Trace.emit t.trace ~time:now (ev ())
 
 (* Index of the partition group containing [id]; None when unlisted. *)
-let group_of groups id =
+let group_of (groups : int list list) id =
   let rec go i = function
     | [] -> None
     | g :: rest -> if List.mem id g then Some i else go (i + 1) rest
@@ -142,7 +142,7 @@ let crash_schedule script =
       | Recover { party; at } -> Some (at, `Recover, party)
       | Rule _ | Partition _ -> None)
     script
-  |> List.stable_sort (fun (a, _, _) (b, _, _) -> compare a b)
+  |> List.stable_sort (fun (a, _, _) (b, _, _) -> Float.compare a b)
 
 let finally_down script =
   let last : (int, float * bool) Hashtbl.t = Hashtbl.create 8 in
@@ -160,7 +160,7 @@ let finally_down script =
   Hashtbl.fold
     (fun party (_, is_down) acc -> if is_down then party :: acc else acc)
     last []
-  |> List.sort compare
+  |> List.sort Int.compare
 
 (* --- JSON scripts ------------------------------------------------------- *)
 
@@ -319,7 +319,8 @@ let directive_of_obj fields =
   let num ?default name =
     match find name with
     | Some (Jnum f) -> f
-    | Some _ -> raise (Script_error (name ^ ": expected number"))
+    | Some (Jnull | Jbool _ | Jstr _ | Jarr _ | Jobj _) ->
+        raise (Script_error (name ^ ": expected number"))
     | None -> (
         match default with
         | Some d -> d
@@ -328,14 +329,16 @@ let directive_of_obj fields =
   let int_opt name =
     match find name with
     | Some (Jnum f) -> Some (int_of_float f)
-    | Some _ -> raise (Script_error (name ^ ": expected number"))
+    | Some (Jnull | Jbool _ | Jstr _ | Jarr _ | Jobj _) ->
+        raise (Script_error (name ^ ": expected number"))
     | None -> None
   in
   let window () = (num ~default:0. "from", num ~default:infinity "until") in
   let kind =
     match find "fault" with
     | Some (Jstr s) -> s
-    | _ -> raise (Script_error "directive needs a \"fault\" string field")
+    | Some (Jnull | Jbool _ | Jnum _ | Jarr _ | Jobj _) | None ->
+        raise (Script_error "directive needs a \"fault\" string field")
   in
   match kind with
   | "drop" ->
@@ -390,11 +393,14 @@ let directive_of_obj fields =
                     List.map
                       (function
                         | Jnum f -> int_of_float f
-                        | _ -> raise (Script_error "groups: expected party id"))
+                        | Jnull | Jbool _ | Jstr _ | Jarr _ | Jobj _ ->
+                            raise (Script_error "groups: expected party id"))
                       ids
-                | _ -> raise (Script_error "groups: expected array of arrays"))
+                | Jnull | Jbool _ | Jnum _ | Jstr _ | Jobj _ ->
+                    raise (Script_error "groups: expected array of arrays"))
               gs
-        | _ -> raise (Script_error "partition needs a \"groups\" array")
+        | Some (Jnull | Jbool _ | Jnum _ | Jstr _ | Jobj _) | None ->
+            raise (Script_error "partition needs a \"groups\" array")
       in
       Partition { from_; until; groups }
   | "crash" ->
@@ -411,9 +417,11 @@ let script_of_json text =
         List.map
           (function
             | Jobj fields -> directive_of_obj fields
-            | _ -> raise (Script_error "expected an array of objects"))
+            | Jnull | Jbool _ | Jnum _ | Jstr _ | Jarr _ ->
+                raise (Script_error "expected an array of objects"))
           items
       with
       | script -> Ok script
       | exception Script_error msg -> Error msg)
-  | _ -> Error "expected a top-level array of directives"
+  | Jnull | Jbool _ | Jnum _ | Jstr _ | Jobj _ ->
+      Error "expected a top-level array of directives"

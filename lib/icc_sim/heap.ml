@@ -14,7 +14,8 @@ let create () = { data = [||]; size = 0 }
 let length h = h.size
 let is_empty h = h.size = 0
 
-let before a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+let before a b =
+  a.time < b.time || (Float.equal a.time b.time && a.seq < b.seq)
 
 let grow h =
   let cap = Array.length h.data in

@@ -92,7 +92,16 @@ let attach t trace =
           match Hashtbl.find_opt t.proposal_by_round round with
           | Some t0 -> record_latency t (time -. t0)
           | None -> ())
-      | _ -> ())
+      | Trace.Run_start _ | Trace.Run_end _ | Trace.Engine_dispatch _
+      | Trace.Net_deliver _ | Trace.Net_hold _ | Trace.Gossip_publish _
+      | Trace.Gossip_request _ | Trace.Gossip_acquire _ | Trace.Rbc_fragment _
+      | Trace.Rbc_echo _ | Trace.Rbc_reconstruct _ | Trace.Rbc_inconsistent _
+      | Trace.Finalize _ | Trace.Beacon_share _ | Trace.Commit _
+      | Trace.Monitor_violation _ | Trace.Monitor_stall _ | Trace.Monitor_clear _
+      | Trace.Fault_drop _ | Trace.Fault_duplicate _ | Trace.Fault_reorder _
+      | Trace.Fault_link_down _ | Trace.Fault_crash _ | Trace.Fault_recover _
+      | Trace.Resync_summary _ | Trace.Resync_request _ | Trace.Resync_reply _ ->
+          ())
 
 (* --- queries ----------------------------------------------------------- *)
 
@@ -111,7 +120,7 @@ let kinds t =
   Hashtbl.fold
     (fun kind msgs acc -> (kind, msgs, bytes_of_kind t kind) :: acc)
     t.msgs_by_kind []
-  |> List.sort compare
+  |> List.sort (fun (ka, _, _) (kb, _, _) -> String.compare ka kb)
 
 let finalized_blocks t = t.finalized_blocks
 let finalizations t = List.rev t.finalization_log

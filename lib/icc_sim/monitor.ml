@@ -220,8 +220,14 @@ let stages = [ "entry"; "notarize"; "decide" ]
 let sweep t ~time =
   let flagged = ref [] in
   let horizon = ref infinity in
-  Hashtbl.iter
-    (fun round () ->
+  (* Fix a canonical (ascending round) sweep order: flagged stages are
+     announced on the trace bus, so bucket order must not leak (D2). *)
+  let open_rounds =
+    Hashtbl.fold (fun round () acc -> round :: acc) t.open_rounds []
+    |> List.sort Int.compare
+  in
+  List.iter
+    (fun round ->
       match Hashtbl.find_opt t.rounds round with
       | None -> ()
       | Some rs ->
@@ -248,7 +254,7 @@ let sweep t ~time =
                     end
                     else horizon := min !horizon deadline)
             stages)
-    t.open_rounds;
+    open_rounds;
   t.next_deadline <- !horizon;
   List.iter
     (fun (round, stage, waited) ->
@@ -420,7 +426,16 @@ let observe t ~time ev =
       (* our own announcements, observed re-entrantly: count them so
          v_index matches the JSONL line number, change no state *)
       ()
-  | ev ->
+  | ( Trace.Run_start _ | Trace.Run_end _ | Trace.Engine_dispatch _
+    | Trace.Net_send _ | Trace.Net_deliver _ | Trace.Net_hold _
+    | Trace.Gossip_publish _ | Trace.Gossip_request _ | Trace.Gossip_acquire _
+    | Trace.Rbc_fragment _ | Trace.Rbc_echo _ | Trace.Rbc_reconstruct _
+    | Trace.Rbc_inconsistent _ | Trace.Round_entry _ | Trace.Propose _
+    | Trace.Notarize _ | Trace.Finalize _ | Trace.Beacon_share _
+    | Trace.Commit _ | Trace.Block_decided _ | Trace.Fault_drop _
+    | Trace.Fault_duplicate _ | Trace.Fault_reorder _ | Trace.Fault_link_down _
+    | Trace.Fault_crash _ | Trace.Fault_recover _ | Trace.Resync_summary _
+    | Trace.Resync_request _ | Trace.Resync_reply _ ) as ev ->
       (match ev with
       | Trace.Run_start { n; _ } ->
           t.n <- n;
@@ -450,6 +465,10 @@ let observe t ~time ev =
             Hashtbl.fold
               (fun ((_, p) as key) _ acc -> if p = party then key :: acc else acc)
               t.per_party_beacon []
+            |> List.sort (fun (r1, p1) (r2, p2) ->
+                   match Int.compare r1 r2 with
+                   | 0 -> Int.compare p1 p2
+                   | c -> c)
           in
           List.iter (Hashtbl.remove t.per_party_beacon) stale
       | Trace.Engine_dispatch _ | Trace.Net_send _ | Trace.Net_deliver _

@@ -57,7 +57,16 @@ let parties entries =
       | Trace.Run_start { n = rn; _ } -> n := max !n rn
       | Trace.Net_send { src; dst; _ } | Trace.Net_deliver { src; dst; _ } ->
           n := max !n (max src dst)
-      | _ -> ())
+      | Trace.Run_end _ | Trace.Engine_dispatch _ | Trace.Net_hold _
+      | Trace.Gossip_publish _ | Trace.Gossip_request _ | Trace.Gossip_acquire _
+      | Trace.Rbc_fragment _ | Trace.Rbc_echo _ | Trace.Rbc_reconstruct _
+      | Trace.Rbc_inconsistent _ | Trace.Round_entry _ | Trace.Propose _
+      | Trace.Notarize _ | Trace.Finalize _ | Trace.Beacon_share _
+      | Trace.Commit _ | Trace.Block_decided _ | Trace.Monitor_violation _
+      | Trace.Monitor_stall _ | Trace.Monitor_clear _ | Trace.Fault_drop _
+      | Trace.Fault_duplicate _ | Trace.Fault_reorder _ | Trace.Fault_link_down _
+      | Trace.Fault_crash _ | Trace.Fault_recover _ | Trace.Resync_summary _
+      | Trace.Resync_request _ | Trace.Resync_reply _ -> ())
     entries;
   !n
 
@@ -114,7 +123,17 @@ let bandwidth entries =
             bump by_kind_msgs kind copies;
             bump by_kind_bytes kind (size * copies)
           end
-      | _ -> ())
+      | Trace.Run_start _ | Trace.Run_end _ | Trace.Engine_dispatch _
+      | Trace.Net_deliver _ | Trace.Net_hold _ | Trace.Gossip_publish _
+      | Trace.Gossip_request _ | Trace.Gossip_acquire _ | Trace.Rbc_fragment _
+      | Trace.Rbc_echo _ | Trace.Rbc_reconstruct _ | Trace.Rbc_inconsistent _
+      | Trace.Round_entry _ | Trace.Propose _ | Trace.Notarize _
+      | Trace.Finalize _ | Trace.Beacon_share _ | Trace.Commit _
+      | Trace.Block_decided _ | Trace.Monitor_violation _ | Trace.Monitor_stall _
+      | Trace.Monitor_clear _ | Trace.Fault_drop _ | Trace.Fault_duplicate _
+      | Trace.Fault_reorder _ | Trace.Fault_link_down _ | Trace.Fault_crash _
+      | Trace.Fault_recover _ | Trace.Resync_summary _ | Trace.Resync_request _
+      | Trace.Resync_reply _ -> ())
     entries;
   let row_sum m i = Array.fold_left ( + ) 0 m.(i) in
   let col_sum m j =
@@ -130,7 +149,7 @@ let bandwidth entries =
         (kind, m, Option.value ~default:0 (Hashtbl.find_opt by_kind_bytes kind))
         :: acc)
       by_kind_msgs []
-    |> List.sort compare
+    |> List.sort (fun (ka, _, _) (kb, _, _) -> String.compare ka kb)
   in
   {
     bw_n = n;
@@ -193,10 +212,19 @@ let rounds entries =
       | Trace.Block_decided { round; _ } ->
           let r = row round in
           r := { !r with r_decided = first !r.r_decided e.time }
-      | _ -> ())
+      | Trace.Run_start _ | Trace.Run_end _ | Trace.Engine_dispatch _
+      | Trace.Net_send _ | Trace.Net_deliver _ | Trace.Net_hold _
+      | Trace.Gossip_publish _ | Trace.Gossip_request _ | Trace.Gossip_acquire _
+      | Trace.Rbc_fragment _ | Trace.Rbc_echo _ | Trace.Rbc_reconstruct _
+      | Trace.Rbc_inconsistent _ | Trace.Beacon_share _ | Trace.Commit _
+      | Trace.Monitor_violation _ | Trace.Monitor_stall _ | Trace.Monitor_clear _
+      | Trace.Fault_drop _ | Trace.Fault_duplicate _ | Trace.Fault_reorder _
+      | Trace.Fault_link_down _ | Trace.Fault_crash _ | Trace.Fault_recover _
+      | Trace.Resync_summary _ | Trace.Resync_request _ | Trace.Resync_reply _ ->
+          ())
     entries;
   Hashtbl.fold (fun _ r acc -> !r :: acc) tbl []
-  |> List.sort (fun a b -> compare a.r_round b.r_round)
+  |> List.sort (fun a b -> Int.compare a.r_round b.r_round)
 
 (* --- dissemination amplification --------------------------------------- *)
 
@@ -239,7 +267,14 @@ let amplification entries =
       | Trace.Net_send { size; copies; _ } ->
           msgs := !msgs + copies;
           bytes := !bytes + (size * copies)
-      | _ -> ())
+      | Trace.Run_start _ | Trace.Run_end _ | Trace.Engine_dispatch _
+      | Trace.Net_deliver _ | Trace.Net_hold _ | Trace.Round_entry _
+      | Trace.Propose _ | Trace.Notarize _ | Trace.Finalize _
+      | Trace.Beacon_share _ | Trace.Commit _ | Trace.Monitor_violation _
+      | Trace.Monitor_stall _ | Trace.Monitor_clear _ | Trace.Fault_drop _
+      | Trace.Fault_duplicate _ | Trace.Fault_reorder _ | Trace.Fault_link_down _
+      | Trace.Fault_crash _ | Trace.Fault_recover _ | Trace.Resync_summary _
+      | Trace.Resync_request _ | Trace.Resync_reply _ -> ())
     entries;
   let per_block v =
     if !decided = 0 then nan else float_of_int v /. float_of_int !decided
@@ -287,9 +322,26 @@ let critical_path entries ~round =
           if !finalize = None then finalize := Some e.time
       | Trace.Block_decided { round = r; _ } when r = round ->
           if !decided = None then decided := Some e.time
-      | _ -> ())
+      (* every handled arm above is guarded, so each constructor must also
+         appear here for the off-round fall-through *)
+      | Trace.Run_start _ | Trace.Run_end _ | Trace.Engine_dispatch _
+      | Trace.Net_send _ | Trace.Net_deliver _ | Trace.Net_hold _
+      | Trace.Gossip_publish _ | Trace.Gossip_request _ | Trace.Gossip_acquire _
+      | Trace.Rbc_fragment _ | Trace.Rbc_echo _ | Trace.Rbc_reconstruct _
+      | Trace.Rbc_inconsistent _ | Trace.Round_entry _ | Trace.Propose _
+      | Trace.Notarize _ | Trace.Finalize _ | Trace.Beacon_share _
+      | Trace.Commit _ | Trace.Block_decided _ | Trace.Monitor_violation _
+      | Trace.Monitor_stall _ | Trace.Monitor_clear _ | Trace.Fault_drop _
+      | Trace.Fault_duplicate _ | Trace.Fault_reorder _ | Trace.Fault_link_down _
+      | Trace.Fault_crash _ | Trace.Fault_recover _ | Trace.Resync_summary _
+      | Trace.Resync_request _ | Trace.Resync_reply _ -> ())
     entries;
-  let notarizes = List.sort compare (List.rev !notarizes) in
+  (* keyed (time, then party) order: the trace's (float, int) pairs must
+     not go through polymorphic compare (D1) *)
+  let by_time_party (t1, p1) (t2, p2) =
+    match Float.compare t1 t2 with 0 -> Int.compare p1 p2 | c -> c
+  in
+  let notarizes = List.sort by_time_party (List.rev !notarizes) in
   let steps = ref [] in
   let prev = ref None in
   let add label time =

@@ -363,19 +363,20 @@ let of_json line =
       let int name =
         match find name with
         | Jint i -> i
-        | _ -> raise (Parse_error (Printf.sprintf "field %S: expected int" name))
+        | Jfloat _ | Jstring _ ->
+            raise (Parse_error (Printf.sprintf "field %S: expected int" name))
       in
       let str name =
         match find name with
         | Jstring s -> s
-        | _ ->
+        | Jint _ | Jfloat _ ->
             raise (Parse_error (Printf.sprintf "field %S: expected string" name))
       in
       let flt name =
         match find name with
         | Jfloat f -> f
         | Jint i -> float_of_int i
-        | _ ->
+        | Jstring _ ->
             raise (Parse_error (Printf.sprintf "field %S: expected number" name))
       in
       match

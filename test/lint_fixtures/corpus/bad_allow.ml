@@ -1,0 +1,11 @@
+(* Misused [@icc.allow]: an unknown rule id is a finding in itself and
+   suppresses nothing; an allow that never matches anything is flagged as
+   dead weight. *)
+let keys (tbl : (int, string) Hashtbl.t) =
+  (Hashtbl.fold (fun k _ acc -> k :: acc) tbl []
+   [@icc.allow "no-such-rule: this id does not exist"])
+
+let no_justification (tbl : (int, string) Hashtbl.t) =
+  (Hashtbl.fold (fun k _ acc -> k :: acc) tbl [] [@icc.allow "d2-hashtbl-order"])
+
+let unused = (42 [@icc.allow "d2-hashtbl-order: nothing here triggers it"])

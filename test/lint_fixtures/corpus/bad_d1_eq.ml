@@ -1,0 +1,7 @@
+(* D1: structural [=] at protocol types — Block.t equality must go
+   through its hash. *)
+let same_block (a : Icc_core.Block.t) (b : Icc_core.Block.t) = a = b
+
+(* Membership tests carry the same hazard through their element type. *)
+let mem_block (b : Icc_core.Block.t) (bs : Icc_core.Block.t list) =
+  List.mem b bs

@@ -1,0 +1,7 @@
+(* D1: polymorphic [compare] at a protocol type.  Block.t is a protocol
+   record; its field order is an implementation detail, so structural
+   ordering is a determinism hazard — write a keyed comparator. *)
+let sort_blocks (bs : Icc_core.Block.t list) = List.sort compare bs
+
+(* Float compare spelled polymorphically: flagged with a Float.compare hint. *)
+let sort_times (ts : float list) = List.sort compare ts

@@ -1,0 +1,8 @@
+(* D2: hashtable iteration order escaping into a result.  The fold's
+   accumulation order depends on bucket layout, which depends on
+   Hashtbl.hash and the insertion history. *)
+let keys (tbl : (int, string) Hashtbl.t) =
+  Hashtbl.fold (fun k _ acc -> k :: acc) tbl []
+
+let dump (tbl : (int, string) Hashtbl.t) =
+  Hashtbl.iter (fun k v -> print_endline (string_of_int k ^ v)) tbl

@@ -1,0 +1,6 @@
+(* D3: ambient nondeterminism — wall clocks, self-seeded RNGs,
+   layout-dependent serialization — and float structural equality. *)
+let seed () = Random.self_init ()
+let now () = Sys.time ()
+let blob x = Marshal.to_string x []
+let close (a : float) (b : float) = a = b

@@ -1,0 +1,5 @@
+(* D4: catch-all exception handlers swallow Out_of_memory, Stack_overflow
+   and programming errors alike. *)
+let parse s = try int_of_string s with _ -> 0
+
+let guarded f = try f () with _ -> ()

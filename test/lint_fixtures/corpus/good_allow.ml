@@ -1,0 +1,7 @@
+(* A valid [@icc.allow] — known rule id plus a justification after the
+   colon — suppresses the finding it covers. *)
+let cardinality (tbl : (int, string) Hashtbl.t) =
+  (Hashtbl.fold (fun _ _ acc -> acc + 1) tbl 0
+   [@icc.allow
+     "d2-hashtbl-order: commutative count — the result is independent of \
+      visit order"])

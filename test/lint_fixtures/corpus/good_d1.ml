@@ -1,0 +1,16 @@
+(* Clean counterparts to bad_d1_*: keyed comparators and dedicated
+   equality functions produce no findings. *)
+let sort_rounds (rs : int list) = List.sort Int.compare rs
+let sort_times (ts : float list) = List.sort Float.compare ts
+
+let sort_blocks (bs : Icc_core.Block.t list) =
+  List.sort
+    (fun (a : Icc_core.Block.t) (b : Icc_core.Block.t) ->
+      Int.compare a.Icc_core.Block.round b.Icc_core.Block.round)
+    bs
+
+let same_block (a : Icc_core.Block.t) (b : Icc_core.Block.t) =
+  Icc_crypto.Sha256.equal (Icc_core.Block.hash a) (Icc_core.Block.hash b)
+
+let mem_block (b : Icc_core.Block.t) (bs : Icc_core.Block.t list) =
+  List.exists (same_block b) bs

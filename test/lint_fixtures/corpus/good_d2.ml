@@ -1,0 +1,9 @@
+(* Clean counterpart to bad_d2: the fold feeds a keyed sort, so the
+   escaping value no longer depends on bucket order. *)
+let keys (tbl : (int, string) Hashtbl.t) =
+  Hashtbl.fold (fun k _ acc -> k :: acc) tbl [] |> List.sort Int.compare
+
+let dump (tbl : (int, string) Hashtbl.t) =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (k1, _) (k2, _) -> Int.compare k1 k2)
+  |> List.iter (fun (k, v) -> print_endline (string_of_int k ^ v))
