@@ -9,7 +9,8 @@
    EXPERIMENTS.md for paper-vs-measured.
 
      dune exec bench/main.exe            full run (~minutes)
-     dune exec bench/main.exe -- --quick reduced sweeps *)
+     dune exec bench/main.exe -- --quick reduced sweeps
+     dune exec bench/main.exe -- perf    hot-path before/after (see Perf) *)
 
 open Bechamel
 open Toolkit
@@ -245,6 +246,12 @@ let exhibit name f =
   let t0 = Unix.gettimeofday () in
   f ();
   Printf.printf "  [%s regenerated in %.1f s]\n\n" name (Unix.gettimeofday () -. t0)
+
+let () =
+  if Array.exists (String.equal "perf") Sys.argv then begin
+    Perf.main ();
+    exit 0
+  end
 
 let () =
   Printf.printf "ICC reproduction benchmark harness%s\n\n"

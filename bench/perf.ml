@@ -1,0 +1,244 @@
+(* `bench perf` — before/after measurement for the hot-path optimisations.
+
+   Runs each protocol variant (ICC0 direct, ICC1 gossip, ICC2 erasure RBC)
+   twice on the identical scenario and seed: once with every optimisation
+   toggled OFF (generic double-and-add field multiplication, no fixed-base
+   tables, no block-digest memoisation, no pool caches) and once with the
+   defaults ON.  Both runs dump their trace to an in-memory JSONL buffer;
+   the buffers must be byte-identical — the optimisations may only change
+   speed, never behaviour.
+
+   Emits BENCH_perf.json (schema in EXPERIMENTS.md) and, with
+   `--check ref.json`, fails if any scenario's optimised wall-clock
+   regressed to more than 2x the checked-in reference.
+
+     dune exec bench/main.exe -- perf [--quick] [--out PATH] [--check REF] *)
+
+type scenario_result = {
+  name : string;
+  before_s : float;
+  after_s : float;
+  speedup : float;
+  trace_identical : bool;
+  trace_events : int;
+  ops_before : (string * int) list;
+  ops_after : (string * int) list;
+}
+
+(* --- argv ----------------------------------------------------------- *)
+
+let find_arg flag =
+  let n = Array.length Sys.argv in
+  let rec go i =
+    if i >= n - 1 then None
+    else if String.equal Sys.argv.(i) flag then Some Sys.argv.(i + 1)
+    else go (i + 1)
+  in
+  go 0
+
+let has_flag flag = Array.exists (String.equal flag) Sys.argv
+
+(* --- measurement ----------------------------------------------------- *)
+
+(* Every toggle the tentpole introduced, flipped together.  Beacon-share
+   verification at admission is a correctness fix, not an optimisation, so
+   it has no toggle and runs in both configurations. *)
+let set_optimizations on =
+  Icc_crypto.Fp.set_fast_mul on;
+  Icc_crypto.Group.set_fixed_base on;
+  Icc_core.Block.set_memoization on;
+  Icc_core.Pool.set_caching on
+
+let perf_scenario ~quick ~seed =
+  {
+    (Icc_core.Runner.default_scenario ~n:16 ~seed) with
+    Icc_core.Runner.duration = 1e6;
+    max_rounds = Some (if quick then 4 else 10);
+    delay = Icc_core.Runner.Fixed_delay 0.02;
+    epsilon = 0.05;
+  }
+
+let count_lines s =
+  String.fold_left (fun acc c -> if c = '\n' then acc + 1 else acc) 0 s
+
+let traced_run run_fn scenario =
+  let tr = Icc_sim.Trace.create () in
+  let buf = Buffer.create (1 lsl 20) in
+  Icc_sim.Trace.subscribe tr (fun ~time ev ->
+      Buffer.add_string buf (Icc_sim.Trace.to_json ~time ev);
+      Buffer.add_char buf '\n');
+  Icc_crypto.Counters.reset ();
+  let t0 = Unix.gettimeofday () in
+  let _ = run_fn { scenario with Icc_core.Runner.trace = Some tr } in
+  let dt = Unix.gettimeofday () -. t0 in
+  (dt, Buffer.contents buf, Icc_crypto.Counters.snapshot ())
+
+let measure ~quick ~seed name run_fn =
+  let scenario = perf_scenario ~quick ~seed in
+  set_optimizations false;
+  let before_s, trace_before, ops_before = traced_run run_fn scenario in
+  set_optimizations true;
+  let after_s, trace_after, ops_after = traced_run run_fn scenario in
+  {
+    name;
+    before_s;
+    after_s;
+    speedup = (if after_s > 0. then before_s /. after_s else nan);
+    trace_identical = String.equal trace_before trace_after;
+    trace_events = count_lines trace_after;
+    ops_before;
+    ops_after;
+  }
+
+(* --- JSON emission ---------------------------------------------------- *)
+
+let ops_json ops =
+  "{"
+  ^ String.concat ","
+      (List.map (fun (k, v) -> Printf.sprintf "%S:%d" k v) ops)
+  ^ "}"
+
+let scenario_json r =
+  Printf.sprintf
+    {|    {"name":%S,"before_s":%.6f,"after_s":%.6f,"speedup":%.2f,"trace_identical":%b,"trace_events":%d,"ops_before":%s,"ops_after":%s}|}
+    r.name r.before_s r.after_s r.speedup r.trace_identical r.trace_events
+    (ops_json r.ops_before) (ops_json r.ops_after)
+
+let results_json ~quick ~seed ~rounds results =
+  let tb = List.fold_left (fun a r -> a +. r.before_s) 0. results in
+  let ta = List.fold_left (fun a r -> a +. r.after_s) 0. results in
+  Printf.sprintf
+    {|{
+  "config": {"n":16,"seed":%d,"max_rounds":%d,"delay_s":0.02,"quick":%b},
+  "scenarios": [
+%s
+  ],
+  "total": {"before_s":%.6f,"after_s":%.6f,"speedup":%.2f}
+}
+|}
+    seed rounds quick
+    (String.concat ",\n" (List.map scenario_json results))
+    tb ta
+    (if ta > 0. then tb /. ta else nan)
+
+(* --- regression check against a committed reference ------------------- *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let substr_index s pat from =
+  let n = String.length s and m = String.length pat in
+  let rec go i =
+    if i + m > n then None
+    else if String.equal (String.sub s i m) pat then Some i
+    else go (i + 1)
+  in
+  go from
+
+(* Pull `"after_s":<float>` out of the scenario object named [name] in a
+   BENCH_perf.json document — a keyed scan, no JSON parser needed for our
+   own fixed schema. *)
+let ref_after_s json name =
+  Option.bind (substr_index json (Printf.sprintf "\"name\":%S" name) 0)
+    (fun p ->
+      Option.bind (substr_index json "\"after_s\":" p) (fun q ->
+          let start = q + String.length "\"after_s\":" in
+          let n = String.length json in
+          let e = ref start in
+          while
+            !e < n
+            &&
+            match json.[!e] with
+            | '0' .. '9' | '.' | '-' | '+' | 'e' | 'E' -> true
+            | _ -> false
+          do
+            incr e
+          done;
+          float_of_string_opt (String.sub json start (!e - start))))
+
+let check_against ref_path results =
+  let json = read_file ref_path in
+  let failures =
+    List.filter_map
+      (fun r ->
+        match ref_after_s json r.name with
+        | None ->
+            Some (Printf.sprintf "%s: not found in reference %s" r.name ref_path)
+        | Some ref_after ->
+            if r.after_s > 2.0 *. ref_after then
+              Some
+                (Printf.sprintf
+                   "%s: optimised wall-clock %.3fs is > 2x reference %.3fs"
+                   r.name r.after_s ref_after)
+            else None)
+      results
+  in
+  List.iter prerr_endline failures;
+  failures = []
+
+(* --- entry point ------------------------------------------------------ *)
+
+let print_table results =
+  Printf.printf "%-6s %12s %12s %9s %9s %8s\n" "proto" "before (s)"
+    "after (s)" "speedup" "trace=" "events";
+  List.iter
+    (fun r ->
+      Printf.printf "%-6s %12.3f %12.3f %8.1fx %9s %8d\n" r.name r.before_s
+        r.after_s r.speedup
+        (if r.trace_identical then "yes" else "NO")
+        r.trace_events)
+    results;
+  let interesting =
+    [ "pow_generic"; "pow_fixed_base"; "fixed_base_tables"; "sha256_digests" ]
+  in
+  List.iter
+    (fun r ->
+      Printf.printf "  %s ops: %s\n" r.name
+        (String.concat "  "
+           (List.filter_map
+              (fun k ->
+                match
+                  (List.assoc_opt k r.ops_before, List.assoc_opt k r.ops_after)
+                with
+                | Some b, Some a -> Some (Printf.sprintf "%s %d->%d" k b a)
+                | _ -> None)
+              interesting)))
+    results
+
+let main () =
+  let quick = has_flag "--quick" in
+  let out = Option.value ~default:"BENCH_perf.json" (find_arg "--out") in
+  let seed = 7 in
+  let rounds = if quick then 4 else 10 in
+  Printf.printf
+    "== bench perf: hot-path before/after (n=16, seed %d, %d rounds%s) ==\n"
+    seed rounds
+    (if quick then ", quick" else "");
+  let results =
+    List.map
+      (fun (name, run_fn) -> measure ~quick ~seed name run_fn)
+      [
+        ("ICC0", Icc_core.Runner.run);
+        ("ICC1", fun s -> Icc_gossip.Icc1.run s);
+        ("ICC2", fun s -> Icc_rbc.Icc2.run s);
+      ]
+  in
+  set_optimizations true;
+  print_table results;
+  let json = results_json ~quick ~seed ~rounds results in
+  let oc = open_out out in
+  output_string oc json;
+  close_out oc;
+  Printf.printf "wrote %s\n" out;
+  let traces_ok = List.for_all (fun r -> r.trace_identical) results in
+  if not traces_ok then
+    prerr_endline "FAIL: optimisations changed the trace (not byte-identical)";
+  let check_ok =
+    match find_arg "--check" with
+    | None -> true
+    | Some ref_path -> check_against ref_path results
+  in
+  if not (traces_ok && check_ok) then exit 1

@@ -48,24 +48,42 @@ let permutation_of_randomness ~n rand =
   Icc_sim.Rng.shuffle_in_place rng arr;
   arr
 
-(* Attempt to compute R_round from the (unverified) shares in the pool.
-   Invalid shares are filtered by the combine step. *)
+(* The share verifier for a round, available once R_{round-1} is known.
+   Returns [None] for rounds below 1 (a Byzantine peer controls the wire
+   round number) and while the previous beacon is unknown. *)
+let share_verifier t round =
+  if round < 1 then None
+  else
+    Option.map
+      (fun msg share ->
+        Icc_crypto.Threshold_vuf.verify_share t.system.Icc_crypto.Keygen.beacon
+          msg share)
+      (message_for_round t round)
+
+(* Attempt to compute R_round from the pool's shares.  Each share is
+   verified at most once (the pool marks survivors and evicts garbage, so
+   a spoofed signer slot frees up for the genuine retransmission), and the
+   combine step skips re-verification.  [combine_preverified] applies the
+   same signer-dedup/selection rule as [combine] did over the unverified
+   multiset, so the resulting sigma — and every trace byte derived from
+   it — is unchanged. *)
 let try_compute t pool round =
   if known t round then true
   else
     match message_for_round t round with
     | None -> false
     | Some msg -> (
-        let shares = Pool.beacon_shares pool round in
+        let params = t.system.Icc_crypto.Keygen.beacon in
+        let shares =
+          Pool.verified_beacon_shares pool ~round
+            ~verify:(Icc_crypto.Threshold_vuf.verify_share params msg)
+        in
         if
           List.length shares
           < t.system.Icc_crypto.Keygen.t + 1
         then false
         else
-          match
-            Icc_crypto.Threshold_vuf.combine t.system.Icc_crypto.Keygen.beacon
-              msg shares
-          with
+          match Icc_crypto.Threshold_vuf.combine_preverified params shares with
           | None -> false
           | Some sig_ ->
               let rand = Icc_crypto.Threshold_vuf.randomness msg sig_ in

@@ -1,26 +1,49 @@
 (* Blocks and the special root (paper §3.4).
 
    A round-k block is (block, k, alpha, phash, payload); its hash commits to
-   all four fields.  The root is its own notarization and finalization. *)
+   all four fields.  The root is its own notarization and finalization.
+
+   The hash is memoized: [create] computes the digest once and carries it in
+   the record, so the ~15 [hash] call sites on the party/pool hot path cost
+   a field read instead of an encode + SHA-256.  [set_memoization false]
+   restores the recompute-every-call behaviour so the benchmark harness can
+   measure the difference. *)
 
 type t = {
   round : Types.round;
   proposer : Types.party_id;
   parent_hash : Icc_crypto.Sha256.t;
   payload : Types.payload;
+  digest : Icc_crypto.Sha256.t;
 }
 
 let root_hash = Icc_crypto.Sha256.digest_string "icc-root"
 
-let hash (b : t) =
+let compute_digest ~round ~proposer ~parent_hash ~payload =
   Icc_crypto.Sha256.digest_string
-    (Printf.sprintf "block|%d|%d|%s|%s" b.round b.proposer
-       (Icc_crypto.Sha256.to_hex b.parent_hash)
-       (Icc_crypto.Sha256.to_hex (Types.payload_digest b.payload)))
+    (Printf.sprintf "block|%d|%d|%s|%s" round proposer
+       (Icc_crypto.Sha256.to_hex parent_hash)
+       (Icc_crypto.Sha256.to_hex (Types.payload_digest payload)))
+
+let memoize = ref true
+let set_memoization on = memoize := on
+let memoization_enabled () = !memoize
+
+let hash (b : t) =
+  if !memoize then b.digest
+  else
+    compute_digest ~round:b.round ~proposer:b.proposer
+      ~parent_hash:b.parent_hash ~payload:b.payload
 
 let create ~round ~proposer ~parent_hash ~payload =
   if round < 1 then invalid_arg "Block.create: rounds start at 1";
-  { round; proposer; parent_hash; payload }
+  {
+    round;
+    proposer;
+    parent_hash;
+    payload;
+    digest = compute_digest ~round ~proposer ~parent_hash ~payload;
+  }
 
 let is_child_of_root (b : t) =
   b.round = 1 && Icc_crypto.Sha256.equal b.parent_hash root_hash

@@ -90,6 +90,9 @@ type t = {
   mutable output_log : Block.t list; (* committed blocks, newest first *)
   mutable rounds_finished : int;
   mutable delay_scale : float; (* adaptive delta_bnd multiplier (config.adaptive) *)
+  mutable reported_errors : (Types.round * string) list;
+      (* (round, what) pairs already announced as Protocol_error, so a
+         condition re-evaluated every step reports each anomaly once *)
   (* Pool-resync sub-layer state (only used when config.resync is Some). *)
   mutable resync_peer : int; (* rotation cursor for summary targets *)
   mutable resync_interval : float; (* current (backed-off) summary interval *)
@@ -116,6 +119,7 @@ let create env ~id ~keys ~behavior =
     output_log = [];
     rounds_finished = 0;
     delay_scale = 1.0;
+    reported_errors = [];
     resync_peer = id;
     resync_interval = 0.;
     resync_last_round = 0;
@@ -168,6 +172,20 @@ let sign_finalization_share p ~(block : Block.t) =
 
 let emit p ev =
   Icc_sim.Trace.emit p.env.trace ~time:(Icc_sim.Engine.now p.env.engine) ev
+
+(* Announce a should-be-impossible protocol-layer condition as a traced,
+   monitor-visible event (once per (round, what)) instead of asserting:
+   a single adversarial edge case must not abort a whole simulation run. *)
+let protocol_error p ~round ~what =
+  if
+    not
+      (List.exists
+         (fun (r, w) -> r = round && String.equal w what)
+         p.reported_errors)
+  then begin
+    p.reported_errors <- (round, what) :: p.reported_errors;
+    emit p (Icc_sim.Trace.Protocol_error { party = p.id; round; what })
+  end
 
 let broadcast_beacon_share p ~round =
   match Beacon.my_share p.beacon round with
@@ -301,10 +319,10 @@ and try_start_round p =
 and condition_a p =
   match Pool.round_completion p.pool p.round with
   | None -> false
-  | Some completion ->
-      let block, cert =
+  | Some completion -> (
+      let resolved =
         match completion with
-        | Pool.Already_notarized (b, c) -> (b, c)
+        | Pool.Already_notarized (b, c) -> Some (b, c)
         | Pool.Combinable (b, shares) -> (
             let block_hash = Block.hash b in
             let text =
@@ -317,8 +335,11 @@ and condition_a p =
             with
             | None ->
                 (* Shares were verified on admission, so combining at quorum
-                   cannot fail. *)
-                assert false
+                   cannot fail; if it somehow does, report it and skip the
+                   step instead of aborting the run. *)
+                protocol_error p ~round:b.Block.round
+                  ~what:"notarization-combine-failed";
+                None
             | Some multisig ->
                 let cert =
                   {
@@ -329,8 +350,11 @@ and condition_a p =
                   }
                 in
                 ignore (Pool.add_notarization p.pool cert);
-                (b, cert))
+                Some (b, cert))
       in
+      match resolved with
+      | None -> false
+      | Some (block, cert) ->
       let block_hash = Block.hash block in
       emit p
         (Icc_sim.Trace.Notarize
@@ -342,6 +366,13 @@ and condition_a p =
       broadcast p (Message.Notarization cert);
       p.round_done <- true;
       p.rounds_finished <- p.rounds_finished + 1;
+      (* Paper §3.3 (Finalization Subprotocol): a party broadcasts a
+         finalization share for round k iff N ⊆ {B} — every block it
+         notarization-shared this round is the finished block.  The
+         containment is vacuously true when N = ∅ (e.g. a silent-shares
+         deviation, or finishing before any (c)-step fired): a party that
+         shared nothing contradicts nothing, so it must still attest.
+         Pinned by test_party.ml's vacuous-finalization test. *)
       let n_subset_of_b =
         List.for_all (fun (h, _) -> Icc_crypto.Sha256.equal h block_hash) p.n_shared
       in
@@ -352,7 +383,7 @@ and condition_a p =
          already thanks to the pipelining. *)
       p.round <- p.round + 1;
       p.round_started <- false;
-      true
+      true)
 
 (* Wait-for alternative (b): propose our own block once delta_prop(r_me) has
    elapsed. *)
@@ -451,10 +482,10 @@ and condition_c p =
 and finalization_pass p =
   match Pool.finalization_step p.pool ~kmax:p.kmax with
   | None -> false
-  | Some fstep ->
-      let block, cert =
+  | Some fstep -> (
+      let resolved =
         match fstep with
-        | Pool.Final_cert (b, c) -> (b, c)
+        | Pool.Final_cert (b, c) -> Some (b, c)
         | Pool.Final_combinable (b, shares) -> (
             let block_hash = Block.hash b in
             let text =
@@ -465,7 +496,12 @@ and finalization_pass p =
               Icc_crypto.Multisig.combine p.env.system.Icc_crypto.Keygen.final
                 text shares
             with
-            | None -> assert false
+            | None ->
+                (* As in condition (a): impossible over admission-verified
+                   shares; trace it rather than killing the run. *)
+                protocol_error p ~round:b.Block.round
+                  ~what:"finalization-combine-failed";
+                None
             | Some multisig ->
                 let cert =
                   {
@@ -476,8 +512,11 @@ and finalization_pass p =
                   }
                 in
                 ignore (Pool.add_finalization p.pool cert);
-                (b, cert))
+                Some (b, cert))
       in
+      match resolved with
+      | None -> false
+      | Some (block, cert) ->
       emit p
         (Icc_sim.Trace.Finalize
            {
@@ -497,7 +536,7 @@ and finalization_pass p =
       | Some depth when p.kmax - depth >= 1 ->
           Pool.prune p.pool ~below:(p.kmax - depth)
       | Some _ | None -> ());
-      true
+      true)
 
 (* Byzantine: notarization-share (and optionally finalization-share) every
    valid current-round block immediately, ignoring delays, D and the
@@ -706,7 +745,15 @@ let on_message p (msg : Message.t) =
       | Message.Finalization_share s -> Pool.add_finalization_share p.pool s
       | Message.Finalization c -> Pool.add_finalization p.pool c
       | Message.Beacon_share { b_round; b_share; _ } ->
-          Pool.add_beacon_share p.pool ~round:b_round b_share
+          (* The wire round number is attacker-controlled: rounds below 1
+             have no beacon message and are dropped outright.  When the
+             previous beacon is already known, pass the verifier so spoofed
+             shares are rejected (and evicted) at admission. *)
+          if b_round < 1 then false
+          else
+            Pool.add_beacon_share p.pool ~round:b_round
+              ?verify:(Beacon.share_verifier p.beacon b_round)
+              b_share
       | Message.Pool_summary { ps_party; ps_round; ps_kmax } ->
           resync_on_summary p ~ps_party ~ps_round ~ps_kmax;
           false

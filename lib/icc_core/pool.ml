@@ -6,9 +6,49 @@
    are dropped.  Classification is monotone, so the pool maintains it by a
    promotion cascade: a block becomes valid when it is authentic and its
    parent is notarized; it becomes notarized/finalized when additionally a
-   certificate is present.  Promoting a block re-examines its children. *)
+   certificate is present.  Promoting a block re-examines its children.
+
+   Hot-path indexing: share multisets carry an incrementally maintained
+   count (no [List.length] per query), and the per-round classification
+   views ([valid_blocks], [notarized_blocks], [round_completion], the
+   finalization scan) are cached against a per-round epoch counter that is
+   bumped on every admission or promotion touching that round.  A cache
+   hit returns the value the uncached scan would recompute from unchanged
+   state, so caching can never alter results — only skip rescans.
+   [set_caching false] disables the caches so the benchmark harness can
+   measure before/after. *)
 
 type key = Types.round * Icc_crypto.Sha256.t
+
+let compare_key ((r1, h1) : key) ((r2, h2) : key) =
+  match Int.compare r1 r2 with
+  | 0 -> Icc_crypto.Sha256.compare h1 h2
+  | c -> c
+
+(* A list plus its length, maintained on insert. *)
+type 'a counted = {
+  mutable items : 'a list;
+  mutable count : int;
+}
+
+(* A beacon share slot.  Shares are only verifiable once the previous
+   beacon value is known, so a slot may hold an as-yet-unverified share;
+   [be_verified] is flipped (or the entry evicted) the first time a
+   verifier is available.  See {!add_beacon_share}. *)
+type beacon_entry = {
+  mutable be_share : Icc_crypto.Threshold_vuf.signature_share;
+  mutable be_verified : bool;
+}
+
+(* A way to finish round k: either a notarized block, or a valid
+   non-notarized block holding a full set of notarization shares. *)
+type completion =
+  | Already_notarized of Block.t * Types.cert
+  | Combinable of Block.t * Icc_crypto.Multisig.share list
+
+type finalization_step =
+  | Final_cert of Block.t * Types.cert
+  | Final_combinable of Block.t * Icc_crypto.Multisig.share list
 
 type t = {
   system : Icc_crypto.Keygen.system;
@@ -17,17 +57,27 @@ type t = {
   by_round : (Types.round, key list ref) Hashtbl.t;
   children : (Icc_crypto.Sha256.t, key list ref) Hashtbl.t;
   authentic : (key, Icc_crypto.Schnorr.signature) Hashtbl.t;
-  notar_shares : (key, Icc_crypto.Multisig.share list ref) Hashtbl.t;
+  notar_shares : (key, Icc_crypto.Multisig.share counted) Hashtbl.t;
   notar_certs : (key, Types.cert) Hashtbl.t;
-  final_shares : (key, Icc_crypto.Multisig.share list ref) Hashtbl.t;
+  final_shares : (key, Icc_crypto.Multisig.share counted) Hashtbl.t;
   final_certs : (key, Types.cert) Hashtbl.t;
-  beacon_shares :
-    (Types.round, Icc_crypto.Threshold_vuf.signature_share list ref) Hashtbl.t;
+  beacon_shares : (Types.round, beacon_entry list ref) Hashtbl.t;
   valid : (key, unit) Hashtbl.t;
   notarized : (key, unit) Hashtbl.t;
   finalized : (key, unit) Hashtbl.t;
   mutable max_round : Types.round;
+  mutable pruned_below : Types.round;
+  (* per-round mutation epochs and epoch-stamped query caches *)
+  epochs : (Types.round, int) Hashtbl.t;
+  valid_cache : (Types.round, int * Block.t list) Hashtbl.t;
+  notarized_cache : (Types.round, int * Block.t list) Hashtbl.t;
+  completion_cache : (Types.round, int * completion option) Hashtbl.t;
+  fin_cache : (Types.round, int * finalization_step option) Hashtbl.t;
 }
+
+let caching = ref true
+let set_caching on = caching := on
+let caching_enabled () = !caching
 
 let create ?(payload_valid = fun _ -> true) system =
   {
@@ -46,6 +96,12 @@ let create ?(payload_valid = fun _ -> true) system =
     notarized = Hashtbl.create 64;
     finalized = Hashtbl.create 64;
     max_round = 0;
+    pruned_below = 0;
+    epochs = Hashtbl.create 64;
+    valid_cache = Hashtbl.create 64;
+    notarized_cache = Hashtbl.create 64;
+    completion_cache = Hashtbl.create 64;
+    fin_cache = Hashtbl.create 64;
   }
 
 let multi_add tbl k v =
@@ -55,6 +111,42 @@ let multi_add tbl k v =
 
 let multi_get tbl k =
   match Hashtbl.find_opt tbl k with Some l -> !l | None -> []
+
+let counted_add tbl k v =
+  match Hashtbl.find_opt tbl k with
+  | Some c ->
+      c.items <- v :: c.items;
+      c.count <- c.count + 1
+  | None -> Hashtbl.add tbl k { items = [ v ]; count = 1 }
+
+let counted_get tbl k =
+  match Hashtbl.find_opt tbl k with Some c -> c.items | None -> []
+
+let counted_count tbl k =
+  match Hashtbl.find_opt tbl k with Some c -> c.count | None -> 0
+
+(* --- epochs and caches -------------------------------------------------- *)
+
+let epoch t round =
+  match Hashtbl.find_opt t.epochs round with Some e -> e | None -> 0
+
+(* Bump a round's epoch, invalidating its cached views. *)
+let touch t round = Hashtbl.replace t.epochs round (epoch t round + 1)
+
+(* Serve [compute round] through an epoch-stamped per-round cache.  The
+   recompute path is the very same closure the uncached path runs, and a
+   hit is only served while the round's state is untouched, so cached and
+   uncached answers are always identical. *)
+let cached t cache round compute =
+  if not !caching then compute round
+  else
+    let ep = epoch t round in
+    match Hashtbl.find_opt cache round with
+    | Some (e, v) when e = ep -> v
+    | Some _ | None ->
+        let v = compute round in
+        Hashtbl.replace cache round (ep, v);
+        v
 
 (* --- classification queries ------------------------------------------- *)
 
@@ -75,22 +167,27 @@ let blocks_of_round t round =
   List.filter_map (find_block t) (multi_get t.by_round round)
 
 let valid_blocks t round =
-  List.filter_map
-    (fun key -> if is_valid t key then find_block t key else None)
-    (multi_get t.by_round round)
+  cached t t.valid_cache round (fun round ->
+      List.filter_map
+        (fun key -> if is_valid t key then find_block t key else None)
+        (multi_get t.by_round round))
 
 let notarized_blocks t round =
-  List.filter_map
-    (fun key -> if is_notarized t key then find_block t key else None)
-    (multi_get t.by_round round)
+  cached t t.notarized_cache round (fun round ->
+      List.filter_map
+        (fun key -> if is_notarized t key then find_block t key else None)
+        (multi_get t.by_round round))
 
 let notarization_cert t key = Hashtbl.find_opt t.notar_certs key
 let finalization_cert t key = Hashtbl.find_opt t.final_certs key
-let notar_share_count t key = List.length (multi_get t.notar_shares key)
-let notar_shares t key = multi_get t.notar_shares key
-let final_share_count t key = List.length (multi_get t.final_shares key)
-let final_shares t key = multi_get t.final_shares key
-let beacon_shares t round = multi_get t.beacon_shares round
+let notar_share_count t key = counted_count t.notar_shares key
+let notar_shares t key = counted_get t.notar_shares key
+let final_share_count t key = counted_count t.final_shares key
+let final_shares t key = counted_get t.final_shares key
+
+let beacon_shares t round =
+  List.map (fun e -> e.be_share) (multi_get t.beacon_shares round)
+
 let max_round t = t.max_round
 
 (* --- promotion cascade ------------------------------------------------ *)
@@ -104,37 +201,49 @@ let rec promote t ((round, _) as key) =
         && is_authentic t key
         && is_notarized t (round - 1, b.Block.parent_hash)
         && t.payload_valid b
-      then Hashtbl.replace t.valid key ();
+      then begin
+        Hashtbl.replace t.valid key ();
+        touch t round
+      end;
       if is_valid t key then begin
         let newly_notarized =
           (not (is_notarized t key)) && Hashtbl.mem t.notar_certs key
         in
-        if newly_notarized then Hashtbl.replace t.notarized key ();
-        if (not (is_finalized t key)) && Hashtbl.mem t.final_certs key then
+        if newly_notarized then begin
+          Hashtbl.replace t.notarized key ();
+          touch t round
+        end;
+        if (not (is_finalized t key)) && Hashtbl.mem t.final_certs key then begin
           Hashtbl.replace t.finalized key ();
+          touch t round
+        end;
         if newly_notarized then
           List.iter (promote t)
             (multi_get t.children (Block.hash b))
       end
 
 (* --- admission -------------------------------------------------------- *)
-(* Each [add_*] returns true when the pool gained information. *)
+(* Each [add_*] returns true when the pool gained information.  Admissions
+   below the prune horizon are rejected: those rounds are finalized and
+   discarded, and re-admitting them would leak storage forever (the GC
+   never revisits a pruned round). *)
 
 let add_block t (b : Block.t) =
   let key = (b.Block.round, Block.hash b) in
-  if Hashtbl.mem t.blocks key then false
+  if b.Block.round < t.pruned_below || Hashtbl.mem t.blocks key then false
   else begin
     Hashtbl.replace t.blocks key b;
     multi_add t.by_round b.Block.round key;
     multi_add t.children b.Block.parent_hash key;
     if b.Block.round > t.max_round then t.max_round <- b.Block.round;
+    touch t b.Block.round;
     promote t key;
     true
   end
 
 let add_authenticator t ~round ~proposer ~block_hash signature =
   let key = (round, block_hash) in
-  if Hashtbl.mem t.authentic key then false
+  if round < t.pruned_below || Hashtbl.mem t.authentic key then false
   else if
     proposer >= 1
     && proposer <= t.system.Icc_crypto.Keygen.n
@@ -144,6 +253,7 @@ let add_authenticator t ~round ~proposer ~block_hash signature =
          signature
   then begin
     Hashtbl.replace t.authentic key signature;
+    touch t round;
     promote t key;
     true
   end
@@ -166,9 +276,11 @@ let verify_cert t ~text (c : Types.cert) =
 
 let add_notarization t (c : Types.cert) =
   let key = (c.Types.c_round, c.Types.c_block_hash) in
-  if Hashtbl.mem t.notar_certs key then false
+  if c.Types.c_round < t.pruned_below || Hashtbl.mem t.notar_certs key then
+    false
   else if verify_cert t ~text:`Notarization c then begin
     Hashtbl.replace t.notar_certs key c;
+    touch t c.Types.c_round;
     promote t key;
     true
   end
@@ -176,9 +288,11 @@ let add_notarization t (c : Types.cert) =
 
 let add_finalization t (c : Types.cert) =
   let key = (c.Types.c_round, c.Types.c_block_hash) in
-  if Hashtbl.mem t.final_certs key then false
+  if c.Types.c_round < t.pruned_below || Hashtbl.mem t.final_certs key then
+    false
   else if verify_cert t ~text:`Finalization c then begin
     Hashtbl.replace t.final_certs key c;
+    touch t c.Types.c_round;
     promote t key;
     true
   end
@@ -201,14 +315,16 @@ let add_share t ~kind (s : Types.share_msg) =
   in
   let share = s.Types.s_share in
   let already =
-    List.exists
-      (fun (sh : Icc_crypto.Multisig.share) ->
-        sh.Icc_crypto.Multisig.signer = share.Icc_crypto.Multisig.signer)
-      (multi_get table key)
+    s.Types.s_round < t.pruned_below
+    || List.exists
+         (fun (sh : Icc_crypto.Multisig.share) ->
+           sh.Icc_crypto.Multisig.signer = share.Icc_crypto.Multisig.signer)
+         (counted_get table key)
   in
   if already then false
   else if Icc_crypto.Multisig.verify_share params text share then begin
-    multi_add table key share;
+    counted_add table key share;
+    touch t s.Types.s_round;
     true
   end
   else false
@@ -216,64 +332,157 @@ let add_share t ~kind (s : Types.share_msg) =
 let add_notarization_share t s = add_share t ~kind:`Notarization s
 let add_finalization_share t s = add_share t ~kind:`Finalization s
 
-let add_beacon_share t ~round (share : Icc_crypto.Threshold_vuf.signature_share) =
-  (* Shares are verifiable only once the previous beacon value is known, so
-     they are admitted unverified (deduplicated by signer) and checked by
-     {!Beacon.try_compute}. *)
-  let already =
-    List.exists
-      (fun (sh : Icc_crypto.Threshold_vuf.signature_share) ->
-        sh.Icc_crypto.Threshold_vuf.signer = share.Icc_crypto.Threshold_vuf.signer)
-      (multi_get t.beacon_shares round)
-  in
-  if already then false
-  else begin
-    multi_add t.beacon_shares round share;
-    true
-  end
+(* Beacon shares become verifiable only once the previous beacon value is
+   known, so the caller passes [?verify] when it has one.  The signer slot
+   discipline guards against spoofing (a Byzantine party replaying garbage
+   under an honest signer id to block the genuine share):
+
+   - verifier available, slot empty: admit iff the share verifies;
+   - verifier available, slot holds an unverified share: re-check the
+     occupant first — if it verifies, mark it and report no new
+     information (the usual duplicate case); if it is garbage, evict it
+     and admit the newcomer iff it verifies;
+   - no verifier yet: admit unverified / dedup by signer as before;
+     {!verified_beacon_shares} evicts any garbage as soon as a verifier
+     exists, freeing the slot for a genuine retransmission. *)
+let add_beacon_share t ~round ?verify
+    (share : Icc_crypto.Threshold_vuf.signature_share) =
+  if round < t.pruned_below then false
+  else
+    let existing =
+      List.find_opt
+        (fun e ->
+          e.be_share.Icc_crypto.Threshold_vuf.signer
+          = share.Icc_crypto.Threshold_vuf.signer)
+        (multi_get t.beacon_shares round)
+    in
+    match (existing, verify) with
+    | Some e, _ when e.be_verified -> false
+    | Some e, Some verify ->
+        if verify e.be_share then begin
+          e.be_verified <- true;
+          false
+        end
+        else if verify share then begin
+          (* evict the spoofed occupant, in place *)
+          e.be_share <- share;
+          e.be_verified <- true;
+          true
+        end
+        else false
+    | Some _, None -> false
+    | None, Some verify ->
+        if verify share then begin
+          multi_add t.beacon_shares round { be_share = share; be_verified = true };
+          true
+        end
+        else false
+    | None, None ->
+        multi_add t.beacon_shares round { be_share = share; be_verified = false };
+        true
+
+let verified_beacon_shares t ~round ~verify =
+  match Hashtbl.find_opt t.beacon_shares round with
+  | None -> []
+  | Some l ->
+      let kept =
+        List.filter
+          (fun e ->
+            e.be_verified
+            ||
+            if verify e.be_share then begin
+              e.be_verified <- true;
+              true
+            end
+            else false)
+          !l
+      in
+      l := kept;
+      List.map (fun e -> e.be_share) kept
 
 (* --- garbage collection ------------------------------------------------ *)
 
 let stored_blocks t = Hashtbl.length t.blocks
+
+let table_sizes t =
+  [
+    ("blocks", Hashtbl.length t.blocks);
+    ("by_round", Hashtbl.length t.by_round);
+    ("children", Hashtbl.length t.children);
+    ("authentic", Hashtbl.length t.authentic);
+    ("notar_shares", Hashtbl.length t.notar_shares);
+    ("notar_certs", Hashtbl.length t.notar_certs);
+    ("final_shares", Hashtbl.length t.final_shares);
+    ("final_certs", Hashtbl.length t.final_certs);
+    ("beacon_shares", Hashtbl.length t.beacon_shares);
+    ("valid", Hashtbl.length t.valid);
+    ("notarized", Hashtbl.length t.notarized);
+    ("finalized", Hashtbl.length t.finalized);
+    ("epochs", Hashtbl.length t.epochs);
+    ("valid_cache", Hashtbl.length t.valid_cache);
+    ("notarized_cache", Hashtbl.length t.notarized_cache);
+    ("completion_cache", Hashtbl.length t.completion_cache);
+    ("fin_cache", Hashtbl.length t.fin_cache);
+  ]
 
 (* Discard all per-round state for rounds below [below] (paper §3.1: "the
    protocol can be optimized so that messages that are no longer relevant
    may [be] discarded", with checkpointing as in PBFT).  Safe once every
    round below the horizon is finalized: new blocks only ever extend
    notarized blocks at the current frontier, and Fig. 2 only outputs
-   segments above kmax. *)
+   segments above kmax.
+
+   Every table is swept by its own keys, not via [by_round]: shares,
+   certificates and authenticators can be admitted for block hashes whose
+   block never arrived (so their keys never appear in [by_round]), and
+   beacon shares can exist for rounds holding no blocks.  Sweeping only
+   [by_round]-listed keys would leak all of those for the lifetime of the
+   run.  [pruned_below] then keeps pruned rounds from being re-admitted. *)
 let prune t ~below =
-  (* [by_round] is a multi-table (one binding per block), so the fold both
-     repeats rounds and enumerates them in bucket order; sort_uniq by the
-     round key so removal proceeds in one canonical order. *)
-  let doomed_rounds =
+  if below > t.pruned_below then t.pruned_below <- below;
+  (* Hashtbl.fold enumerates in bucket order; sort_uniq by the key so each
+     sweep proceeds in one canonical order. *)
+  let doomed_rounds tbl =
     Hashtbl.fold
       (fun round _ acc -> if round < below then round :: acc else acc)
-      t.by_round []
+      tbl []
     |> List.sort_uniq Int.compare
   in
+  let doomed_keys tbl =
+    Hashtbl.fold
+      (fun ((round, _) as key) _ acc ->
+        if round < below then key :: acc else acc)
+      tbl []
+    |> List.sort_uniq compare_key
+  in
+  let sweep_keys tbl = List.iter (Hashtbl.remove tbl) (doomed_keys tbl) in
+  let sweep_rounds tbl = List.iter (Hashtbl.remove tbl) (doomed_rounds tbl) in
+  (* children is keyed by parent hash: drop the entries rooted at each
+     pruned block (its children) and the entry listing it as a child (its
+     siblings — including lists keyed by a parent that never arrived). *)
   List.iter
-    (fun round ->
-      let keys = multi_get t.by_round round in
-      List.iter
-        (fun ((_, h) as key) ->
-          (match Hashtbl.find_opt t.blocks key with
-          | Some b -> Hashtbl.remove t.children b.Block.parent_hash
-          | None -> ());
-          Hashtbl.remove t.children h;
-          Hashtbl.remove t.blocks key;
-          Hashtbl.remove t.authentic key;
-          Hashtbl.remove t.notar_shares key;
-          Hashtbl.remove t.notar_certs key;
-          Hashtbl.remove t.final_shares key;
-          Hashtbl.remove t.final_certs key;
-          Hashtbl.remove t.valid key;
-          Hashtbl.remove t.notarized key;
-          Hashtbl.remove t.finalized key)
-        keys;
-      Hashtbl.remove t.by_round round;
-      Hashtbl.remove t.beacon_shares round)
-    doomed_rounds
+    (fun ((_, h) as key) ->
+      (match Hashtbl.find_opt t.blocks key with
+      | Some b -> Hashtbl.remove t.children b.Block.parent_hash
+      | None -> ());
+      Hashtbl.remove t.children h)
+    (doomed_keys t.blocks);
+  sweep_keys t.blocks;
+  sweep_keys t.authentic;
+  sweep_keys t.notar_shares;
+  sweep_keys t.notar_certs;
+  sweep_keys t.final_shares;
+  sweep_keys t.final_certs;
+  sweep_keys t.valid;
+  sweep_keys t.notarized;
+  sweep_keys t.finalized;
+  sweep_rounds t.by_round;
+  sweep_rounds t.beacon_shares;
+  sweep_rounds t.epochs;
+  sweep_rounds t.valid_cache;
+  sweep_rounds t.notarized_cache;
+  sweep_rounds t.completion_cache;
+  sweep_rounds t.fin_cache
 
 (* --- resync retransmission --------------------------------------------- *)
 
@@ -286,7 +495,7 @@ let beacon_share_msgs t ~round =
           b_signer = sh.Icc_crypto.Threshold_vuf.signer;
           b_share = sh;
         })
-    (multi_get t.beacon_shares round)
+    (beacon_shares t round)
 
 (* Everything this pool can re-send for one round, as the original wire
    messages, so a lagging peer admits them through the ordinary verified
@@ -345,7 +554,7 @@ let retransmit_set t ~round =
                         s_block_hash = h;
                         s_share = share;
                       })
-                  (multi_get which_shares key)))
+                  (counted_get which_shares key)))
       keys
   in
   let notar =
@@ -364,13 +573,7 @@ let retransmit_set t ~round =
 
 let quorum t = t.system.Icc_crypto.Keygen.n - t.system.Icc_crypto.Keygen.t
 
-(* A way to finish round k: either a notarized block, or a valid
-   non-notarized block holding a full set of notarization shares. *)
-type completion =
-  | Already_notarized of Block.t * Types.cert
-  | Combinable of Block.t * Icc_crypto.Multisig.share list
-
-let round_completion t round =
+let compute_round_completion t round =
   let keys = multi_get t.by_round round in
   let notarized =
     List.find_map
@@ -398,33 +601,35 @@ let round_completion t round =
           else None)
         keys
 
+let round_completion t round =
+  cached t t.completion_cache round (compute_round_completion t)
+
+(* One round's contribution to the Fig. 2 scan, cacheable per round. *)
+let compute_fin_hit t round =
+  let keys = multi_get t.by_round round in
+  List.find_map
+    (fun key ->
+      if not (is_valid t key) then None
+      else if is_finalized t key then
+        match (find_block t key, finalization_cert t key) with
+        | Some b, Some c -> Some (Final_cert (b, c))
+        | _ -> None
+      else if final_share_count t key >= quorum t then
+        match find_block t key with
+        | Some b -> Some (Final_combinable (b, final_shares t key))
+        | None -> None
+      else None)
+    keys
+
+let fin_hit t round = cached t t.fin_cache round (compute_fin_hit t)
+
 (* Finalization subprotocol (Fig. 2): the smallest round above [kmax] that
    can be finished, either via a finalization certificate on a valid block
    or via a full set of finalization shares on a valid block. *)
-type finalization_step =
-  | Final_cert of Block.t * Types.cert
-  | Final_combinable of Block.t * Icc_crypto.Multisig.share list
-
 let finalization_step t ~kmax =
   let rec scan round =
     if round > t.max_round then None
     else
-      let keys = multi_get t.by_round round in
-      let hit =
-        List.find_map
-          (fun key ->
-            if not (is_valid t key) then None
-            else if is_finalized t key then
-              match (find_block t key, finalization_cert t key) with
-              | Some b, Some c -> Some (Final_cert (b, c))
-              | _ -> None
-            else if final_share_count t key >= quorum t then
-              match find_block t key with
-              | Some b -> Some (Final_combinable (b, final_shares t key))
-              | None -> None
-            else None)
-          keys
-      in
-      match hit with Some _ as r -> r | None -> scan (round + 1)
+      match fin_hit t round with Some _ as r -> r | None -> scan (round + 1)
   in
   scan (kmax + 1)

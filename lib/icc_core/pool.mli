@@ -29,10 +29,27 @@ val add_notarization_share : t -> Types.share_msg -> bool
 val add_finalization_share : t -> Types.share_msg -> bool
 
 val add_beacon_share :
-  t -> round:Types.round -> Icc_crypto.Threshold_vuf.signature_share -> bool
-(** Beacon shares are admitted unverified (deduplicated by signer); they
-    become verifiable only once the previous beacon value is known and are
-    checked by {!Beacon.try_compute}. *)
+  t ->
+  round:Types.round ->
+  ?verify:(Icc_crypto.Threshold_vuf.signature_share -> bool) ->
+  Icc_crypto.Threshold_vuf.signature_share ->
+  bool
+(** Beacon shares become verifiable only once the previous beacon value is
+    known; pass [?verify] when one is available.  With a verifier, invalid
+    shares are rejected at admission and an unverified spoofed occupant of
+    a signer slot is evicted in favour of a verifying newcomer (the
+    beacon-share spoofing fix).  Without one, shares are admitted
+    unverified and deduplicated by signer; {!verified_beacon_shares}
+    (called by [Beacon.try_compute]) later evicts any that fail. *)
+
+val verified_beacon_shares :
+  t ->
+  round:Types.round ->
+  verify:(Icc_crypto.Threshold_vuf.signature_share -> bool) ->
+  Icc_crypto.Threshold_vuf.signature_share list
+(** The round's shares that pass [verify], marking them so each share is
+    verified at most once; shares that fail are evicted so their signer
+    slot can be re-filled by a genuine retransmission. *)
 
 (** {1 Classification queries} *)
 
@@ -78,10 +95,16 @@ val beacon_share_msgs : t -> round:Types.round -> Message.t list
 
 val stored_blocks : t -> int
 
+val table_sizes : t -> (string * int) list
+(** Entry counts of every internal table, for storage-leak regression
+    tests. *)
+
 val prune : t -> below:Types.round -> unit
 (** Discard all per-round state for rounds below [below] (paper §3.1's
     message-discarding optimisation / PBFT-style checkpointing).  Only call
-    with [below <= kmax]: every discarded round must already be finalized. *)
+    with [below <= kmax]: every discarded round must already be finalized.
+    Every table is swept, including entries whose block never arrived, and
+    subsequent admissions below the horizon are rejected. *)
 
 (** {1 Protocol-step queries} *)
 
@@ -100,3 +123,13 @@ type finalization_step =
 
 val finalization_step : t -> kmax:Types.round -> finalization_step option
 (** The smallest finishable round above [kmax]. *)
+
+(** {1 Benchmark toggles} *)
+
+val set_caching : bool -> unit
+(** Toggle the per-round epoch caches behind {!valid_blocks},
+    {!notarized_blocks}, {!round_completion} and {!finalization_step} (on
+    by default).  Only affects speed, never results; exposed so the
+    benchmark harness can measure before/after. *)
+
+val caching_enabled : unit -> bool

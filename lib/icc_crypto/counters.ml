@@ -1,0 +1,30 @@
+(* Crypto-operation counters for the bench harness (bench perf mode).
+
+   Plain monotone counters bumped on the hot paths; they carry no
+   information back into the protocol (nothing reads them inside lib/), so
+   they cannot affect scheduling or determinism.  [reset]/[snapshot] are
+   only called by the benchmark driver between runs. *)
+
+let sha256_digests = ref 0
+let schnorr_signs = ref 0
+let schnorr_verifies = ref 0
+let dleq_proves = ref 0
+let dleq_verifies = ref 0
+let pow_generic = ref 0
+let pow_fixed_base = ref 0
+let fixed_base_tables = ref 0
+
+let all =
+  [
+    ("sha256_digests", sha256_digests);
+    ("schnorr_signs", schnorr_signs);
+    ("schnorr_verifies", schnorr_verifies);
+    ("dleq_proves", dleq_proves);
+    ("dleq_verifies", dleq_verifies);
+    ("pow_generic", pow_generic);
+    ("pow_fixed_base", pow_fixed_base);
+    ("fixed_base_tables", fixed_base_tables);
+  ]
+
+let reset () = List.iter (fun (_, r) -> r := 0) all
+let snapshot () = List.map (fun (name, r) -> (name, !r)) all

@@ -1,0 +1,26 @@
+(** Crypto-operation counters for the benchmark harness.
+
+    Monotone counters bumped on the crypto hot paths (hashing,
+    signing/verification, exponentiation).  Nothing inside the library
+    reads them, so they cannot influence protocol behaviour; the bench
+    driver resets and snapshots them around measured runs. *)
+
+val sha256_digests : int ref
+val schnorr_signs : int ref
+val schnorr_verifies : int ref
+val dleq_proves : int ref
+val dleq_verifies : int ref
+
+val pow_generic : int ref
+(** Group exponentiations via generic square-and-multiply. *)
+
+val pow_fixed_base : int ref
+(** Group exponentiations served by a precomputed fixed-base table. *)
+
+val fixed_base_tables : int ref
+(** Fixed-base tables built (one-time cost per cached base). *)
+
+val reset : unit -> unit
+
+val snapshot : unit -> (string * int) list
+(** Stable, ordered list of counter names and current values. *)

@@ -18,8 +18,12 @@ let challenge_hash ~base1 ~base2 ~a ~b ~commit1 ~commit2 =
           commit2))
 
 let prove ~base1 ~base2 ~exponent ~msg_tag =
+  incr Counters.dleq_proves;
   let x = Group.scalar_reduce exponent in
-  let a = Group.pow base1 x and b = Group.pow base2 x in
+  (* base1 is the long-lived generator at every call site, so it goes
+     through the fixed-base cache; base2 is a per-message point and must
+     not be cached. *)
+  let a = Group.pow_cached base1 x and b = Group.pow base2 x in
   (* Deterministic nonce (the prover holds x, so this is safe). *)
   let nonce =
     let d =
@@ -29,15 +33,21 @@ let prove ~base1 ~base2 ~exponent ~msg_tag =
     let k = Group.scalar_of_hash d in
     if k = 0 then 1 else k
   in
-  let commit1 = Group.pow base1 nonce and commit2 = Group.pow base2 nonce in
+  let commit1 = Group.pow_cached base1 nonce
+  and commit2 = Group.pow base2 nonce in
   let challenge = challenge_hash ~base1 ~base2 ~a ~b ~commit1 ~commit2 in
   let response = Group.scalar_add nonce (Group.scalar_mul challenge x) in
   { challenge; response }
 
 let verify ~base1 ~base2 ~a ~b { challenge; response } =
-  (* commit1' = base1^s * a^(-c), commit2' = base2^s * b^(-c) *)
+  incr Counters.dleq_verifies;
+  (* commit1' = base1^s * a^(-c), commit2' = base2^s * b^(-c).
+     base1 (generator) and a (a verification key) are long-lived bases and
+     use the fixed-base cache; base2/b depend on the message and don't. *)
   let commit1 =
-    Group.mul (Group.pow base1 response) (Group.elt_inv (Group.pow a challenge))
+    Group.mul
+      (Group.pow_cached base1 response)
+      (Group.elt_inv (Group.pow_cached a challenge))
   and commit2 =
     Group.mul (Group.pow base2 response) (Group.elt_inv (Group.pow b challenge))
   in

@@ -24,8 +24,11 @@ let sub a b m =
 
 let neg a m = if a = 0 then 0 else m - a
 
-(* Double-and-add product; O(log b) additions, exact for any m < 2^61. *)
-let mul a b m =
+(* Double-and-add product; O(log b) additions, exact for any m < 2^61.
+   Kept as the reference implementation (property tests compare the fast
+   path against it) and as the fallback for moduli the fast path cannot
+   serve. *)
+let mul_generic a b m =
   let rec go acc a b =
     if b = 0 then acc
     else
@@ -33,6 +36,44 @@ let mul a b m =
       go acc (add a a m) (b lsr 1)
   in
   if a = 0 || b = 0 then 0 else go 0 a b
+
+(* Fast path: 31-bit-split schoolbook multiplication.
+
+   Write a = a1*2^31 + a0 and b = b1*2^31 + b0.  Then
+
+     a*b = (a1*b1)*2^62 + (a1*b0 + a0*b1)*2^31 + a0*b0
+
+   Each partial product fits a 63-bit native int: a1, b1 < 2^30 and
+   a0, b0 < 2^31, so a1*b1 < 2^60, a1*b0 + a0*b1 < 2^62, a0*b0 < 2^62.
+   The 2^31 factors are folded in with [shift31], which needs
+   d61 = 2^61 mod m to be < 2^29 so that (x >> 30) * d61 stays below
+   2^61 for any x < 2^62.  Both protocol moduli qualify (d61 is 2373
+   for p and 2374 for q); moduli that don't fall back to the generic
+   double-and-add. *)
+let mask30 = (1 lsl 30) - 1
+let mask31 = (1 lsl 31) - 1
+
+let mul_fast a b m d61 =
+  (* x * 2^31 mod m, exact for any x < 2^62 given d61 < 2^29:
+     x*2^31 = (x >> 30)*2^61 + (x land mask30)*2^31, and both summands
+     stay below 2^61 so their sum never wraps. *)
+  let shift31 x = (((x lsr 30) * d61) + ((x land mask30) lsl 31)) mod m in
+  let a1 = a lsr 31 and a0 = a land mask31 in
+  let b1 = b lsr 31 and b0 = b land mask31 in
+  let hi = a1 * b1 in
+  let mid = (a1 * b0) + (a0 * b1) in
+  let lo = (a0 * b0) mod m in
+  add (add (shift31 (shift31 hi)) (shift31 mid) m) lo m
+
+let fast_mul = ref true
+let set_fast_mul on = fast_mul := on
+let fast_mul_enabled () = !fast_mul
+
+let mul a b m =
+  if !fast_mul then
+    let d61 = (1 lsl 61) mod m in
+    if d61 < 1 lsl 29 then mul_fast a b m d61 else mul_generic a b m
+  else mul_generic a b m
 
 let pow base e m =
   if e < 0 then invalid_arg "Fp.pow: negative exponent";

@@ -29,8 +29,88 @@ let is_element x = x > 0 && x < p && Fp.pow x q p = 1
 
 let mul a b = Fp.mul a b p
 let elt_inv a = Fp.inv a p
-let pow base e = Fp.pow base (Fp.reduce e q) p
-let base_pow e = pow g e
+
+let pow base e =
+  incr Counters.pow_generic;
+  Fp.pow base (Fp.reduce e q) p
+
+(* --- fixed-base windowed exponentiation -------------------------------- *)
+
+(* For bases that recur across many exponentiations — the generator, party
+   public keys, VUF verification keys — precompute a radix-16 table
+   rows.(i).(j) = base^(j * 16^i) for the 16 four-bit windows of a 61-bit
+   exponent.  An exponentiation then costs at most 15 group mults (one per
+   non-zero window) instead of ~91 for square-and-multiply.  Building a
+   table costs ~300 mults, amortised after four exponentiations.
+
+   Tables live in a global cache keyed by base element.  All cache access
+   is by exact key (never iteration), so cache state can never perturb
+   protocol determinism; a size cap bounds memory against adversarial
+   inputs (full cache => compute generic, don't cache). *)
+module Fixed_base = struct
+  let windows = 16 (* ceil(61 / 4) *)
+  let radix = 16
+
+  type table = elt array array
+
+  let make (base : elt) : table =
+    incr Counters.fixed_base_tables;
+    let rows = Array.make_matrix windows radix one in
+    let b = ref base in
+    for i = 0 to windows - 1 do
+      let row = rows.(i) in
+      for j = 1 to radix - 1 do
+        row.(j) <- mul row.(j - 1) !b
+      done;
+      (* advance to base^(16^(i+1)) via four squarings *)
+      for _ = 1 to 4 do
+        b := mul !b !b
+      done
+    done;
+    rows
+
+  let pow (rows : table) (e : int) : elt =
+    let e = Fp.reduce e q in
+    let acc = ref one in
+    let e = ref e in
+    let i = ref 0 in
+    while !e <> 0 do
+      let d = !e land (radix - 1) in
+      if d <> 0 then acc := mul !acc rows.(!i).(d);
+      e := !e lsr 4;
+      incr i
+    done;
+    !acc
+
+  let cache : (elt, table) Hashtbl.t = Hashtbl.create 64
+  let cache_cap = 4096
+
+  let find (base : elt) : table option =
+    match Hashtbl.find_opt cache base with
+    | Some t -> Some t
+    | None ->
+        if Hashtbl.length cache >= cache_cap then None
+        else begin
+          let t = make base in
+          Hashtbl.replace cache base t;
+          Some t
+        end
+end
+
+let fixed_base = ref true
+let set_fixed_base on = fixed_base := on
+let fixed_base_enabled () = !fixed_base
+
+let pow_cached base e =
+  if !fixed_base then
+    match Fixed_base.find base with
+    | Some table ->
+        incr Counters.pow_fixed_base;
+        Fixed_base.pow table e
+    | None -> pow base e
+  else pow base e
+
+let base_pow e = pow_cached g e
 
 (* Scalar field Z_q helpers. *)
 let scalar_add a b = Fp.add a b q

@@ -20,8 +20,26 @@ val is_element : int -> bool
 
 val mul : elt -> elt -> elt
 val elt_inv : elt -> elt
+
 val pow : elt -> int -> elt
+(** Generic square-and-multiply exponentiation (exponent reduced mod [q]). *)
+
+val pow_cached : elt -> int -> elt
+(** Like {!pow}, but serves the exponentiation from a precomputed
+    fixed-base window table when the optimisation is enabled (the
+    default), building and caching the table on first use.  Intended for
+    long-lived bases — the generator, public keys, verification keys;
+    never call it with per-message points.  Results are always identical
+    to {!pow}. *)
+
 val base_pow : int -> elt
+(** [base_pow e = pow_cached generator e]. *)
+
+val set_fixed_base : bool -> unit
+(** Toggle fixed-base tables (on by default).  Only affects speed, never
+    results; exposed so the benchmark harness can measure before/after. *)
+
+val fixed_base_enabled : unit -> bool
 
 val scalar_add : scalar -> scalar -> scalar
 val scalar_sub : scalar -> scalar -> scalar

@@ -2,7 +2,10 @@
    the paper (§2.2).  Nonces are derived deterministically from the secret
    key and message (RFC 6979 style) so signing needs no randomness source. *)
 
-type secret_key = { sk : Group.scalar }
+(* The secret key caches its public point: [sign] needs g^sk for the
+   challenge hash on every call, and the type is abstract so the cache is
+   invisible to clients. *)
+type secret_key = { sk : Group.scalar; cached_pk : Group.elt }
 type public_key = { pk : Group.elt }
 
 type signature = {
@@ -10,34 +13,41 @@ type signature = {
   response : Group.scalar;
 }
 
+let make_secret sk = { sk; cached_pk = Group.base_pow sk }
+
 let keygen rand_bits =
   let sk = Group.random_scalar rand_bits in
   let sk = if sk = 0 then 1 else sk in
-  ({ sk }, { pk = Group.base_pow sk })
+  let key = make_secret sk in
+  (key, { pk = key.cached_pk })
 
-let public_key_of_secret { sk } = { pk = Group.base_pow sk }
+let public_key_of_secret { cached_pk; _ } = { pk = cached_pk }
 
 let challenge_hash ~commitment ~pk ~msg =
   Group.scalar_of_hash
     (Sha256.digest_string
        (Printf.sprintf "schnorr|%d|%d|%s" commitment pk msg))
 
-let sign { sk } (msg : string) : signature =
+let sign { sk; cached_pk } (msg : string) : signature =
+  incr Counters.schnorr_signs;
   let nonce =
     let d = Sha256.digest_string (Printf.sprintf "nonce|%d|%s" sk msg) in
     let k = Group.scalar_of_hash d in
     if k = 0 then 1 else k
   in
   let commitment = Group.base_pow nonce in
-  let challenge = challenge_hash ~commitment ~pk:(Group.base_pow sk) ~msg in
+  let challenge = challenge_hash ~commitment ~pk:cached_pk ~msg in
   let response = Group.scalar_add nonce (Group.scalar_mul challenge sk) in
   { challenge; response }
 
 let verify { pk } (msg : string) { challenge; response } : bool =
-  (* R' = g^s * pk^(-c); valid iff H(R', pk, msg) = c *)
+  incr Counters.schnorr_verifies;
+  (* R' = g^s * pk^(-c); valid iff H(R', pk, msg) = c.  Both bases are
+     long-lived (generator, a party public key), so both exponentiations
+     go through the fixed-base cache. *)
   let commitment =
     Group.mul (Group.base_pow response)
-      (Group.elt_inv (Group.pow pk challenge))
+      (Group.elt_inv (Group.pow_cached pk challenge))
   in
   Group.scalar_equal challenge (challenge_hash ~commitment ~pk ~msg)
 

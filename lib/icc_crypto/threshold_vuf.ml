@@ -90,19 +90,28 @@ let interpolate shares =
       Group.mul acc (Group.pow s.value (Shamir.lagrange_coeff_at_zero idxs s.signer)))
     Group.one shares
 
+(* Shared selection rule: dedupe by signer, keep the t+1 lowest signer
+   indices.  [combine] and [combine_preverified] must pick the identical
+   subset from the same share multiset, or the interpolated sigma (and
+   every trace byte derived from it) would differ between the verified and
+   pre-verified paths. *)
+let select params shares : signature option =
+  let uniq = List.sort_uniq (fun a b -> compare a.signer b.signer) shares in
+  if List.length uniq < params.threshold_t + 1 then None
+  else
+    let chosen = List.filteri (fun i _ -> i <= params.threshold_t) uniq in
+    Some { sigma = interpolate chosen; certificate = chosen }
+
 let combine params msg shares : signature option =
   (* Filter before deduplicating so a forged share cannot evict a genuine
      one bearing the same signer index. *)
-  let valid =
-    List.filter (verify_share params msg) shares
-    |> List.sort_uniq (fun a b -> compare a.signer b.signer)
-  in
-  if List.length valid < params.threshold_t + 1 then None
-  else
-    let chosen =
-      List.filteri (fun i _ -> i <= params.threshold_t) valid
-    in
-    Some { sigma = interpolate chosen; certificate = chosen }
+  select params (List.filter (verify_share params msg) shares)
+
+let combine_preverified params shares : signature option =
+  (* Shares must already have passed {!verify_share} (the pool verifies at
+     admission); skipping re-verification makes combining O(t) group ops
+     instead of O(t) DLEQ checks per attempt. *)
+  select params shares
 
 let verify params msg { sigma; certificate } =
   List.length certificate = params.threshold_t + 1

@@ -38,6 +38,12 @@ val combine : params -> string -> signature_share list -> signature option
 (** Returns [None] when fewer than [t+1] distinct valid shares are given;
     invalid or duplicate shares are filtered, not fatal. *)
 
+val combine_preverified : params -> signature_share list -> signature option
+(** Like {!combine}, but trusts the caller to have already checked every
+    share with {!verify_share} (e.g. at pool admission) and skips
+    re-verification.  Applies the identical signer-dedup/selection rule,
+    so it yields the same [sigma] as {!combine} over the same shares. *)
+
 val verify : params -> string -> signature -> bool
 (** Full verification: checks the (t+1)-share certificate and that the
     claimed value equals its interpolation.  Uniqueness: any two signatures

@@ -201,8 +201,8 @@ let print_faults r =
       | Icc_sim.Trace.Propose _ | Icc_sim.Trace.Notarize _
       | Icc_sim.Trace.Finalize _ | Icc_sim.Trace.Beacon_share _
       | Icc_sim.Trace.Commit _ | Icc_sim.Trace.Block_decided _
-      | Icc_sim.Trace.Monitor_violation _ | Icc_sim.Trace.Monitor_stall _
-      | Icc_sim.Trace.Monitor_clear _ -> ())
+      | Icc_sim.Trace.Protocol_error _ | Icc_sim.Trace.Monitor_violation _
+      | Icc_sim.Trace.Monitor_stall _ | Icc_sim.Trace.Monitor_clear _ -> ())
     r.load.Icc_sim.Replay.entries;
   let total_faults = !drops + !dups + !reorders + !link_downs in
   if total_faults > 0 || !crashes <> [] || !summaries > 0 then begin

@@ -97,7 +97,8 @@ let attach t trace =
       | Trace.Gossip_request _ | Trace.Gossip_acquire _ | Trace.Rbc_fragment _
       | Trace.Rbc_echo _ | Trace.Rbc_reconstruct _ | Trace.Rbc_inconsistent _
       | Trace.Finalize _ | Trace.Beacon_share _ | Trace.Commit _
-      | Trace.Monitor_violation _ | Trace.Monitor_stall _ | Trace.Monitor_clear _
+      | Trace.Protocol_error _ | Trace.Monitor_violation _
+      | Trace.Monitor_stall _ | Trace.Monitor_clear _
       | Trace.Fault_drop _ | Trace.Fault_duplicate _ | Trace.Fault_reorder _
       | Trace.Fault_link_down _ | Trace.Fault_crash _ | Trace.Fault_recover _
       | Trace.Resync_summary _ | Trace.Resync_request _ | Trace.Resync_reply _ ->

@@ -432,7 +432,8 @@ let observe t ~time ev =
     | Trace.Rbc_fragment _ | Trace.Rbc_echo _ | Trace.Rbc_reconstruct _
     | Trace.Rbc_inconsistent _ | Trace.Round_entry _ | Trace.Propose _
     | Trace.Notarize _ | Trace.Finalize _ | Trace.Beacon_share _
-    | Trace.Commit _ | Trace.Block_decided _ | Trace.Fault_drop _
+    | Trace.Commit _ | Trace.Block_decided _ | Trace.Protocol_error _
+    | Trace.Fault_drop _
     | Trace.Fault_duplicate _ | Trace.Fault_reorder _ | Trace.Fault_link_down _
     | Trace.Fault_crash _ | Trace.Fault_recover _ | Trace.Resync_summary _
     | Trace.Resync_request _ | Trace.Resync_reply _ ) as ev ->
@@ -457,6 +458,12 @@ let observe t ~time ev =
       | Trace.Commit { party; round; block } ->
           on_commit t ~time ~party ~round ~block
       | Trace.Block_decided { round; block } -> on_decided t ~time ~round ~block
+      | Trace.Protocol_error { party; round; what } ->
+          (* a party reported an internal should-be-impossible condition and
+             skipped the step; surface it as a recorded, non-fatal violation *)
+          violate t ~time ~round ~what:"protocol-error"
+            ~detail:(Printf.sprintf "party %d: %s" party what)
+            ~fatal:false
       | Trace.Fault_recover { party } ->
           (* a recovered party legitimately re-releases the beacon shares
              for its current rounds; forget its counters so the rebroadcast

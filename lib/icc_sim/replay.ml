@@ -62,7 +62,7 @@ let parties entries =
       | Trace.Rbc_fragment _ | Trace.Rbc_echo _ | Trace.Rbc_reconstruct _
       | Trace.Rbc_inconsistent _ | Trace.Round_entry _ | Trace.Propose _
       | Trace.Notarize _ | Trace.Finalize _ | Trace.Beacon_share _
-      | Trace.Commit _ | Trace.Block_decided _ | Trace.Monitor_violation _
+      | Trace.Commit _ | Trace.Block_decided _ | Trace.Protocol_error _ | Trace.Monitor_violation _
       | Trace.Monitor_stall _ | Trace.Monitor_clear _ | Trace.Fault_drop _
       | Trace.Fault_duplicate _ | Trace.Fault_reorder _ | Trace.Fault_link_down _
       | Trace.Fault_crash _ | Trace.Fault_recover _ | Trace.Resync_summary _
@@ -129,7 +129,7 @@ let bandwidth entries =
       | Trace.Rbc_echo _ | Trace.Rbc_reconstruct _ | Trace.Rbc_inconsistent _
       | Trace.Round_entry _ | Trace.Propose _ | Trace.Notarize _
       | Trace.Finalize _ | Trace.Beacon_share _ | Trace.Commit _
-      | Trace.Block_decided _ | Trace.Monitor_violation _ | Trace.Monitor_stall _
+      | Trace.Block_decided _ | Trace.Protocol_error _ | Trace.Monitor_violation _ | Trace.Monitor_stall _
       | Trace.Monitor_clear _ | Trace.Fault_drop _ | Trace.Fault_duplicate _
       | Trace.Fault_reorder _ | Trace.Fault_link_down _ | Trace.Fault_crash _
       | Trace.Fault_recover _ | Trace.Resync_summary _ | Trace.Resync_request _
@@ -217,7 +217,7 @@ let rounds entries =
       | Trace.Gossip_publish _ | Trace.Gossip_request _ | Trace.Gossip_acquire _
       | Trace.Rbc_fragment _ | Trace.Rbc_echo _ | Trace.Rbc_reconstruct _
       | Trace.Rbc_inconsistent _ | Trace.Beacon_share _ | Trace.Commit _
-      | Trace.Monitor_violation _ | Trace.Monitor_stall _ | Trace.Monitor_clear _
+      | Trace.Protocol_error _ | Trace.Monitor_violation _ | Trace.Monitor_stall _ | Trace.Monitor_clear _
       | Trace.Fault_drop _ | Trace.Fault_duplicate _ | Trace.Fault_reorder _
       | Trace.Fault_link_down _ | Trace.Fault_crash _ | Trace.Fault_recover _
       | Trace.Resync_summary _ | Trace.Resync_request _ | Trace.Resync_reply _ ->
@@ -270,7 +270,7 @@ let amplification entries =
       | Trace.Run_start _ | Trace.Run_end _ | Trace.Engine_dispatch _
       | Trace.Net_deliver _ | Trace.Net_hold _ | Trace.Round_entry _
       | Trace.Propose _ | Trace.Notarize _ | Trace.Finalize _
-      | Trace.Beacon_share _ | Trace.Commit _ | Trace.Monitor_violation _
+      | Trace.Beacon_share _ | Trace.Commit _ | Trace.Protocol_error _ | Trace.Monitor_violation _
       | Trace.Monitor_stall _ | Trace.Monitor_clear _ | Trace.Fault_drop _
       | Trace.Fault_duplicate _ | Trace.Fault_reorder _ | Trace.Fault_link_down _
       | Trace.Fault_crash _ | Trace.Fault_recover _ | Trace.Resync_summary _
@@ -330,7 +330,7 @@ let critical_path entries ~round =
       | Trace.Rbc_fragment _ | Trace.Rbc_echo _ | Trace.Rbc_reconstruct _
       | Trace.Rbc_inconsistent _ | Trace.Round_entry _ | Trace.Propose _
       | Trace.Notarize _ | Trace.Finalize _ | Trace.Beacon_share _
-      | Trace.Commit _ | Trace.Block_decided _ | Trace.Monitor_violation _
+      | Trace.Commit _ | Trace.Block_decided _ | Trace.Protocol_error _ | Trace.Monitor_violation _
       | Trace.Monitor_stall _ | Trace.Monitor_clear _ | Trace.Fault_drop _
       | Trace.Fault_duplicate _ | Trace.Fault_reorder _ | Trace.Fault_link_down _
       | Trace.Fault_crash _ | Trace.Fault_recover _ | Trace.Resync_summary _

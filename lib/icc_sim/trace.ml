@@ -47,6 +47,9 @@ type event =
   | Beacon_share of { party : int; round : int }
   | Commit of { party : int; round : int; block : string }
   | Block_decided of { round : int; block : string }
+  (* protocol-layer anomaly that would otherwise abort the run (e.g. a
+     certificate combine failing on admission-verified shares) *)
+  | Protocol_error of { party : int; round : int; what : string }
   (* online invariant monitor *)
   | Monitor_violation of { round : int; what : string; detail : string }
   | Monitor_stall of { round : int; stage : string; waited : float }
@@ -73,8 +76,8 @@ type level = Core | Detail
 
 let level_of = function
   | Run_start _ | Run_end _ | Net_send _ | Round_entry _ | Propose _
-  | Notarize _ | Block_decided _ | Monitor_violation _ | Monitor_stall _
-  | Monitor_clear _ | Fault_crash _ | Fault_recover _ ->
+  | Notarize _ | Block_decided _ | Protocol_error _ | Monitor_violation _
+  | Monitor_stall _ | Monitor_clear _ | Fault_crash _ | Fault_recover _ ->
       Core
   | Engine_dispatch _ | Net_deliver _ | Net_hold _ | Gossip_publish _
   | Gossip_request _ | Gossip_acquire _ | Rbc_fragment _ | Rbc_echo _
@@ -129,6 +132,7 @@ let kind_of = function
   | Beacon_share _ -> "beacon-share"
   | Commit _ -> "commit"
   | Block_decided _ -> "block-decided"
+  | Protocol_error _ -> "protocol-error"
   | Monitor_violation _ -> "monitor-violation"
   | Monitor_stall _ -> "monitor-stall"
   | Monitor_clear _ -> "monitor-clear"
@@ -198,6 +202,8 @@ let to_json ~time ev =
           (json_escape block)
     | Block_decided { round; block } ->
         p {|"round":%d,"block":"%s"|} round (json_escape block)
+    | Protocol_error { party; round; what } ->
+        p {|"party":%d,"round":%d,"what":"%s"|} party round (json_escape what)
     | Monitor_violation { round; what; detail } ->
         p {|"round":%d,"what":"%s","detail":"%s"|} round (json_escape what)
           (json_escape detail)
@@ -472,6 +478,9 @@ let of_json line =
                 { party = int "party"; round = int "round"; block = str "block" }
           | "block-decided" ->
               Block_decided { round = int "round"; block = str "block" }
+          | "protocol-error" ->
+              Protocol_error
+                { party = int "party"; round = int "round"; what = str "what" }
           | "monitor-violation" ->
               Monitor_violation
                 { round = int "round"; what = str "what"; detail = str "detail" }

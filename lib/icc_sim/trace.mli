@@ -42,6 +42,11 @@ type event =
       (** One party appended [block] to its committed chain. *)
   | Block_decided of { round : int; block : string }
       (** Every honest party committed the round's block. *)
+  | Protocol_error of { party : int; round : int; what : string }
+      (** A party hit a should-be-impossible protocol-layer condition (e.g.
+          a certificate combine failing over admission-verified shares) and
+          skipped the step instead of aborting the run; the {!Monitor}
+          records it as a non-fatal violation. *)
   | Monitor_violation of { round : int; what : string; detail : string }
       (** {!Monitor} caught an invariant violation or Byzantine evidence. *)
   | Monitor_stall of { round : int; stage : string; waited : float }

@@ -19,6 +19,27 @@ let test_hash_deterministic () =
     (Icc_crypto.Sha256.to_hex (Icc_core.Block.hash b))
     (Icc_crypto.Sha256.to_hex (Icc_core.Block.hash b))
 
+let test_digest_memoization_equivalent () =
+  (* The digest stored by [create] must equal what recomputation yields:
+     [hash] answers identically with memoization on or off. *)
+  let b1 = Kit.block ~round:5 ~proposer:3 ~parent:None () in
+  let b2 = Kit.block ~round:6 ~proposer:1 ~parent:(Some b1) () in
+  Alcotest.(check bool) "memoization on by default" true
+    (Icc_core.Block.memoization_enabled ());
+  let memoized = List.map Icc_core.Block.hash [ b1; b2 ] in
+  Icc_core.Block.set_memoization false;
+  let recomputed = List.map Icc_core.Block.hash [ b1; b2 ] in
+  Icc_core.Block.set_memoization true;
+  List.iter2
+    (fun h h' ->
+      Alcotest.(check string) "same digest"
+        (Icc_crypto.Sha256.to_hex h)
+        (Icc_crypto.Sha256.to_hex h'))
+    memoized recomputed;
+  Alcotest.(check string) "stored digest is the hash"
+    (Icc_crypto.Sha256.to_hex (List.hd memoized))
+    (Icc_crypto.Sha256.to_hex b1.Icc_core.Block.digest)
+
 let test_round_zero_rejected () =
   Alcotest.check_raises "round 0" (Invalid_argument "Block.create: rounds start at 1")
     (fun () ->
@@ -89,6 +110,8 @@ let suite =
   [
     Alcotest.test_case "hash binds fields" `Quick test_hash_binds_fields;
     Alcotest.test_case "hash deterministic" `Quick test_hash_deterministic;
+    Alcotest.test_case "digest memoization equivalent" `Quick
+      test_digest_memoization_equivalent;
     Alcotest.test_case "round 0 rejected" `Quick test_round_zero_rejected;
     Alcotest.test_case "payload size" `Quick test_payload_size;
     Alcotest.test_case "payload digest tags" `Quick test_payload_digest_binds_tags;

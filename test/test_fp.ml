@@ -75,6 +75,43 @@ let prop_pow_adds_exponents =
       Icc_crypto.Fp.pow a (e1 + e2) m
       = Icc_crypto.Fp.mul (Icc_crypto.Fp.pow a e1 m) (Icc_crypto.Fp.pow a e2 m) m)
 
+(* The 31-bit-split fast multiplication (and its automatic fallback for
+   moduli whose 2^61 residue is too large) must agree with the reference
+   double-and-add path on every odd modulus in range. *)
+let arb_odd_modulus =
+  QCheck.map
+    (fun x ->
+      let m = 3 + (abs x mod ((1 lsl 61) - 4)) in
+      if m land 1 = 0 then m + 1 else m)
+    QCheck.int
+
+let prop_fast_mul_matches_generic =
+  QCheck.Test.make ~name:"fast mul = generic mul (random odd moduli)"
+    ~count:1000
+    (QCheck.triple arb_odd_modulus QCheck.int QCheck.int)
+    (fun (m', a, b) ->
+      let a = Icc_crypto.Fp.reduce (abs a) m'
+      and b = Icc_crypto.Fp.reduce (abs b) m' in
+      Icc_crypto.Fp.mul a b m' = Icc_crypto.Fp.mul_generic a b m')
+
+let test_fast_mul_toggle () =
+  (* The benchmark toggle only switches implementations, never results. *)
+  Alcotest.(check bool) "fast mul on by default" true
+    (Icc_crypto.Fp.fast_mul_enabled ());
+  let checks () =
+    List.iter
+      (fun (a, b) ->
+        Alcotest.(check int)
+          (Printf.sprintf "mul %d %d" a b)
+          (Icc_crypto.Fp.mul_generic a b m)
+          (Icc_crypto.Fp.mul a b m))
+      [ (m - 1, m - 1); (m - 2, m - 1); (1234567890123, 987654321098) ]
+  in
+  checks ();
+  Icc_crypto.Fp.set_fast_mul false;
+  checks ();
+  Icc_crypto.Fp.set_fast_mul true
+
 let prop_sub_add_roundtrip =
   QCheck.Test.make ~name:"fp sub/add roundtrip" ~count:200
     (QCheck.pair arb_residue arb_residue) (fun (a, b) ->
@@ -93,4 +130,6 @@ let suite =
     QCheck_alcotest.to_alcotest prop_inv_is_inverse;
     QCheck_alcotest.to_alcotest prop_pow_adds_exponents;
     QCheck_alcotest.to_alcotest prop_sub_add_roundtrip;
+    QCheck_alcotest.to_alcotest prop_fast_mul_matches_generic;
+    Alcotest.test_case "fast mul toggle" `Quick test_fast_mul_toggle;
   ]

@@ -47,6 +47,42 @@ let prop_elt_inv =
   QCheck.Test.make ~name:"group inverse" ~count:100 arb_elt (fun a ->
       Icc_crypto.Group.mul a (Icc_crypto.Group.elt_inv a) = Icc_crypto.Group.one)
 
+(* Fixed-base windowed exponentiation must agree with square-and-multiply
+   for every (base, exponent) pair, with the table cache either hot or
+   disabled. *)
+let prop_pow_cached_matches_pow =
+  let arb_elt =
+    QCheck.map
+      (fun x -> Icc_crypto.Group.base_pow (abs x))
+      QCheck.(int_bound 1_000_000_000)
+  in
+  QCheck.Test.make ~name:"pow_cached = pow" ~count:200
+    (QCheck.pair arb_elt QCheck.int) (fun (base, e) ->
+      let e = abs e in
+      let windowed = Icc_crypto.Group.pow_cached base e in
+      Icc_crypto.Group.set_fixed_base false;
+      let generic = Icc_crypto.Group.pow_cached base e in
+      Icc_crypto.Group.set_fixed_base true;
+      windowed = Icc_crypto.Group.pow base e && generic = windowed)
+
+let test_base_pow_uses_generator () =
+  Alcotest.(check bool) "fixed base on by default" true
+    (Icc_crypto.Group.fixed_base_enabled ());
+  for _ = 1 to 50 do
+    let e = Icc_sim.Rng.bits61 rng in
+    Alcotest.(check int) "base_pow = pow g"
+      (Icc_crypto.Group.pow Icc_crypto.Group.generator e)
+      (Icc_crypto.Group.base_pow e)
+  done;
+  (* edge exponents around the subgroup order *)
+  List.iter
+    (fun e ->
+      Alcotest.(check int)
+        (Printf.sprintf "base_pow %d" e)
+        (Icc_crypto.Group.pow Icc_crypto.Group.generator e)
+        (Icc_crypto.Group.base_pow e))
+    [ 0; 1; Icc_crypto.Group.q - 1; Icc_crypto.Group.q; Icc_crypto.Group.q + 1 ]
+
 let prop_random_scalar_in_range =
   QCheck.Test.make ~name:"random scalars in range" ~count:100 QCheck.unit
     (fun () ->
@@ -62,4 +98,7 @@ let suite =
     QCheck_alcotest.to_alcotest prop_mul_assoc;
     QCheck_alcotest.to_alcotest prop_elt_inv;
     QCheck_alcotest.to_alcotest prop_random_scalar_in_range;
+    QCheck_alcotest.to_alcotest prop_pow_cached_matches_pow;
+    Alcotest.test_case "base_pow vs generator pow" `Quick
+      test_base_pow_uses_generator;
   ]

@@ -170,6 +170,88 @@ let test_beacon_pipelining_is_one_round_ahead () =
      test_beacon.  Here we assert the run advanced well past round 1. *)
   Alcotest.(check bool) "advanced" true (r.Icc_core.Runner.rounds_decided > 10)
 
+let test_vacuous_n_still_finalization_shares () =
+  (* Paper §3.3 (Fig. 2): a party broadcasts a finalization share for round
+     k iff N ⊆ {B}.  When the party finishes the round having shared
+     NOTHING (N = ∅) — here, a fully notarized block arrives before its own
+     notarization-share timer fires — the containment is vacuously true and
+     it must still attest.  Pins the [List.for_all] semantics in
+     [Party.condition_a]. *)
+  let kit = Kit.make ~n:4 ~t:1 () in
+  let engine = Icc_sim.Engine.create () in
+  let sent = ref [] in
+  let record msg = sent := msg :: !sent in
+  let env =
+    {
+      Icc_core.Party.config =
+        Icc_core.Config.recommended ~delta_bnd:1.0 ~epsilon:0.5 ~n:4 ~t:1 ();
+      system = kit.Kit.system;
+      engine;
+      send_broadcast = (fun ~src:_ msg -> record msg);
+      send_unicast = (fun ~src:_ ~dst:_ msg -> record msg);
+      trace = Icc_sim.Trace.create ();
+      get_payload =
+        (fun ~pool:_ ~parent:_ ~round:_ ~proposer:_ ->
+          Icc_core.Types.empty_payload);
+      on_output = (fun ~party:_ _ -> ());
+    }
+  in
+  let p =
+    Icc_core.Party.create env ~id:1 ~keys:(Kit.key kit 1)
+      ~behavior:Icc_core.Party.honest
+  in
+  Icc_core.Party.start p;
+  (* t+1 = 2 peer shares make round 1's beacon computable (the party's own
+     share is broadcast, not self-delivered) *)
+  let beacon_msg =
+    Icc_core.Types.beacon_text ~round:1
+      ~prev_sigma:Icc_core.Types.beacon_genesis
+  in
+  List.iter
+    (fun signer ->
+      Icc_core.Party.on_message p
+        (Icc_core.Message.Beacon_share
+           {
+             b_round = 1;
+             b_signer = signer;
+             b_share =
+               Icc_crypto.Threshold_vuf.sign_share
+                 kit.Kit.system.Icc_crypto.Keygen.beacon
+                 (Kit.key kit signer).Icc_crypto.Keygen.beacon_key beacon_msg;
+           }))
+    [ 2; 3 ];
+  Alcotest.(check int) "round 1 entered" 1 (Icc_core.Party.current_round p);
+  (* party 2's block arrives already carrying a full notarization: condition
+     (a) finishes the round before any timer could fire (time stands still —
+     the engine never runs), so party 1 notarization-shared nothing *)
+  let b = Kit.block ~round:1 ~proposer:2 ~parent:None () in
+  Icc_core.Party.on_message p
+    (Icc_core.Message.Proposal
+       {
+         Icc_core.Message.p_block = b;
+         p_authenticator = Kit.authenticator kit b;
+         p_parent_cert = None;
+       });
+  Icc_core.Party.on_message p
+    (Icc_core.Message.Notarization (Kit.notarization kit b [ 2; 3; 4 ]));
+  Alcotest.(check int) "finished round 1" 1 (Icc_core.Party.rounds_finished p);
+  Alcotest.(check int) "shared nothing (N = empty)" 0
+    (List.length
+       (List.filter
+          (function Icc_core.Message.Notarization_share _ -> true | _ -> false)
+          !sent));
+  let fin_shares_for_b =
+    List.filter
+      (function
+        | Icc_core.Message.Finalization_share s ->
+            Icc_crypto.Sha256.equal s.Icc_core.Types.s_block_hash
+              (Icc_core.Block.hash b)
+        | _ -> false)
+      !sent
+  in
+  Alcotest.(check int) "finalization share broadcast vacuously" 1
+    (List.length fin_shares_for_b)
+
 let suite =
   [
     Alcotest.test_case "echo repairs selective proposals" `Quick
@@ -184,4 +266,6 @@ let suite =
       test_beacon_pipelining_is_one_round_ahead;
     Alcotest.test_case "on_message idempotent under full duplication" `Quick
       test_on_message_idempotent;
+    Alcotest.test_case "vacuous N still finalization-shares" `Quick
+      test_vacuous_n_still_finalization_shares;
   ]

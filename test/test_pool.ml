@@ -154,6 +154,126 @@ let test_beacon_share_dedup () =
   Alcotest.(check int) "one share" 1
     (List.length (Icc_core.Pool.beacon_shares pool 1))
 
+(* --- beacon-share spoofing regression ----------------------------------
+
+   Before the fix, [add_beacon_share] deduplicated purely by signer: a
+   spoofed share under an honest signer's id occupied the slot, the later
+   genuine share was dropped as a "duplicate", and [Beacon.try_compute]
+   could starve (liveness) on garbage shares it had no way to evict. *)
+
+let beacon_round1_msg =
+  Icc_core.Types.beacon_text ~round:1 ~prev_sigma:Icc_core.Types.beacon_genesis
+
+let beacon_share signer =
+  Icc_crypto.Threshold_vuf.sign_share kit.Kit.system.Icc_crypto.Keygen.beacon
+    (Kit.key kit signer).Icc_crypto.Keygen.beacon_key beacon_round1_msg
+
+(* A syntactically well-formed share under [signer]'s id that does not
+   verify for round 1: signed over a different round's text. *)
+let spoofed_share signer =
+  Icc_crypto.Threshold_vuf.sign_share kit.Kit.system.Icc_crypto.Keygen.beacon
+    (Kit.key kit signer).Icc_crypto.Keygen.beacon_key
+    (Icc_core.Types.beacon_text ~round:9
+       ~prev_sigma:Icc_core.Types.beacon_genesis)
+
+let beacon_verify share =
+  Icc_crypto.Threshold_vuf.verify_share kit.Kit.system.Icc_crypto.Keygen.beacon
+    beacon_round1_msg share
+
+let test_spoofed_beacon_share_rejected_at_admission () =
+  let pool = Icc_core.Pool.create kit.Kit.system in
+  Alcotest.(check bool) "spoof rejected" false
+    (Icc_core.Pool.add_beacon_share pool ~round:1 ~verify:beacon_verify
+       (spoofed_share 1));
+  Alcotest.(check int) "nothing admitted" 0
+    (List.length (Icc_core.Pool.beacon_shares pool 1));
+  (* the genuine share under the same signer id still gets in *)
+  Alcotest.(check bool) "real share admitted" true
+    (Icc_core.Pool.add_beacon_share pool ~round:1 ~verify:beacon_verify
+       (beacon_share 1))
+
+let test_spoofed_occupant_evicted_by_verifying_newcomer () =
+  let pool = Icc_core.Pool.create kit.Kit.system in
+  (* previous beacon unknown yet: the spoof is admitted unverified *)
+  Alcotest.(check bool) "spoof admitted unverified" true
+    (Icc_core.Pool.add_beacon_share pool ~round:1 (spoofed_share 1));
+  (* old code: the genuine retransmission would be dropped as a duplicate
+     here, permanently wedging the round's beacon on the spoofed share *)
+  Alcotest.(check bool) "real share evicts the spoof" true
+    (Icc_core.Pool.add_beacon_share pool ~round:1 ~verify:beacon_verify
+       (beacon_share 1));
+  Alcotest.(check int) "one slot for the signer" 1
+    (List.length (Icc_core.Pool.beacon_shares pool 1));
+  Alcotest.(check bool) "slot holds the verifying share" true
+    (List.for_all beacon_verify (Icc_core.Pool.beacon_shares pool 1))
+
+let test_verified_beacon_shares_evicts_failures () =
+  let pool = Icc_core.Pool.create kit.Kit.system in
+  ignore (Icc_core.Pool.add_beacon_share pool ~round:1 (spoofed_share 1));
+  ignore (Icc_core.Pool.add_beacon_share pool ~round:1 (beacon_share 2));
+  let good =
+    Icc_core.Pool.verified_beacon_shares pool ~round:1 ~verify:beacon_verify
+  in
+  Alcotest.(check int) "only the genuine share survives" 1 (List.length good);
+  (* the spoofed slot was evicted, so the genuine retransmission refills it
+     even without a verifier *)
+  Alcotest.(check bool) "slot refillable after eviction" true
+    (Icc_core.Pool.add_beacon_share pool ~round:1 (beacon_share 1));
+  Alcotest.(check int) "t+1 shares present" 2
+    (List.length (Icc_core.Pool.beacon_shares pool 1))
+
+(* --- prune sweeps every per-round table --------------------------------
+
+   A 200-round run with periodic pruning, salted with orphan artifacts
+   (shares and beacon shares for blocks that never arrive) which earlier
+   prune implementations leaked.  Every internal table must stay bounded
+   by the retained window, independent of the run length. *)
+let test_prune_keeps_all_tables_bounded () =
+  let pool = Icc_core.Pool.create kit.Kit.system in
+  let depth = 8 in
+  let parent = ref None in
+  for r = 1 to 200 do
+    let b = Kit.block ~round:r ~proposer:((r mod 4) + 1) ~parent:!parent () in
+    Kit.admit_notarized kit pool b;
+    ignore
+      (Icc_core.Pool.add_finalization_share pool
+         (Kit.finalization_share kit ~signer:1 b));
+    ignore (Icc_core.Pool.add_finalization pool (Kit.finalization kit b [ 1; 2; 3 ]));
+    (* orphan notarization share: its block never arrives *)
+    let phantom =
+      Kit.block ~round:r ~proposer:(((r + 1) mod 4) + 1) ~parent:!parent ()
+    in
+    ignore
+      (Icc_core.Pool.add_notarization_share pool
+         (Kit.notarization_share kit ~signer:2 phantom));
+    (* unverifiable pipelined beacon share for the round *)
+    ignore
+      (Icc_core.Pool.add_beacon_share pool ~round:r
+         (Icc_crypto.Threshold_vuf.sign_share
+            kit.Kit.system.Icc_crypto.Keygen.beacon
+            (Kit.key kit ((r mod 4) + 1)).Icc_crypto.Keygen.beacon_key
+            (Icc_core.Types.beacon_text ~round:r
+               ~prev_sigma:Icc_core.Types.beacon_genesis)));
+    parent := Some b;
+    if r mod 4 = 0 then Icc_core.Pool.prune pool ~below:(r - depth)
+  done;
+  (* <= 12 live rounds, a handful of entries per round per table *)
+  let bound = 80 in
+  List.iter
+    (fun (name, size) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s bounded (%d <= %d)" name size bound)
+        true (size <= bound))
+    (Icc_core.Pool.table_sizes pool);
+  Alcotest.(check bool)
+    (Printf.sprintf "stored blocks bounded (%d)" (Icc_core.Pool.stored_blocks pool))
+    true
+    (Icc_core.Pool.stored_blocks pool <= bound);
+  (* admissions below the horizon are rejected, not resurrected *)
+  let stale = Kit.block ~round:100 ~proposer:1 ~parent:None () in
+  Alcotest.(check bool) "below-horizon block rejected" false
+    (Icc_core.Pool.add_block pool stale)
+
 let test_chain_walk () =
   let pool = Icc_core.Pool.create kit.Kit.system in
   let b1 = Kit.block ~round:1 ~proposer:1 ~parent:None () in
@@ -187,5 +307,13 @@ let suite =
     Alcotest.test_case "finalization flow" `Quick test_finalization_flow;
     Alcotest.test_case "root status" `Quick test_root_is_notarized_and_finalized;
     Alcotest.test_case "beacon share dedup" `Quick test_beacon_share_dedup;
+    Alcotest.test_case "spoofed beacon share rejected" `Quick
+      test_spoofed_beacon_share_rejected_at_admission;
+    Alcotest.test_case "spoofed occupant evicted" `Quick
+      test_spoofed_occupant_evicted_by_verifying_newcomer;
+    Alcotest.test_case "verified_beacon_shares evicts failures" `Quick
+      test_verified_beacon_shares_evicts_failures;
+    Alcotest.test_case "prune keeps tables bounded" `Quick
+      test_prune_keeps_all_tables_bounded;
     Alcotest.test_case "chain walk" `Quick test_chain_walk;
   ]

@@ -63,6 +63,7 @@ let test_levels () =
       Propose { party = 1; round = 1 };
       Notarize { party = 1; round = 1; block = "ab" };
       Block_decided { round = 1; block = "ab" };
+      Protocol_error { party = 1; round = 1; what = "w" };
       Monitor_violation { round = 1; what = "w"; detail = "d" };
       Monitor_stall { round = 1; stage = "entry"; waited = 1. };
       Monitor_clear { round = 1; stage = "entry"; waited = 1. };
@@ -197,6 +198,8 @@ let all_constructor_witnesses : Icc_sim.Trace.event list =
     Beacon_share { party = 4; round = 6 };
     Commit { party = 2; round = 5; block = "ab12cd34ef56" };
     Block_decided { round = 5; block = "ab12cd34ef56" };
+    Protocol_error
+      { party = 2; round = 5; what = {|notarization-combine-failed "x"|} };
     Monitor_violation
       { round = 5; what = "conflicting-notarization"; detail = {|"aa" vs "bb"|} };
     Monitor_stall { round = 6; stage = "notarize"; waited = 0.42 };
@@ -237,7 +240,7 @@ let test_json_round_trip_is_exhaustive () =
     List.map Icc_sim.Trace.kind_of all_constructor_witnesses
     |> List.sort_uniq compare
   in
-  Alcotest.(check int) "one witness per constructor" 32
+  Alcotest.(check int) "one witness per constructor" 33
     (List.length witnessed)
 
 (* Property: round-tripping holds for arbitrary payload contents, not just
