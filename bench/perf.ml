@@ -10,9 +10,16 @@
 
    Emits BENCH_perf.json (schema in EXPERIMENTS.md) and, with
    `--check ref.json`, fails if any scenario's optimised wall-clock
-   regressed to more than 2x the checked-in reference.
+   regressed to more than 2x the checked-in reference (the gate covers the
+   before/after scenarios only; the sweep rows are informational).
 
-     dune exec bench/main.exe -- perf [--quick] [--out PATH] [--check REF] *)
+   A committee-size sweep rides along: optimised-only ICC0/ICC1 runs at
+   n in {16, 50, 100}, reporting wall-clock, message totals and the
+   per-message processing cost — the large-n scale-out's guard that
+   per-message work stays flat while traffic grows O(n^2).
+
+     dune exec bench/main.exe -- perf [--quick] [--n N] [--out PATH]
+                                      [--check REF] *)
 
 type scenario_result = {
   name : string;
@@ -49,9 +56,9 @@ let set_optimizations on =
   Icc_core.Block.set_memoization on;
   Icc_core.Pool.set_caching on
 
-let perf_scenario ~quick ~seed =
+let perf_scenario ~quick ~seed ~n =
   {
-    (Icc_core.Runner.default_scenario ~n:16 ~seed) with
+    (Icc_core.Runner.default_scenario ~n ~seed) with
     Icc_core.Runner.duration = 1e6;
     max_rounds = Some (if quick then 4 else 10);
     delay = Icc_core.Runner.Fixed_delay 0.02;
@@ -73,8 +80,8 @@ let traced_run run_fn scenario =
   let dt = Unix.gettimeofday () -. t0 in
   (dt, Buffer.contents buf, Icc_crypto.Counters.snapshot ())
 
-let measure ~quick ~seed name run_fn =
-  let scenario = perf_scenario ~quick ~seed in
+let measure ~quick ~seed ~n name run_fn =
+  let scenario = perf_scenario ~quick ~seed ~n in
   set_optimizations false;
   let before_s, trace_before, ops_before = traced_run run_fn scenario in
   set_optimizations true;
@@ -90,6 +97,48 @@ let measure ~quick ~seed name run_fn =
     ops_after;
   }
 
+(* --- committee-size sweep --------------------------------------------- *)
+
+type sweep_result = {
+  sw_name : string;
+  sw_n : int;
+  sw_wall_s : float;
+  sw_msgs : int;
+  sw_rounds : int;
+  sw_us_per_msg : float;
+}
+
+(* Optimised-only runs across committee sizes.  The interesting number is
+   the last column: wall-clock divided by messages delivered.  Message
+   count grows O(n^2) by protocol design; the per-message cost must not —
+   a superlinear slot-ring/engine/metrics structure shows up here as
+   us/msg climbing with n. *)
+let sweep_row ~quick ~seed name run_fn n =
+  let scenario = perf_scenario ~quick ~seed ~n in
+  let t0 = Unix.gettimeofday () in
+  let res = run_fn scenario in
+  let wall = Unix.gettimeofday () -. t0 in
+  let msgs = Icc_sim.Metrics.total_msgs res.Icc_core.Runner.metrics in
+  {
+    sw_name = name;
+    sw_n = n;
+    sw_wall_s = wall;
+    sw_msgs = msgs;
+    sw_rounds = res.Icc_core.Runner.rounds_decided;
+    sw_us_per_msg = (if msgs > 0 then wall *. 1e6 /. float_of_int msgs else nan);
+  }
+
+let run_sweep ~quick ~seed =
+  let ns = if quick then [ 16; 32 ] else [ 16; 50; 100 ] in
+  set_optimizations true;
+  List.concat_map
+    (fun n ->
+      [
+        sweep_row ~quick ~seed "ICC0" Icc_core.Runner.run n;
+        sweep_row ~quick ~seed "ICC1" (fun s -> Icc_gossip.Icc1.run s) n;
+      ])
+    ns
+
 (* --- JSON emission ---------------------------------------------------- *)
 
 let ops_json ops =
@@ -104,20 +153,29 @@ let scenario_json r =
     r.name r.before_s r.after_s r.speedup r.trace_identical r.trace_events
     (ops_json r.ops_before) (ops_json r.ops_after)
 
-let results_json ~quick ~seed ~rounds results =
+let sweep_json s =
+  Printf.sprintf
+    {|    {"name":%S,"n":%d,"wall_s":%.6f,"messages":%d,"rounds":%d,"us_per_msg":%.3f}|}
+    s.sw_name s.sw_n s.sw_wall_s s.sw_msgs s.sw_rounds s.sw_us_per_msg
+
+let results_json ~quick ~seed ~rounds ~n results sweep =
   let tb = List.fold_left (fun a r -> a +. r.before_s) 0. results in
   let ta = List.fold_left (fun a r -> a +. r.after_s) 0. results in
   Printf.sprintf
     {|{
-  "config": {"n":16,"seed":%d,"max_rounds":%d,"delay_s":0.02,"quick":%b},
+  "config": {"n":%d,"seed":%d,"max_rounds":%d,"delay_s":0.02,"quick":%b},
   "scenarios": [
+%s
+  ],
+  "sweep": [
 %s
   ],
   "total": {"before_s":%.6f,"after_s":%.6f,"speedup":%.2f}
 }
 |}
-    seed rounds quick
+    n seed rounds quick
     (String.concat ",\n" (List.map scenario_json results))
+    (String.concat ",\n" (List.map sweep_json sweep))
     tb ta
     (if ta > 0. then tb /. ta else nan)
 
@@ -208,18 +266,33 @@ let print_table results =
               interesting)))
     results
 
+let print_sweep sweep =
+  Printf.printf "%-6s %5s %10s %10s %7s %10s\n" "proto" "n" "wall (s)"
+    "messages" "rounds" "us/msg";
+  List.iter
+    (fun s ->
+      Printf.printf "%-6s %5d %10.3f %10d %7d %10.3f\n" s.sw_name s.sw_n
+        s.sw_wall_s s.sw_msgs s.sw_rounds s.sw_us_per_msg)
+    sweep
+
 let main () =
   let quick = has_flag "--quick" in
   let out = Option.value ~default:"BENCH_perf.json" (find_arg "--out") in
+  let n =
+    match Option.map int_of_string_opt (find_arg "--n") with
+    | Some (Some n) when n >= 4 -> n
+    | Some _ -> invalid_arg "bench perf: --n expects an integer >= 4"
+    | None -> 16
+  in
   let seed = 7 in
   let rounds = if quick then 4 else 10 in
   Printf.printf
-    "== bench perf: hot-path before/after (n=16, seed %d, %d rounds%s) ==\n"
+    "== bench perf: hot-path before/after (n=%d, seed %d, %d rounds%s) ==\n" n
     seed rounds
     (if quick then ", quick" else "");
   let results =
     List.map
-      (fun (name, run_fn) -> measure ~quick ~seed name run_fn)
+      (fun (name, run_fn) -> measure ~quick ~seed ~n name run_fn)
       [
         ("ICC0", Icc_core.Runner.run);
         ("ICC1", fun s -> Icc_gossip.Icc1.run s);
@@ -228,7 +301,10 @@ let main () =
   in
   set_optimizations true;
   print_table results;
-  let json = results_json ~quick ~seed ~rounds results in
+  Printf.printf "== committee-size sweep (optimised, seed %d) ==\n" seed;
+  let sweep = run_sweep ~quick ~seed in
+  print_sweep sweep;
+  let json = results_json ~quick ~seed ~rounds ~n results sweep in
   let oc = open_out out in
   output_string oc json;
   close_out oc;

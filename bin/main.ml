@@ -314,7 +314,7 @@ let table1_cmd =
 let exp_cmd =
   let which =
     Arg.(required & pos 0 (some string) None
-         & info [] ~docv:"ID" ~doc:"Experiment id: e1..e9.")
+         & info [] ~docv:"ID" ~doc:"Experiment id: e1..e10.")
   in
   let exec quick which =
     match String.lowercase_ascii which with
@@ -340,10 +340,11 @@ let exp_cmd =
         Icc_experiments.Asynchrony.print (Icc_experiments.Asynchrony.run ~quick ())
     | "e9" ->
         Icc_experiments.Adaptivity.print (Icc_experiments.Adaptivity.run ~quick ())
-    | other -> Printf.eprintf "unknown experiment %s (expected e1..e9)\n" other
+    | "e10" -> Icc_experiments.Scale.print (Icc_experiments.Scale.run ~quick ())
+    | other -> Printf.eprintf "unknown experiment %s (expected e1..e10)\n" other
   in
   Cmd.v
-    (Cmd.info "exp" ~doc:"Regenerate one experiment (e1..e8).")
+    (Cmd.info "exp" ~doc:"Regenerate one experiment (e1..e10).")
     Term.(const exec $ quick_arg $ which)
 
 (* ----------------------------------------------------------- baselines *)

@@ -1,13 +1,21 @@
 (* Binary wire codec for {!Message.t}.
 
-   A deterministic, explicit, length-prefixed format — this is what the
+   A deterministic, explicit, *compact* format — this is what the
    erasure-coded reliable broadcast of ICC2 fragments and reassembles, so
    decoding must be safe on adversarial bytes: every read is bounds-checked
    and failures surface as [None], never as an exception or unsafe value.
 
-   Layout: ints are 8-byte little-endian; strings and lists are preceded by
-   their length/count; digests are 32 raw bytes; each message starts with a
-   one-byte variant tag. *)
+   Layout: integers travel as LEB128 varints of their 64-bit two's
+   complement (1 byte for values < 128 — rounds, party ids, counts, share
+   signer ids — up to 10 bytes for huge or negative values, which honest
+   encoders never produce); strings and lists are preceded by a varint
+   length/count; digests are 32 raw bytes; floats are their raw IEEE-754
+   bits in 8 fixed little-endian bytes (converting through the 63-bit
+   native int would corrupt bit 63 by sign extension); each message starts
+   with a one-byte interned variant tag.  Shared-prefix digests are elided:
+   a proposal's parent certificate names the same digest as the block's
+   parent hash, so a well-formed bundle writes it once (a distinct presence
+   marker keeps the rare mismatched bundle encodable verbatim). *)
 
 exception Malformed
 
@@ -15,18 +23,30 @@ exception Malformed
 
 let w_byte buf b = Buffer.add_char buf (Char.chr (b land 0xff))
 
-let w_int64 buf n =
+(* Unsigned LEB128 over the two's-complement bits. *)
+let w_varint64 buf n =
   let v = ref n in
+  let continue = ref true in
+  while !continue do
+    let low = Int64.to_int (Int64.logand !v 0x7fL) in
+    v := Int64.shift_right_logical !v 7;
+    if Int64.equal !v 0L then begin
+      Buffer.add_char buf (Char.chr low);
+      continue := false
+    end
+    else Buffer.add_char buf (Char.chr (low lor 0x80))
+  done
+
+let w_int buf n = w_varint64 buf (Int64.of_int n)
+
+(* Floats travel as raw IEEE-754 bits, fixed width: varint-packing the
+   mantissa-heavy bit pattern would usually *grow* it. *)
+let w_float buf f =
+  let v = ref (Int64.bits_of_float f) in
   for _ = 0 to 7 do
     Buffer.add_char buf (Char.chr (Int64.to_int (Int64.logand !v 0xffL)));
     v := Int64.shift_right_logical !v 8
   done
-
-let w_int buf n = w_int64 buf (Int64.of_int n)
-
-(* Floats travel as their raw IEEE-754 bits: converting through the 63-bit
-   native int would corrupt bit 63 by sign extension. *)
-let w_float buf f = w_int64 buf (Int64.bits_of_float f)
 
 let w_str buf s =
   w_int buf (String.length s);
@@ -51,7 +71,27 @@ let r_byte c =
   c.pos <- c.pos + 1;
   b
 
-let r_int64 c =
+let r_varint64 c =
+  let v = ref 0L in
+  let shift = ref 0 in
+  let continue = ref true in
+  while !continue do
+    if !shift > 63 then raise Malformed;
+    let b = r_byte c in
+    v := Int64.logor !v (Int64.shift_left (Int64.of_int (b land 0x7f)) !shift);
+    if b land 0x80 = 0 then begin
+      (* reject non-canonical trailing zero groups ("0x80 0x00"-style
+         padding), so every value has exactly one encoding *)
+      if b = 0 && !shift > 0 then raise Malformed;
+      continue := false
+    end
+    else shift := !shift + 7
+  done;
+  !v
+
+let r_int c = Int64.to_int (r_varint64 c)
+
+let r_float c =
   need c 8;
   let v = ref 0L in
   for i = 7 downto 0 do
@@ -61,10 +101,7 @@ let r_int64 c =
         (Int64.of_int (Char.code c.data.[c.pos + i]))
   done;
   c.pos <- c.pos + 8;
-  !v
-
-let r_int c = Int64.to_int (r_int64 c)
-let r_float c = Int64.float_of_bits (r_int64 c)
+  Int64.float_of_bits !v
 
 let r_str c =
   let len = r_int c in
@@ -114,18 +151,23 @@ let r_multisig c : Icc_crypto.Multisig.signature =
   let signatures = r_list c r_schnorr in
   { signers; signatures }
 
-let w_cert buf (cert : Types.cert) =
+(* A certificate, with its digest optionally elided when the container
+   already carries it (the proposal parent-certificate case). *)
+let w_cert_body buf ~with_digest (cert : Types.cert) =
   w_int buf cert.Types.c_round;
   w_int buf cert.Types.c_proposer;
-  w_digest buf cert.Types.c_block_hash;
+  if with_digest then w_digest buf cert.Types.c_block_hash;
   w_multisig buf cert.Types.c_multisig
 
-let r_cert c : Types.cert =
+let r_cert_body c ~digest : Types.cert =
   let c_round = r_int c in
   let c_proposer = r_int c in
-  let c_block_hash = r_digest c in
+  let c_block_hash = match digest with Some d -> d | None -> r_digest c in
   let c_multisig = r_multisig c in
   { c_round; c_proposer; c_block_hash; c_multisig }
+
+let w_cert buf cert = w_cert_body buf ~with_digest:true cert
+let r_cert c = r_cert_body c ~digest:None
 
 let w_share_msg buf (s : Types.share_msg) =
   w_int buf s.Types.s_round;
@@ -194,6 +236,11 @@ let tag_beacon_share = 6
 let tag_pool_summary = 7
 let tag_pool_request = 8
 
+(* Parent-certificate presence markers inside a proposal. *)
+let parent_none = 0
+let parent_full = 1 (* digest differs from the block's parent hash *)
+let parent_elided = 2 (* digest = block.parent_hash, written once *)
+
 let encode (msg : Message.t) : string =
   let buf = Buffer.create 256 in
   (match msg with
@@ -202,10 +249,20 @@ let encode (msg : Message.t) : string =
       w_block buf p.Message.p_block;
       w_schnorr buf p.Message.p_authenticator;
       (match p.Message.p_parent_cert with
-      | None -> w_byte buf 0
+      | None -> w_byte buf parent_none
       | Some cert ->
-          w_byte buf 1;
-          w_cert buf cert)
+          if
+            Icc_crypto.Sha256.equal cert.Types.c_block_hash
+              p.Message.p_block.Block.parent_hash
+          then begin
+            (* the well-formed case: parent digest is a shared prefix *)
+            w_byte buf parent_elided;
+            w_cert_body buf ~with_digest:false cert
+          end
+          else begin
+            w_byte buf parent_full;
+            w_cert_body buf ~with_digest:true cert
+          end)
   | Message.Notarization_share s ->
       w_byte buf tag_notar_share;
       w_share_msg buf s
@@ -243,12 +300,22 @@ let decode (data : string) : Message.t option =
       if tag = tag_proposal then begin
         let p_block = r_block c in
         let p_authenticator = r_schnorr c in
+        let marker = r_byte c in
         let p_parent_cert =
-          match r_byte c with
-          | 0 -> None
-          | 1 -> Some (r_cert c)
-          | _ -> raise Malformed
+          if marker = parent_none then None
+          else if marker = parent_full then Some (r_cert_body c ~digest:None)
+          else if marker = parent_elided then
+            Some (r_cert_body c ~digest:(Some p_block.Block.parent_hash))
+          else raise Malformed
         in
+        (* canonical form: an encoder must elide a matching digest *)
+        (match p_parent_cert with
+        | Some cert
+          when marker = parent_full
+               && Icc_crypto.Sha256.equal cert.Types.c_block_hash
+                    p_block.Block.parent_hash ->
+            raise Malformed
+        | _ -> ());
         Message.Proposal { p_block; p_authenticator; p_parent_cert }
       end
       else if tag = tag_notar_share then Message.Notarization_share (r_share_msg c)

@@ -8,27 +8,38 @@
    parent is notarized; it becomes notarized/finalized when additionally a
    certificate is present.  Promoting a block re-examines its children.
 
-   Hot-path indexing: share multisets carry an incrementally maintained
-   count (no [List.length] per query), and the per-round classification
-   views ([valid_blocks], [notarized_blocks], [round_completion], the
-   finalization scan) are cached against a per-round epoch counter that is
-   bumped on every admission or promotion touching that round.  A cache
-   hit returns the value the uncached scan would recompute from unchanged
-   state, so caching can never alter results — only skip rescans.
+   Large-n layout: all per-round state lives in a *ring of round slots*
+   indexed by [round mod capacity] — flat records reused across rounds —
+   instead of a constellation of per-key Hashtbls.  Within a slot, each
+   (round, block-hash) key owns one [entry] record holding its block,
+   authenticator, certificates, classification bits and share multisets, so
+   every admission is one short scan over the slot's few entries plus O(1)
+   field updates; per-signer deduplication of shares and beacon shares is a
+   bitset / signer-indexed array rather than a list scan.  The ring grows
+   (rebuilding into a doubled array) only when the live round window —
+   [pruned_below .. newest admitted round] — outgrows the capacity, so with
+   pruning enabled memory is proportional to the window, not the run.
+
+   The per-round epoch caches survive, re-keyed to slots: each slot carries
+   an epoch counter bumped on every admission or promotion touching its
+   round, and the classification views ([valid_blocks], [notarized_blocks],
+   [round_completion], the finalization scan) are cached against it.  A
+   cache hit returns the value the uncached scan would recompute from
+   unchanged state, so caching can never alter results — only skip rescans.
    [set_caching false] disables the caches so the benchmark harness can
    measure before/after. *)
 
 type key = Types.round * Icc_crypto.Sha256.t
 
-let compare_key ((r1, h1) : key) ((r2, h2) : key) =
-  match Int.compare r1 r2 with
-  | 0 -> Icc_crypto.Sha256.compare h1 h2
-  | c -> c
-
-(* A list plus its length, maintained on insert. *)
-type 'a counted = {
-  mutable items : 'a list;
-  mutable count : int;
+(* Per-signer share multiset: the share list keeps the legacy newest-first
+   order (it is handed verbatim to [Multisig.combine] and the resync
+   retransmitter), while the bitset answers the per-admission duplicate
+   check in O(1).  Admitted signers are always in [1..n] ([verify_share]
+   enforces it), so the bitset is complete. *)
+type shareset = {
+  mutable ss_items : Icc_crypto.Multisig.share list; (* newest first *)
+  mutable ss_count : int;
+  ss_seen : Bytes.t; (* signer-indexed presence bits, 1-based *)
 }
 
 (* A beacon share slot.  Shares are only verifiable once the previous
@@ -38,6 +49,20 @@ type 'a counted = {
 type beacon_entry = {
   mutable be_share : Icc_crypto.Threshold_vuf.signature_share;
   mutable be_verified : bool;
+}
+
+(* Everything the pool knows about one (round, block-hash) key. *)
+type entry = {
+  e_hash : Icc_crypto.Sha256.t;
+  mutable e_block : Block.t option;
+  mutable e_auth : Icc_crypto.Schnorr.signature option;
+  mutable e_notar_cert : Types.cert option;
+  mutable e_final_cert : Types.cert option;
+  mutable e_notar_shares : shareset option; (* allocated on first share *)
+  mutable e_final_shares : shareset option;
+  mutable e_valid : bool;
+  mutable e_notarized : bool;
+  mutable e_finalized : bool;
 }
 
 (* A way to finish round k: either a notarized block, or a valid
@@ -50,214 +75,362 @@ type finalization_step =
   | Final_cert of Block.t * Types.cert
   | Final_combinable of Block.t * Icc_crypto.Multisig.share list
 
+(* One round's state.  [s_round = -1] marks a free slot.  [s_blocks] lists
+   the entries holding blocks in admission order, newest first — exactly
+   the enumeration order the old per-round key lists had, which the
+   classification views, completion scan and resync retransmitter all
+   inherit (so refactoring cannot reorder any observable list). *)
+type slot = {
+  mutable s_round : int;
+  mutable s_entries : entry list; (* newest-created first *)
+  mutable s_blocks : entry list; (* block admission order, newest first *)
+  mutable s_beacon : beacon_entry option array; (* by signer; [||] until used *)
+  mutable s_beacon_list : beacon_entry list; (* admission order, newest first *)
+  mutable s_epoch : int;
+  mutable s_valid_cache : (int * Block.t list) option;
+  mutable s_notarized_cache : (int * Block.t list) option;
+  mutable s_completion_cache : (int * completion option) option;
+  mutable s_fin_cache : (int * finalization_step option) option;
+}
+
 type t = {
   system : Icc_crypto.Keygen.system;
   payload_valid : Block.t -> bool;
-  blocks : (key, Block.t) Hashtbl.t;
-  by_round : (Types.round, key list ref) Hashtbl.t;
-  children : (Icc_crypto.Sha256.t, key list ref) Hashtbl.t;
-  authentic : (key, Icc_crypto.Schnorr.signature) Hashtbl.t;
-  notar_shares : (key, Icc_crypto.Multisig.share counted) Hashtbl.t;
-  notar_certs : (key, Types.cert) Hashtbl.t;
-  final_shares : (key, Icc_crypto.Multisig.share counted) Hashtbl.t;
-  final_certs : (key, Types.cert) Hashtbl.t;
-  beacon_shares : (Types.round, beacon_entry list ref) Hashtbl.t;
-  valid : (key, unit) Hashtbl.t;
-  notarized : (key, unit) Hashtbl.t;
-  finalized : (key, unit) Hashtbl.t;
+  mutable slots : slot array; (* the ring; length is the capacity *)
   mutable max_round : Types.round;
   mutable pruned_below : Types.round;
-  (* per-round mutation epochs and epoch-stamped query caches *)
-  epochs : (Types.round, int) Hashtbl.t;
-  valid_cache : (Types.round, int * Block.t list) Hashtbl.t;
-  notarized_cache : (Types.round, int * Block.t list) Hashtbl.t;
-  completion_cache : (Types.round, int * completion option) Hashtbl.t;
-  fin_cache : (Types.round, int * finalization_step option) Hashtbl.t;
 }
 
 let caching = ref true
 let set_caching on = caching := on
 let caching_enabled () = !caching
 
+let fresh_slot () =
+  {
+    s_round = -1;
+    s_entries = [];
+    s_blocks = [];
+    s_beacon = [||];
+    s_beacon_list = [];
+    s_epoch = 0;
+    s_valid_cache = None;
+    s_notarized_cache = None;
+    s_completion_cache = None;
+    s_fin_cache = None;
+  }
+
+let initial_capacity = 16
+
 let create ?(payload_valid = fun _ -> true) system =
   {
     system;
     payload_valid;
-    blocks = Hashtbl.create 64;
-    by_round = Hashtbl.create 64;
-    children = Hashtbl.create 64;
-    authentic = Hashtbl.create 64;
-    notar_shares = Hashtbl.create 64;
-    notar_certs = Hashtbl.create 64;
-    final_shares = Hashtbl.create 64;
-    final_certs = Hashtbl.create 64;
-    beacon_shares = Hashtbl.create 64;
-    valid = Hashtbl.create 64;
-    notarized = Hashtbl.create 64;
-    finalized = Hashtbl.create 64;
+    slots = Array.init initial_capacity (fun _ -> fresh_slot ());
     max_round = 0;
     pruned_below = 0;
-    epochs = Hashtbl.create 64;
-    valid_cache = Hashtbl.create 64;
-    notarized_cache = Hashtbl.create 64;
-    completion_cache = Hashtbl.create 64;
-    fin_cache = Hashtbl.create 64;
   }
 
-let multi_add tbl k v =
-  match Hashtbl.find_opt tbl k with
-  | Some l -> l := v :: !l
-  | None -> Hashtbl.add tbl k (ref [ v ])
+(* --- ring management ---------------------------------------------------- *)
 
-let multi_get tbl k =
-  match Hashtbl.find_opt tbl k with Some l -> !l | None -> []
+let clear_slot s =
+  s.s_round <- -1;
+  s.s_entries <- [];
+  s.s_blocks <- [];
+  if Array.length s.s_beacon > 0 then
+    Array.fill s.s_beacon 0 (Array.length s.s_beacon) None;
+  s.s_beacon_list <- [];
+  s.s_epoch <- 0;
+  s.s_valid_cache <- None;
+  s.s_notarized_cache <- None;
+  s.s_completion_cache <- None;
+  s.s_fin_cache <- None
 
-let counted_add tbl k v =
-  match Hashtbl.find_opt tbl k with
-  | Some c ->
-      c.items <- v :: c.items;
-      c.count <- c.count + 1
-  | None -> Hashtbl.add tbl k { items = [ v ]; count = 1 }
-
-let counted_get tbl k =
-  match Hashtbl.find_opt tbl k with Some c -> c.items | None -> []
-
-let counted_count tbl k =
-  match Hashtbl.find_opt tbl k with Some c -> c.count | None -> 0
-
-(* --- epochs and caches -------------------------------------------------- *)
-
-let epoch t round =
-  match Hashtbl.find_opt t.epochs round with Some e -> e | None -> 0
-
-(* Bump a round's epoch, invalidating its cached views. *)
-let touch t round = Hashtbl.replace t.epochs round (epoch t round + 1)
-
-(* Serve [compute round] through an epoch-stamped per-round cache.  The
-   recompute path is the very same closure the uncached path runs, and a
-   hit is only served while the round's state is untouched, so cached and
-   uncached answers are always identical. *)
-let cached t cache round compute =
-  if not !caching then compute round
+let find_slot t round =
+  if round < 0 then None
   else
-    let ep = epoch t round in
-    match Hashtbl.find_opt cache round with
-    | Some (e, v) when e = ep -> v
-    | Some _ | None ->
-        let v = compute round in
-        Hashtbl.replace cache round (ep, v);
-        v
+    let s = t.slots.(round mod Array.length t.slots) in
+    if s.s_round = round then Some s else None
+
+(* Double the ring until every live round lands on a distinct index.  Live
+   rounds are distinct integers, so any capacity larger than their span
+   works; the loop terminates after O(log span) attempts. *)
+let grow t =
+  let live =
+    Array.to_list t.slots |> List.filter (fun s -> s.s_round >= 0)
+  in
+  let rec build cap =
+    let arr = Array.init cap (fun _ -> fresh_slot ()) in
+    let ok =
+      List.for_all
+        (fun s ->
+          let i = s.s_round mod cap in
+          if arr.(i).s_round >= 0 then false
+          else begin
+            arr.(i) <- s;
+            true
+          end)
+        live
+    in
+    if ok then arr else build (2 * cap)
+  in
+  t.slots <- build (2 * Array.length t.slots)
+
+(* The slot for [round], claiming (or recycling a pruned) slot on demand.
+   Callers guarantee [round >= t.pruned_below >= 0]. *)
+let rec claim t round =
+  let s = t.slots.(round mod Array.length t.slots) in
+  if s.s_round = round then s
+  else if s.s_round < t.pruned_below then begin
+    (* free (-1) or holds only discardable pruned state *)
+    clear_slot s;
+    s.s_round <- round;
+    s
+  end
+  else begin
+    grow t;
+    claim t round
+  end
+
+let bump s = s.s_epoch <- s.s_epoch + 1
+
+(* --- per-slot lookups --------------------------------------------------- *)
+
+let find_entry s h =
+  List.find_opt (fun e -> Icc_crypto.Sha256.equal e.e_hash h) s.s_entries
+
+let entry_of t (round, h) =
+  match find_slot t round with None -> None | Some s -> find_entry s h
+
+let find_or_create_entry s h =
+  match find_entry s h with
+  | Some e -> e
+  | None ->
+      let e =
+        {
+          e_hash = h;
+          e_block = None;
+          e_auth = None;
+          e_notar_cert = None;
+          e_final_cert = None;
+          e_notar_shares = None;
+          e_final_shares = None;
+          e_valid = false;
+          e_notarized = false;
+          e_finalized = false;
+        }
+      in
+      s.s_entries <- e :: s.s_entries;
+      e
+
+let new_shareset n = { ss_items = []; ss_count = 0; ss_seen = Bytes.make ((n lsr 3) + 1) '\000' }
+
+let ss_mem ss signer =
+  Char.code (Bytes.get ss.ss_seen (signer lsr 3)) land (1 lsl (signer land 7))
+  <> 0
+
+let ss_add ss signer share =
+  Bytes.set ss.ss_seen (signer lsr 3)
+    (Char.chr
+       (Char.code (Bytes.get ss.ss_seen (signer lsr 3))
+       lor (1 lsl (signer land 7))));
+  ss.ss_items <- share :: ss.ss_items;
+  ss.ss_count <- ss.ss_count + 1
 
 (* --- classification queries ------------------------------------------- *)
 
-let find_block t key = Hashtbl.find_opt t.blocks key
-let is_authentic t key = Hashtbl.mem t.authentic key
-let authenticator t key = Hashtbl.find_opt t.authentic key
-let is_valid t key = Hashtbl.mem t.valid key
+let find_block t key =
+  match entry_of t key with None -> None | Some e -> e.e_block
+
+let is_authentic t key =
+  match entry_of t key with None -> false | Some e -> Option.is_some e.e_auth
+
+let authenticator t key =
+  match entry_of t key with None -> None | Some e -> e.e_auth
+
+let is_valid t key =
+  match entry_of t key with None -> false | Some e -> e.e_valid
 
 let is_notarized t ((round, h) as key) =
   (round = 0 && Icc_crypto.Sha256.equal h Block.root_hash)
-  || Hashtbl.mem t.notarized key
+  || match entry_of t key with None -> false | Some e -> e.e_notarized
 
 let is_finalized t ((round, h) as key) =
   (round = 0 && Icc_crypto.Sha256.equal h Block.root_hash)
-  || Hashtbl.mem t.finalized key
+  || match entry_of t key with None -> false | Some e -> e.e_finalized
 
 let blocks_of_round t round =
-  List.filter_map (find_block t) (multi_get t.by_round round)
+  match find_slot t round with
+  | None -> []
+  | Some s -> List.filter_map (fun e -> e.e_block) s.s_blocks
+
+(* Epoch-stamped per-slot caches: the recompute path is the very same
+   closure the uncached path runs, and a hit is only served while the
+   slot's state is untouched, so cached and uncached answers are always
+   identical. *)
+
+let compute_valid s =
+  List.filter_map
+    (fun e -> if e.e_valid then e.e_block else None)
+    s.s_blocks
 
 let valid_blocks t round =
-  cached t t.valid_cache round (fun round ->
-      List.filter_map
-        (fun key -> if is_valid t key then find_block t key else None)
-        (multi_get t.by_round round))
+  match find_slot t round with
+  | None -> []
+  | Some s ->
+      if not !caching then compute_valid s
+      else (
+        match s.s_valid_cache with
+        | Some (ep, v) when ep = s.s_epoch -> v
+        | Some _ | None ->
+            let v = compute_valid s in
+            s.s_valid_cache <- Some (s.s_epoch, v);
+            v)
+
+let compute_notarized s =
+  List.filter_map
+    (fun e -> if e.e_notarized then e.e_block else None)
+    s.s_blocks
 
 let notarized_blocks t round =
-  cached t t.notarized_cache round (fun round ->
-      List.filter_map
-        (fun key -> if is_notarized t key then find_block t key else None)
-        (multi_get t.by_round round))
+  match find_slot t round with
+  | None -> []
+  | Some s ->
+      if not !caching then compute_notarized s
+      else (
+        match s.s_notarized_cache with
+        | Some (ep, v) when ep = s.s_epoch -> v
+        | Some _ | None ->
+            let v = compute_notarized s in
+            s.s_notarized_cache <- Some (s.s_epoch, v);
+            v)
 
-let notarization_cert t key = Hashtbl.find_opt t.notar_certs key
-let finalization_cert t key = Hashtbl.find_opt t.final_certs key
-let notar_share_count t key = counted_count t.notar_shares key
-let notar_shares t key = counted_get t.notar_shares key
-let final_share_count t key = counted_count t.final_shares key
-let final_shares t key = counted_get t.final_shares key
+let notarization_cert t key =
+  match entry_of t key with None -> None | Some e -> e.e_notar_cert
+
+let finalization_cert t key =
+  match entry_of t key with None -> None | Some e -> e.e_final_cert
+
+let notar_share_count t key =
+  match entry_of t key with
+  | None -> 0
+  | Some e -> ( match e.e_notar_shares with None -> 0 | Some ss -> ss.ss_count)
+
+let notar_shares t key =
+  match entry_of t key with
+  | None -> []
+  | Some e -> (
+      match e.e_notar_shares with None -> [] | Some ss -> ss.ss_items)
+
+let final_share_count t key =
+  match entry_of t key with
+  | None -> 0
+  | Some e -> ( match e.e_final_shares with None -> 0 | Some ss -> ss.ss_count)
+
+let final_shares t key =
+  match entry_of t key with
+  | None -> []
+  | Some e -> (
+      match e.e_final_shares with None -> [] | Some ss -> ss.ss_items)
 
 let beacon_shares t round =
-  List.map (fun e -> e.be_share) (multi_get t.beacon_shares round)
+  match find_slot t round with
+  | None -> []
+  | Some s -> List.map (fun e -> e.be_share) s.s_beacon_list
 
 let max_round t = t.max_round
 
 (* --- promotion cascade ------------------------------------------------ *)
 
-let rec promote t ((round, _) as key) =
-  match find_block t key with
+let rec promote_entry t ~round s e =
+  match e.e_block with
   | None -> ()
   | Some b ->
       if
-        (not (is_valid t key))
-        && is_authentic t key
+        (not e.e_valid)
+        && Option.is_some e.e_auth
         && is_notarized t (round - 1, b.Block.parent_hash)
         && t.payload_valid b
       then begin
-        Hashtbl.replace t.valid key ();
-        touch t round
+        e.e_valid <- true;
+        bump s
       end;
-      if is_valid t key then begin
+      if e.e_valid then begin
         let newly_notarized =
-          (not (is_notarized t key)) && Hashtbl.mem t.notar_certs key
+          (not e.e_notarized) && Option.is_some e.e_notar_cert
         in
         if newly_notarized then begin
-          Hashtbl.replace t.notarized key ();
-          touch t round
+          e.e_notarized <- true;
+          bump s
         end;
-        if (not (is_finalized t key)) && Hashtbl.mem t.final_certs key then begin
-          Hashtbl.replace t.finalized key ();
-          touch t round
+        if (not e.e_finalized) && Option.is_some e.e_final_cert then begin
+          e.e_finalized <- true;
+          bump s
         end;
-        if newly_notarized then
-          List.iter (promote t)
-            (multi_get t.children (Block.hash b))
+        if newly_notarized then begin
+          (* Children all live in round + 1 (validity pins a child to the
+             round right above its parent), in that slot's block order. *)
+          let h = Block.hash b in
+          match find_slot t (round + 1) with
+          | None -> ()
+          | Some s' ->
+              List.iter
+                (fun ce ->
+                  match ce.e_block with
+                  | Some cb when Icc_crypto.Sha256.equal cb.Block.parent_hash h
+                    ->
+                      promote_entry t ~round:(round + 1) s' ce
+                  | _ -> ())
+                s'.s_blocks
+        end
       end
 
 (* --- admission -------------------------------------------------------- *)
 (* Each [add_*] returns true when the pool gained information.  Admissions
    below the prune horizon are rejected: those rounds are finalized and
    discarded, and re-admitting them would leak storage forever (the GC
-   never revisits a pruned round). *)
+   never revisits a pruned round).  Nothing is allocated for a message
+   that fails verification. *)
 
 let add_block t (b : Block.t) =
-  let key = (b.Block.round, Block.hash b) in
-  if b.Block.round < t.pruned_below || Hashtbl.mem t.blocks key then false
-  else begin
-    Hashtbl.replace t.blocks key b;
-    multi_add t.by_round b.Block.round key;
-    multi_add t.children b.Block.parent_hash key;
-    if b.Block.round > t.max_round then t.max_round <- b.Block.round;
-    touch t b.Block.round;
-    promote t key;
-    true
-  end
+  let round = b.Block.round in
+  if round < t.pruned_below || round < 0 then false
+  else
+    let s = claim t round in
+    let h = Block.hash b in
+    let e = find_or_create_entry s h in
+    if Option.is_some e.e_block then false
+    else begin
+      e.e_block <- Some b;
+      s.s_blocks <- e :: s.s_blocks;
+      if round > t.max_round then t.max_round <- round;
+      bump s;
+      promote_entry t ~round s e;
+      true
+    end
 
 let add_authenticator t ~round ~proposer ~block_hash signature =
-  let key = (round, block_hash) in
-  if round < t.pruned_below || Hashtbl.mem t.authentic key then false
-  else if
-    proposer >= 1
-    && proposer <= t.system.Icc_crypto.Keygen.n
-    && Icc_crypto.Schnorr.verify
-         t.system.Icc_crypto.Keygen.auth_pub.(proposer - 1)
-         (Types.authenticator_text ~round ~proposer ~block_hash)
-         signature
-  then begin
-    Hashtbl.replace t.authentic key signature;
-    touch t round;
-    promote t key;
-    true
-  end
-  else false
+  if round < t.pruned_below || round < 0 then false
+  else
+    let existing = entry_of t (round, block_hash) in
+    match existing with
+    | Some e when Option.is_some e.e_auth -> false
+    | _ ->
+        if
+          proposer >= 1
+          && proposer <= t.system.Icc_crypto.Keygen.n
+          && Icc_crypto.Schnorr.verify
+               t.system.Icc_crypto.Keygen.auth_pub.(proposer - 1)
+               (Types.authenticator_text ~round ~proposer ~block_hash)
+               signature
+        then begin
+          let s = claim t round in
+          let e = find_or_create_entry s block_hash in
+          e.e_auth <- Some signature;
+          bump s;
+          promote_entry t ~round s e;
+          true
+        end
+        else false
 
 let verify_cert t ~text (c : Types.cert) =
   Icc_crypto.Multisig.verify
@@ -275,62 +448,115 @@ let verify_cert t ~text (c : Types.cert) =
     c.Types.c_multisig
 
 let add_notarization t (c : Types.cert) =
-  let key = (c.Types.c_round, c.Types.c_block_hash) in
-  if c.Types.c_round < t.pruned_below || Hashtbl.mem t.notar_certs key then
-    false
-  else if verify_cert t ~text:`Notarization c then begin
-    Hashtbl.replace t.notar_certs key c;
-    touch t c.Types.c_round;
-    promote t key;
-    true
-  end
-  else false
+  let round = c.Types.c_round in
+  if round < t.pruned_below || round < 0 then false
+  else
+    match entry_of t (round, c.Types.c_block_hash) with
+    | Some e when Option.is_some e.e_notar_cert -> false
+    | _ ->
+        if verify_cert t ~text:`Notarization c then begin
+          let s = claim t round in
+          let e = find_or_create_entry s c.Types.c_block_hash in
+          e.e_notar_cert <- Some c;
+          bump s;
+          promote_entry t ~round s e;
+          true
+        end
+        else false
 
 let add_finalization t (c : Types.cert) =
-  let key = (c.Types.c_round, c.Types.c_block_hash) in
-  if c.Types.c_round < t.pruned_below || Hashtbl.mem t.final_certs key then
-    false
-  else if verify_cert t ~text:`Finalization c then begin
-    Hashtbl.replace t.final_certs key c;
-    touch t c.Types.c_round;
-    promote t key;
-    true
-  end
-  else false
+  let round = c.Types.c_round in
+  if round < t.pruned_below || round < 0 then false
+  else
+    match entry_of t (round, c.Types.c_block_hash) with
+    | Some e when Option.is_some e.e_final_cert -> false
+    | _ ->
+        if verify_cert t ~text:`Finalization c then begin
+          let s = claim t round in
+          let e = find_or_create_entry s c.Types.c_block_hash in
+          e.e_final_cert <- Some c;
+          bump s;
+          promote_entry t ~round s e;
+          true
+        end
+        else false
 
 let add_share t ~kind (s : Types.share_msg) =
-  let key = (s.Types.s_round, s.Types.s_block_hash) in
-  let table, params, text =
+  let round = s.Types.s_round in
+  let params, text =
     match kind with
     | `Notarization ->
-        ( t.notar_shares,
-          t.system.Icc_crypto.Keygen.notary,
-          Types.notarization_text ~round:s.Types.s_round
-            ~proposer:s.Types.s_proposer ~block_hash:s.Types.s_block_hash )
+        ( t.system.Icc_crypto.Keygen.notary,
+          Types.notarization_text ~round ~proposer:s.Types.s_proposer
+            ~block_hash:s.Types.s_block_hash )
     | `Finalization ->
-        ( t.final_shares,
-          t.system.Icc_crypto.Keygen.final,
-          Types.finalization_text ~round:s.Types.s_round
-            ~proposer:s.Types.s_proposer ~block_hash:s.Types.s_block_hash )
+        ( t.system.Icc_crypto.Keygen.final,
+          Types.finalization_text ~round ~proposer:s.Types.s_proposer
+            ~block_hash:s.Types.s_block_hash )
   in
   let share = s.Types.s_share in
+  let signer = share.Icc_crypto.Multisig.signer in
+  let sharesets e =
+    match kind with
+    | `Notarization -> e.e_notar_shares
+    | `Finalization -> e.e_final_shares
+  in
   let already =
-    s.Types.s_round < t.pruned_below
-    || List.exists
-         (fun (sh : Icc_crypto.Multisig.share) ->
-           sh.Icc_crypto.Multisig.signer = share.Icc_crypto.Multisig.signer)
-         (counted_get table key)
+    round < t.pruned_below || round < 0
+    ||
+    match entry_of t (round, s.Types.s_block_hash) with
+    | None -> false
+    | Some e -> (
+        match sharesets e with
+        | None -> false
+        | Some ss ->
+            signer >= 1
+            && signer <= t.system.Icc_crypto.Keygen.n
+            && ss_mem ss signer)
   in
   if already then false
   else if Icc_crypto.Multisig.verify_share params text share then begin
-    counted_add table key share;
-    touch t s.Types.s_round;
+    let slot = claim t round in
+    let e = find_or_create_entry slot s.Types.s_block_hash in
+    let ss =
+      match sharesets e with
+      | Some ss -> ss
+      | None ->
+          let ss = new_shareset t.system.Icc_crypto.Keygen.n in
+          (match kind with
+          | `Notarization -> e.e_notar_shares <- Some ss
+          | `Finalization -> e.e_final_shares <- Some ss);
+          ss
+    in
+    ss_add ss signer share;
+    bump slot;
     true
   end
   else false
 
 let add_notarization_share t s = add_share t ~kind:`Notarization s
 let add_finalization_share t s = add_share t ~kind:`Finalization s
+
+(* Beacon-share storage: a signer-indexed array answers the slot-discipline
+   lookup in O(1) for in-range signers; out-of-range signers (possible only
+   on the unverified path) fall back to a scan of the admission list. *)
+
+let beacon_lookup t s signer =
+  let n = t.system.Icc_crypto.Keygen.n in
+  if signer >= 1 && signer <= n then
+    if Array.length s.s_beacon = 0 then None else s.s_beacon.(signer)
+  else
+    List.find_opt
+      (fun e -> e.be_share.Icc_crypto.Threshold_vuf.signer = signer)
+      s.s_beacon_list
+
+let beacon_store t s signer entry =
+  let n = t.system.Icc_crypto.Keygen.n in
+  if signer >= 1 && signer <= n then begin
+    if Array.length s.s_beacon = 0 then s.s_beacon <- Array.make (n + 1) None;
+    s.s_beacon.(signer) <- Some entry
+  end;
+  s.s_beacon_list <- entry :: s.s_beacon_list
 
 (* Beacon shares become verifiable only once the previous beacon value is
    known, so the caller passes [?verify] when it has one.  The signer slot
@@ -347,14 +573,13 @@ let add_finalization_share t s = add_share t ~kind:`Finalization s
      exists, freeing the slot for a genuine retransmission. *)
 let add_beacon_share t ~round ?verify
     (share : Icc_crypto.Threshold_vuf.signature_share) =
-  if round < t.pruned_below then false
+  if round < t.pruned_below || round < 0 then false
   else
+    let signer = share.Icc_crypto.Threshold_vuf.signer in
     let existing =
-      List.find_opt
-        (fun e ->
-          e.be_share.Icc_crypto.Threshold_vuf.signer
-          = share.Icc_crypto.Threshold_vuf.signer)
-        (multi_get t.beacon_shares round)
+      match find_slot t round with
+      | None -> None
+      | Some s -> beacon_lookup t s signer
     in
     match (existing, verify) with
     | Some e, _ when e.be_verified -> false
@@ -373,18 +598,21 @@ let add_beacon_share t ~round ?verify
     | Some _, None -> false
     | None, Some verify ->
         if verify share then begin
-          multi_add t.beacon_shares round { be_share = share; be_verified = true };
+          let s = claim t round in
+          beacon_store t s signer { be_share = share; be_verified = true };
           true
         end
         else false
     | None, None ->
-        multi_add t.beacon_shares round { be_share = share; be_verified = false };
+        let s = claim t round in
+        beacon_store t s signer { be_share = share; be_verified = false };
         true
 
 let verified_beacon_shares t ~round ~verify =
-  match Hashtbl.find_opt t.beacon_shares round with
+  match find_slot t round with
   | None -> []
-  | Some l ->
+  | Some s ->
+      let n = t.system.Icc_crypto.Keygen.n in
       let kept =
         List.filter
           (fun e ->
@@ -394,35 +622,55 @@ let verified_beacon_shares t ~round ~verify =
               e.be_verified <- true;
               true
             end
-            else false)
-          !l
+            else begin
+              (* evicted: free the signer slot for a genuine retransmission *)
+              let signer = e.be_share.Icc_crypto.Threshold_vuf.signer in
+              if signer >= 1 && signer <= n && Array.length s.s_beacon > 0 then
+                s.s_beacon.(signer) <- None;
+              false
+            end)
+          s.s_beacon_list
       in
-      l := kept;
+      s.s_beacon_list <- kept;
       List.map (fun e -> e.be_share) kept
 
 (* --- garbage collection ------------------------------------------------ *)
 
-let stored_blocks t = Hashtbl.length t.blocks
+let fold_live t f acc =
+  Array.fold_left (fun acc s -> if s.s_round >= 0 then f acc s else acc) acc t.slots
+
+let stored_blocks t =
+  fold_live t (fun acc s -> acc + List.length s.s_blocks) 0
 
 let table_sizes t =
+  let live = fold_live t (fun acc _ -> acc + 1) 0 in
+  let entries = fold_live t (fun acc s -> acc + List.length s.s_entries) 0 in
+  let count f = fold_live t (fun acc s -> acc + f s) 0 in
+  let count_entries f =
+    count (fun s ->
+        List.fold_left (fun acc e -> if f e then acc + 1 else acc) 0 s.s_entries)
+  in
+  let sum_shares which =
+    count (fun s ->
+        List.fold_left
+          (fun acc e ->
+            match which e with None -> acc | Some ss -> acc + ss.ss_count)
+          0 s.s_entries)
+  in
   [
-    ("blocks", Hashtbl.length t.blocks);
-    ("by_round", Hashtbl.length t.by_round);
-    ("children", Hashtbl.length t.children);
-    ("authentic", Hashtbl.length t.authentic);
-    ("notar_shares", Hashtbl.length t.notar_shares);
-    ("notar_certs", Hashtbl.length t.notar_certs);
-    ("final_shares", Hashtbl.length t.final_shares);
-    ("final_certs", Hashtbl.length t.final_certs);
-    ("beacon_shares", Hashtbl.length t.beacon_shares);
-    ("valid", Hashtbl.length t.valid);
-    ("notarized", Hashtbl.length t.notarized);
-    ("finalized", Hashtbl.length t.finalized);
-    ("epochs", Hashtbl.length t.epochs);
-    ("valid_cache", Hashtbl.length t.valid_cache);
-    ("notarized_cache", Hashtbl.length t.notarized_cache);
-    ("completion_cache", Hashtbl.length t.completion_cache);
-    ("fin_cache", Hashtbl.length t.fin_cache);
+    ("ring_capacity", Array.length t.slots);
+    ("live_slots", live);
+    ("entries", entries);
+    ("blocks", stored_blocks t);
+    ("authentic", count_entries (fun e -> Option.is_some e.e_auth));
+    ("notar_shares", sum_shares (fun e -> e.e_notar_shares));
+    ("notar_certs", count_entries (fun e -> Option.is_some e.e_notar_cert));
+    ("final_shares", sum_shares (fun e -> e.e_final_shares));
+    ("final_certs", count_entries (fun e -> Option.is_some e.e_final_cert));
+    ("beacon_shares", count (fun s -> List.length s.s_beacon_list));
+    ("valid", count_entries (fun e -> e.e_valid));
+    ("notarized", count_entries (fun e -> e.e_notarized));
+    ("finalized", count_entries (fun e -> e.e_finalized));
   ]
 
 (* Discard all per-round state for rounds below [below] (paper §3.1: "the
@@ -432,57 +680,16 @@ let table_sizes t =
    notarized blocks at the current frontier, and Fig. 2 only outputs
    segments above kmax.
 
-   Every table is swept by its own keys, not via [by_round]: shares,
-   certificates and authenticators can be admitted for block hashes whose
-   block never arrived (so their keys never appear in [by_round]), and
-   beacon shares can exist for rounds holding no blocks.  Sweeping only
-   [by_round]-listed keys would leak all of those for the lifetime of the
-   run.  [pruned_below] then keeps pruned rounds from being re-admitted. *)
+   The sweep is one pass over the ring in index order — deterministic by
+   construction, with no Hashtbl iteration anywhere — and clears whole
+   slots, including entries whose block never arrived and beacon shares
+   for rounds holding no blocks.  [pruned_below] then keeps pruned rounds
+   from being re-admitted. *)
 let prune t ~below =
   if below > t.pruned_below then t.pruned_below <- below;
-  (* Hashtbl.fold enumerates in bucket order; sort_uniq by the key so each
-     sweep proceeds in one canonical order. *)
-  let doomed_rounds tbl =
-    Hashtbl.fold
-      (fun round _ acc -> if round < below then round :: acc else acc)
-      tbl []
-    |> List.sort_uniq Int.compare
-  in
-  let doomed_keys tbl =
-    Hashtbl.fold
-      (fun ((round, _) as key) _ acc ->
-        if round < below then key :: acc else acc)
-      tbl []
-    |> List.sort_uniq compare_key
-  in
-  let sweep_keys tbl = List.iter (Hashtbl.remove tbl) (doomed_keys tbl) in
-  let sweep_rounds tbl = List.iter (Hashtbl.remove tbl) (doomed_rounds tbl) in
-  (* children is keyed by parent hash: drop the entries rooted at each
-     pruned block (its children) and the entry listing it as a child (its
-     siblings — including lists keyed by a parent that never arrived). *)
-  List.iter
-    (fun ((_, h) as key) ->
-      (match Hashtbl.find_opt t.blocks key with
-      | Some b -> Hashtbl.remove t.children b.Block.parent_hash
-      | None -> ());
-      Hashtbl.remove t.children h)
-    (doomed_keys t.blocks);
-  sweep_keys t.blocks;
-  sweep_keys t.authentic;
-  sweep_keys t.notar_shares;
-  sweep_keys t.notar_certs;
-  sweep_keys t.final_shares;
-  sweep_keys t.final_certs;
-  sweep_keys t.valid;
-  sweep_keys t.notarized;
-  sweep_keys t.finalized;
-  sweep_rounds t.by_round;
-  sweep_rounds t.beacon_shares;
-  sweep_rounds t.epochs;
-  sweep_rounds t.valid_cache;
-  sweep_rounds t.notarized_cache;
-  sweep_rounds t.completion_cache;
-  sweep_rounds t.fin_cache
+  Array.iter
+    (fun s -> if s.s_round >= 0 && s.s_round < below then clear_slot s)
+    t.slots
 
 (* --- resync retransmission --------------------------------------------- *)
 
@@ -504,15 +711,14 @@ let beacon_share_msgs t ~round =
    resent only where no certificate subsumes them, and only for blocks we
    hold (the share text needs the proposer, which only the block names). *)
 let retransmit_set t ~round =
-  let keys = multi_get t.by_round round in
+  let blocks = match find_slot t round with None -> [] | Some s -> s.s_blocks in
   let proposals =
     List.filteri
       (fun i _ -> i < 2)
       (List.filter_map
-         (fun key ->
-           match (find_block t key, authenticator t key) with
+         (fun e ->
+           match (e.e_block, e.e_auth) with
            | Some b, Some auth ->
-               let parent = (round - 1, b.Block.parent_hash) in
                if round = 1 then
                  Some
                    (Message.Proposal
@@ -522,7 +728,7 @@ let retransmit_set t ~round =
                         p_parent_cert = None;
                       })
                else begin
-                 match Hashtbl.find_opt t.notar_certs parent with
+                 match notarization_cert t (round - 1, b.Block.parent_hash) with
                  | Some cert ->
                      Some
                        (Message.Proposal
@@ -534,36 +740,40 @@ let retransmit_set t ~round =
                  | None -> None (* cannot form a well-formed bundle yet *)
                end
            | _ -> None)
-         keys)
+         blocks)
   in
-  let certs_and_shares which_certs which_shares mk_cert mk_share =
+  let certs_and_shares which_cert which_shares mk_cert mk_share =
     List.concat_map
-      (fun ((_, h) as key) ->
-        match Hashtbl.find_opt which_certs key with
+      (fun e ->
+        match which_cert e with
         | Some cert -> [ mk_cert cert ]
         | None -> (
-            match find_block t key with
-            | None -> []
-            | Some b ->
+            match (e.e_block, which_shares e) with
+            | Some b, Some ss ->
                 List.map
                   (fun share ->
                     mk_share
                       {
                         Types.s_round = round;
                         s_proposer = b.Block.proposer;
-                        s_block_hash = h;
+                        s_block_hash = e.e_hash;
                         s_share = share;
                       })
-                  (counted_get which_shares key)))
-      keys
+                  ss.ss_items
+            | _ -> []))
+      blocks
   in
   let notar =
-    certs_and_shares t.notar_certs t.notar_shares
+    certs_and_shares
+      (fun e -> e.e_notar_cert)
+      (fun e -> e.e_notar_shares)
       (fun c -> Message.Notarization c)
       (fun s -> Message.Notarization_share s)
   in
   let final =
-    certs_and_shares t.final_certs t.final_shares
+    certs_and_shares
+      (fun e -> e.e_final_cert)
+      (fun e -> e.e_final_shares)
       (fun c -> Message.Finalization c)
       (fun s -> Message.Finalization_share s)
   in
@@ -573,55 +783,90 @@ let retransmit_set t ~round =
 
 let quorum t = t.system.Icc_crypto.Keygen.n - t.system.Icc_crypto.Keygen.t
 
-let compute_round_completion t round =
-  let keys = multi_get t.by_round round in
+let compute_round_completion t s =
   let notarized =
     List.find_map
-      (fun key ->
-        if is_notarized t key then
-          match (find_block t key, notarization_cert t key) with
+      (fun e ->
+        if e.e_notarized then
+          match (e.e_block, e.e_notar_cert) with
           | Some b, Some c -> Some (Already_notarized (b, c))
           | _ -> None
         else None)
-      keys
+      s.s_blocks
   in
   match notarized with
   | Some _ as r -> r
   | None ->
       List.find_map
-        (fun key ->
+        (fun e ->
           if
-            is_valid t key
-            && (not (is_notarized t key))
-            && notar_share_count t key >= quorum t
+            e.e_valid
+            && (not e.e_notarized)
+            && (match e.e_notar_shares with
+               | None -> false
+               | Some ss -> ss.ss_count >= quorum t)
           then
-            match find_block t key with
-            | Some b -> Some (Combinable (b, notar_shares t key))
+            match e.e_block with
+            | Some b ->
+                let shares =
+                  match e.e_notar_shares with
+                  | Some ss -> ss.ss_items
+                  | None -> []
+                in
+                Some (Combinable (b, shares))
             | None -> None
           else None)
-        keys
+        s.s_blocks
 
 let round_completion t round =
-  cached t t.completion_cache round (compute_round_completion t)
+  match find_slot t round with
+  | None -> None
+  | Some s ->
+      if not !caching then compute_round_completion t s
+      else (
+        match s.s_completion_cache with
+        | Some (ep, v) when ep = s.s_epoch -> v
+        | Some _ | None ->
+            let v = compute_round_completion t s in
+            s.s_completion_cache <- Some (s.s_epoch, v);
+            v)
 
 (* One round's contribution to the Fig. 2 scan, cacheable per round. *)
-let compute_fin_hit t round =
-  let keys = multi_get t.by_round round in
+let compute_fin_hit t s =
   List.find_map
-    (fun key ->
-      if not (is_valid t key) then None
-      else if is_finalized t key then
-        match (find_block t key, finalization_cert t key) with
+    (fun e ->
+      if not e.e_valid then None
+      else if e.e_finalized then
+        match (e.e_block, e.e_final_cert) with
         | Some b, Some c -> Some (Final_cert (b, c))
         | _ -> None
-      else if final_share_count t key >= quorum t then
-        match find_block t key with
-        | Some b -> Some (Final_combinable (b, final_shares t key))
+      else if
+        match e.e_final_shares with
+        | None -> false
+        | Some ss -> ss.ss_count >= quorum t
+      then
+        match e.e_block with
+        | Some b ->
+            let shares =
+              match e.e_final_shares with Some ss -> ss.ss_items | None -> []
+            in
+            Some (Final_combinable (b, shares))
         | None -> None
       else None)
-    keys
+    s.s_blocks
 
-let fin_hit t round = cached t t.fin_cache round (compute_fin_hit t)
+let fin_hit t round =
+  match find_slot t round with
+  | None -> None
+  | Some s ->
+      if not !caching then compute_fin_hit t s
+      else (
+        match s.s_fin_cache with
+        | Some (ep, v) when ep = s.s_epoch -> v
+        | Some _ | None ->
+            let v = compute_fin_hit t s in
+            s.s_fin_cache <- Some (s.s_epoch, v);
+            v)
 
 (* Finalization subprotocol (Fig. 2): the smallest round above [kmax] that
    can be finished, either via a finalization certificate on a valid block

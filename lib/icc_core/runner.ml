@@ -294,6 +294,10 @@ let run scenario =
     |> List.filter (fun id -> not (List.mem id nemesis_down))
   in
   let n_honest = List.length honest_ids in
+  (* O(1) honest-set membership for the per-output hot path (the list scan
+     was O(n) per committed block per party — O(n²) per round at scale). *)
+  let is_honest = Array.make (n + 1) false in
+  List.iter (fun id -> is_honest.(id) <- true) honest_ids;
   let commit_count : (Types.round * Icc_crypto.Sha256.t, int) Hashtbl.t =
     Hashtbl.create 256
   in
@@ -301,7 +305,7 @@ let run scenario =
   let cmd_latencies = ref [] in
   let stop_requested = ref false in
   let on_output ~party (b : Block.t) =
-    if List.mem party honest_ids then begin
+    if party >= 1 && party <= n && is_honest.(party) then begin
       let block_hash = Block.hash b in
       let key = (b.Block.round, block_hash) in
       let c = 1 + Option.value ~default:0 (Hashtbl.find_opt commit_count key) in

@@ -106,11 +106,14 @@ let print_waterfall r =
         (opt_delta row.r_decided row.r_entry))
     r.rounds;
   let stat name samples =
-    if samples <> [] then
+    (* sort once, query both ranks from the sorted view *)
+    if samples <> [] then begin
+      let sorted = Icc_sim.Metrics.sorted_samples samples in
       Printf.printf "%s  p50 %.4f  p99 %.4f  (n=%d)\n" name
-        (Icc_sim.Metrics.percentile 50. samples)
-        (Icc_sim.Metrics.percentile 99. samples)
+        (Icc_sim.Metrics.percentile_of_sorted 50. sorted)
+        (Icc_sim.Metrics.percentile_of_sorted 99. sorted)
         (List.length samples)
+    end
   in
   stat "entry->propose " !d_propose;
   stat "propose->notar " !d_notarize;

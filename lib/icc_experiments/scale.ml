@@ -1,0 +1,180 @@
+(* Experiment E10 — large-n scale-out (committee sizes in the hundreds).
+
+   The paper's deployment targets subnets of modest size, but the
+   protocol's O(n^2) expected message complexity (§1) only translates to a
+   usable system if the per-message processing cost at each party stays
+   flat as n grows.  This experiment drives ICC0 (direct broadcast) and
+   ICC1 (gossip) at n in {100, 250, 500, 1000} with the online invariant
+   monitor attached, and reports
+
+     - wall-clock per decided round, and
+     - messages per party per round, and msgs / (rounds * n^2)
+
+   A flat us/msg column across the sweep is the slot-ring/calendar-queue
+   refactor's claim: traffic grows quadratically by design, per-message
+   work does not.  The normalized column tracks E2's O(n^2) bound at an
+   order of magnitude larger n.
+
+   A second leg re-dumps short monitored runs to a JSONL trace and pushes
+   them through the offline [icc analyze] pipeline, checking that the
+   monitor verdict survives the round-trip.  The traced leg is capped at
+   n = 250: a fully-detailed gossip trace grows ~n^2 per round (an
+   n = 1000 ICC1 dump is tens of GB), which is exactly why the wall-clock
+   leg runs with the monitor on a private bus instead. *)
+
+type row = {
+  sc_proto : string;
+  sc_n : int;
+  sc_rounds : int;  (* rounds actually decided *)
+  sc_wall_s : float;
+  sc_wall_per_round : float;
+  sc_msgs : int;
+  sc_msgs_per_party_per_round : float;
+  sc_normalized_n2 : float;  (* msgs / (rounds * n^2) *)
+  sc_monitor_ok : bool;
+  sc_safety_ok : bool;
+}
+
+type trace_check = {
+  tc_proto : string;
+  tc_n : int;
+  tc_events : int;  (* parsed JSONL lines *)
+  tc_rounds_seen : int;  (* per-round pipeline rows recovered offline *)
+  tc_analyze_ok : bool;  (* offline monitor re-run found no fatal violation *)
+}
+
+let delta = 0.25
+
+let run_fn = function
+  | "ICC0" -> Icc_core.Runner.run
+  | "ICC1" -> fun s -> Icc_gossip.Icc1.run s
+  | other -> invalid_arg ("Scale.run_fn: " ^ other)
+
+let scenario ~n ~rounds ~monitor ~trace =
+  {
+    (Icc_core.Runner.default_scenario ~n ~seed:(911 + n)) with
+    Icc_core.Runner.duration = 3600.;
+    max_rounds = Some rounds;
+    delay = Icc_core.Runner.Fixed_delay 0.03;
+    epsilon = 0.1;
+    delta_bnd = delta;
+    monitor =
+      (if monitor then Some (Icc_sim.Monitor.default_config ~delta ()) else None);
+    trace;
+  }
+
+let run_one ~proto ~n ~rounds =
+  let sc = scenario ~n ~rounds ~monitor:true ~trace:None in
+  let t0 =
+    (Unix.gettimeofday ()
+    [@icc.allow
+      "d3-banned-fn: E10 measures host wall-clock per round — the \
+       measurement itself, never fed back into the simulation"])
+  in
+  let r = run_fn proto sc in
+  let wall =
+    (Unix.gettimeofday ()
+    [@icc.allow
+      "d3-banned-fn: host-time measurement endpoint, see t0 above"])
+    -. t0
+  in
+  let decided = max 1 r.Icc_core.Runner.rounds_decided in
+  let msgs = Icc_sim.Metrics.total_msgs r.Icc_core.Runner.metrics in
+  {
+    sc_proto = proto;
+    sc_n = n;
+    sc_rounds = decided;
+    sc_wall_s = wall;
+    sc_wall_per_round = wall /. float_of_int decided;
+    sc_msgs = msgs;
+    sc_msgs_per_party_per_round =
+      float_of_int msgs /. float_of_int (n * decided);
+    sc_normalized_n2 = float_of_int msgs /. float_of_int (decided * n * n);
+    sc_monitor_ok =
+      (match r.Icc_core.Runner.monitor with
+      | Some m -> Icc_sim.Monitor.ok m
+      | None -> false);
+    sc_safety_ok = r.Icc_core.Runner.safety_ok;
+  }
+
+(* Dump a short monitored run to JSONL, then replay it offline. *)
+let trace_roundtrip ~proto ~n ~rounds =
+  let file = Filename.temp_file "icc_scale_" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove file with Sys_error _ -> ())
+    (fun () ->
+      let oc = open_out file in
+      let tr = Icc_sim.Trace.create () in
+      Icc_sim.Trace.subscribe tr (fun ~time ev ->
+          output_string oc (Icc_sim.Trace.to_json ~time ev);
+          output_char oc '\n');
+      let sc = scenario ~n ~rounds ~monitor:true ~trace:(Some tr) in
+      let _ = run_fn proto sc in
+      close_out oc;
+      let config = Icc_sim.Monitor.default_config ~delta () in
+      let report = Analyze.analyze ~config file in
+      {
+        tc_proto = proto;
+        tc_n = n;
+        tc_events = Array.length report.Analyze.load.Icc_sim.Replay.entries;
+        tc_rounds_seen = List.length report.Analyze.rounds;
+        tc_analyze_ok =
+          Analyze.ok report
+          && report.Analyze.load.Icc_sim.Replay.errors = [];
+      })
+
+let run ?(quick = false) () =
+  let plan =
+    (* (n, wall-clock rounds): fewer rounds at the top end keep the full
+       sweep tractable — the per-round column is what the experiment
+       reports, and it stabilizes within a handful of rounds. *)
+    if quick then [ (50, 10); (100, 10) ]
+    else [ (100, 50); (250, 50); (500, 50); (1000, 10) ]
+  in
+  let rows =
+    List.concat_map
+      (fun (n, rounds) ->
+        [ run_one ~proto:"ICC0" ~n ~rounds; run_one ~proto:"ICC1" ~n ~rounds ])
+      plan
+  in
+  let trace_ns = if quick then [ 50 ] else [ 100; 250 ] in
+  let checks =
+    List.concat_map
+      (fun n ->
+        (* a detailed ICC1 dump is ~125k events per round at n = 250 —
+           3 rounds keep the temp file in the hundreds of MB *)
+        let rounds = if n > 100 then 3 else 5 in
+        [
+          trace_roundtrip ~proto:"ICC0" ~n ~rounds;
+          trace_roundtrip ~proto:"ICC1" ~n ~rounds;
+        ])
+      trace_ns
+  in
+  (rows, checks)
+
+let print (rows, checks) =
+  print_endline "== E10: large-n scale-out (monitor attached) ==";
+  Printf.printf "%-6s %6s %7s %10s %12s %12s %14s %10s %8s %8s\n" "proto" "n"
+    "rounds" "wall (s)" "s/round" "messages" "msgs/party/rd" "msgs/rn^2"
+    "monitor" "safety";
+  List.iter
+    (fun r ->
+      Printf.printf "%-6s %6d %7d %10.2f %12.4f %12d %14.1f %10.2f %8s %8s\n"
+        r.sc_proto r.sc_n r.sc_rounds r.sc_wall_s r.sc_wall_per_round r.sc_msgs
+        r.sc_msgs_per_party_per_round r.sc_normalized_n2
+        (if r.sc_monitor_ok then "ok" else "FAIL")
+        (if r.sc_safety_ok then "ok" else "FAIL"))
+    rows;
+  print_endline "-- trace round-trip through `icc analyze` (5 rounds) --";
+  Printf.printf "%-6s %6s %10s %12s %8s\n" "proto" "n" "events" "rounds-seen"
+    "analyze";
+  List.iter
+    (fun c ->
+      Printf.printf "%-6s %6d %10d %12d %8s\n" c.tc_proto c.tc_n c.tc_events
+        c.tc_rounds_seen
+        (if c.tc_analyze_ok then "ok" else "FAIL"))
+    checks;
+  print_endline
+    "  claim: messages grow O(n^2) (flat msgs/rn^2 column) while per-round\n\
+    \  wall-clock grows no faster than the traffic — per-message processing\n\
+    \  stays amortized O(1) through pool, engine, metrics and codec."

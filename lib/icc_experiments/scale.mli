@@ -1,0 +1,30 @@
+(** Experiment E10 — large-n scale-out: ICC0/ICC1 at n in {100..1000}
+    with the invariant monitor attached; per-round wall-clock and
+    messages/party against the O(n^2) bound, plus JSONL-trace round-trips
+    through the offline [icc analyze] pipeline.  See EXPERIMENTS.md §E10. *)
+
+type row = {
+  sc_proto : string;
+  sc_n : int;
+  sc_rounds : int;
+  sc_wall_s : float;
+  sc_wall_per_round : float;
+  sc_msgs : int;
+  sc_msgs_per_party_per_round : float;
+  sc_normalized_n2 : float;
+  sc_monitor_ok : bool;
+  sc_safety_ok : bool;
+}
+
+type trace_check = {
+  tc_proto : string;
+  tc_n : int;
+  tc_events : int;
+  tc_rounds_seen : int;
+  tc_analyze_ok : bool;
+}
+
+val run_one : proto:string -> n:int -> rounds:int -> row
+val trace_roundtrip : proto:string -> n:int -> rounds:int -> trace_check
+val run : ?quick:bool -> unit -> row list * trace_check list
+val print : row list * trace_check list -> unit

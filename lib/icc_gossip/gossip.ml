@@ -9,8 +9,9 @@
      - small artifacts (signature shares, certificates, beacon shares) are
        flooded: pushed to all peers, re-pushed on first receipt.
 
-   The known/requested sets are per party; the tables here are indexed by
-   party id, so the state remains logically distributed. *)
+   The known/requested sets are per party: one table per party id, so the
+   state remains logically distributed and the per-hop dedup check hashes
+   a short artifact id instead of allocating a (party, id) tuple key. *)
 
 type artifact_id = string
 
@@ -31,9 +32,9 @@ type t = {
   trace : Icc_sim.Trace.t;
   net : wire Icc_sim.Network.t;
   peers : int list array; (* 1-based; peers.(0) unused *)
-  known : (int * artifact_id, unit) Hashtbl.t;
-  requested : (int * artifact_id, unit) Hashtbl.t;
-  store : (int * artifact_id, Icc_core.Message.t) Hashtbl.t;
+  known : (artifact_id, unit) Hashtbl.t array; (* per party; index 0 unused *)
+  requested : (artifact_id, unit) Hashtbl.t array;
+  store : (artifact_id, Icc_core.Message.t) Hashtbl.t array;
   is_active : int -> bool;
   deliver_up : dst:int -> Icc_core.Message.t -> unit;
 }
@@ -109,8 +110,8 @@ let send t ~src ~dst w =
   Icc_sim.Network.unicast t.net ~src ~dst ~size:(wire_size t w)
     ~kind:(wire_kind w) w
 
-let mark_known t party id = Hashtbl.replace t.known (party, id) ()
-let knows t party id = Hashtbl.mem t.known (party, id)
+let mark_known t party id = Hashtbl.replace t.known.(party) id ()
+let knows t party id = Hashtbl.mem t.known.(party) id
 
 (* Gossip-layer events carry the artifact id; they are detail-level, so an
    unobserved run never reaches the emit. *)
@@ -123,7 +124,7 @@ let emit_detail t ev =
 let acquire t ~party ~from_peer id msg =
   if not (knows t party id) then begin
     mark_known t party id;
-    Hashtbl.replace t.store (party, id) msg;
+    Hashtbl.replace t.store.(party) id msg;
     emit_detail t (fun () ->
         Icc_sim.Trace.Gossip_acquire { party; peer = from_peer; artifact = id });
     t.deliver_up ~dst:party msg;
@@ -140,15 +141,15 @@ let on_wire t ~dst ~src w =
   if t.is_active dst then
     match w with
     | Advert { id } ->
-        if (not (knows t dst id)) && not (Hashtbl.mem t.requested (dst, id))
+        if (not (knows t dst id)) && not (Hashtbl.mem t.requested.(dst) id)
         then begin
-          Hashtbl.replace t.requested (dst, id) ();
+          Hashtbl.replace t.requested.(dst) id ();
           emit_detail t (fun () ->
               Icc_sim.Trace.Gossip_request { party = dst; peer = src; artifact = id });
           send t ~src:dst ~dst:src (Request { id })
         end
     | Request { id } -> (
-        match Hashtbl.find_opt t.store (dst, id) with
+        match Hashtbl.find_opt t.store.(dst) id with
         | Some msg -> send t ~src:dst ~dst:src (Deliver { id; msg })
         | None -> ())
     | Deliver { id; msg } | Push { id; msg } ->
@@ -172,9 +173,9 @@ let create ~engine ~trace ~n ~rng ~delay_model ?(async_until = 0.) ?fault
       trace;
       net;
       peers = build_peer_graph rng ~n ~fanout;
-      known = Hashtbl.create 1024;
-      requested = Hashtbl.create 1024;
-      store = Hashtbl.create 1024;
+      known = Array.init (n + 1) (fun _ -> Hashtbl.create 64);
+      requested = Array.init (n + 1) (fun _ -> Hashtbl.create 64);
+      store = Array.init (n + 1) (fun _ -> Hashtbl.create 64);
       is_active;
       deliver_up;
     }
@@ -189,7 +190,7 @@ let publish t ~src msg =
   let id = artifact_id_of msg in
   if not (knows t src id) then begin
     mark_known t src id;
-    Hashtbl.replace t.store (src, id) msg;
+    Hashtbl.replace t.store.(src) id msg;
     emit_detail t (fun () ->
         Icc_sim.Trace.Gossip_publish { party = src; artifact = id });
     t.deliver_up ~dst:src msg;
@@ -212,7 +213,7 @@ let inject t ~src ~dst msg =
   else begin
     (* sender remembers its own artifact *)
     mark_known t src id;
-    Hashtbl.replace t.store (src, id) msg;
+    Hashtbl.replace t.store.(src) id msg;
     send t ~src ~dst (Deliver { id; msg })
   end
 

@@ -1,32 +1,128 @@
 (* Discrete-event simulation engine: a clock plus an ordered queue of
    thunks.  Handlers run strictly in (time, insertion) order; a handler may
-   schedule further events at or after the current time. *)
+   schedule further events at or after the current time.
+
+   Large-n scale-out: the queue is a calendar of *time buckets* — one heap
+   entry per distinct timestamp, holding a FIFO of (seq, handler) pairs —
+   instead of one heap entry per event.  A broadcast burst of n² same-time
+   deliveries then costs one O(log B) heap operation plus n² O(1) appends
+   (B = number of distinct pending times), and dispatch pops the heap only
+   once per timestamp.  Sequence numbers are assigned globally at insertion
+   and appended in order, so within a bucket the FIFO *is* seq order and
+   the dispatch order (time, then insertion seq) is byte-identical to the
+   one-entry-per-event queue.  Timestamps are bucketed by their IEEE-754
+   bit pattern (injective on the engine's non-negative clock once -0 is
+   normalized), which avoids float equality on the hot path. *)
+
+type bucket = {
+  mutable b_time : float;
+  mutable b_key : int; (* bits_of_float b_time, the calendar key *)
+  mutable b_seqs : int array; (* insertion seqs, parallel to b_fns *)
+  mutable b_fns : (unit -> unit) array;
+  mutable b_head : int; (* next index to dispatch *)
+  mutable b_len : int; (* number of filled entries *)
+}
 
 type t = {
   mutable now : float;
-  queue : (unit -> unit) Heap.t;
+  calendar : bucket Heap.t; (* keyed (b_time, seq of first event) *)
+  by_time : (int, bucket) Hashtbl.t; (* b_key -> live bucket *)
+  mutable free : bucket list; (* retired buckets kept for reuse *)
+  mutable free_len : int;
   mutable seq : int;
+  mutable pending : int;
   mutable processed : int;
   mutable observer : (time:float -> seq:int -> unit) option;
       (* instrumentation hook, called before each dispatched handler *)
 }
 
+let no_op () = ()
+
 let create () =
-  { now = 0.; queue = Heap.create (); seq = 0; processed = 0; observer = None }
+  {
+    now = 0.;
+    calendar = Heap.create ();
+    by_time = Hashtbl.create 64;
+    free = [];
+    free_len = 0;
+    seq = 0;
+    processed = 0;
+    pending = 0;
+    observer = None;
+  }
 
 let set_observer t f = t.observer <- Some f
 
 let now t = t.now
-let pending t = Heap.length t.queue
+let pending t = t.pending
 let processed t = t.processed
+
+let fresh_bucket () =
+  {
+    b_time = 0.;
+    b_key = 0;
+    b_seqs = Array.make 8 0;
+    b_fns = Array.make 8 no_op;
+    b_head = 0;
+    b_len = 0;
+  }
+
+let bucket_add b ~seq fn =
+  let cap = Array.length b.b_seqs in
+  if b.b_len = cap then begin
+    let ncap = 2 * cap in
+    let ns = Array.make ncap 0 and nf = Array.make ncap no_op in
+    Array.blit b.b_seqs 0 ns 0 cap;
+    Array.blit b.b_fns 0 nf 0 cap;
+    b.b_seqs <- ns;
+    b.b_fns <- nf
+  end;
+  b.b_seqs.(b.b_len) <- seq;
+  b.b_fns.(b.b_len) <- fn;
+  b.b_len <- b.b_len + 1
+
+(* Retire a drained bucket: forget its calendar key and recycle the
+   storage (burst-sized arrays are worth keeping around). *)
+let retire t b =
+  Hashtbl.remove t.by_time b.b_key;
+  Array.fill b.b_fns 0 b.b_len no_op;
+  b.b_head <- 0;
+  b.b_len <- 0;
+  if t.free_len < 64 then begin
+    t.free <- b :: t.free;
+    t.free_len <- t.free_len + 1
+  end
 
 let schedule_at t ~time action =
   if time < t.now then
     invalid_arg
       (Printf.sprintf "Engine.schedule_at: time %.6f is in the past (now %.6f)"
          time t.now);
-  Heap.push t.queue ~time ~seq:t.seq action;
-  t.seq <- t.seq + 1
+  (* +. 0. collapses -0 onto +0 so bit-pattern bucketing matches float
+     equality on the queue's time domain. *)
+  let time = time +. 0. in
+  let key = Int64.to_int (Int64.bits_of_float time) in
+  let b =
+    match Hashtbl.find_opt t.by_time key with
+    | Some b -> b
+    | None ->
+        let b =
+          match t.free with
+          | b :: rest ->
+              t.free <- rest;
+              t.free_len <- t.free_len - 1;
+              b
+          | [] -> fresh_bucket ()
+        in
+        b.b_time <- time;
+        b.b_key <- key;
+        Hashtbl.add t.by_time key b;
+        Heap.push t.calendar ~time ~seq:t.seq b;
+        b
+  in
+  bucket_add b ~seq:t.seq action;
+  t.seq <- t.seq + 1;
+  t.pending <- t.pending + 1
 
 let schedule t ~delay action =
   if delay < 0. then invalid_arg "Engine.schedule: negative delay";
@@ -42,20 +138,34 @@ let run ?(until = infinity) ?(max_events = max_int) t =
     while !continue do
       if t.processed >= max_events then continue := false
       else
-        match Heap.peek t.queue with
+        match Heap.peek t.calendar with
         | None -> continue := false
-        | Some e when e.time > until ->
-            t.now <- until;
-            continue := false
-        | Some _ ->
-            (match Heap.pop t.queue with
-            | None -> assert false
-            | Some e ->
-                t.now <- e.time;
-                t.processed <- t.processed + 1;
-                (match t.observer with
-                | Some f -> f ~time:e.time ~seq:e.seq
-                | None -> ());
-                e.payload ())
+        | Some e ->
+            let b = e.Heap.payload in
+            if b.b_head >= b.b_len then begin
+              (* Drained: only the running bucket can be empty, and nothing
+                 can be appended to it once the clock is about to move on. *)
+              ignore (Heap.pop t.calendar);
+              retire t b
+            end
+            else if b.b_time > until then begin
+              t.now <- until;
+              continue := false
+            end
+            else begin
+              let i = b.b_head in
+              b.b_head <- i + 1;
+              let seq = b.b_seqs.(i) in
+              let fn = b.b_fns.(i) in
+              b.b_fns.(i) <- no_op;
+              (* release the closure for GC *)
+              t.now <- b.b_time;
+              t.processed <- t.processed + 1;
+              t.pending <- t.pending - 1;
+              (match t.observer with
+              | Some f -> f ~time:b.b_time ~seq
+              | None -> ());
+              fn ()
+            end
     done
   with Stopped -> ()

@@ -157,6 +157,9 @@ let finally_down script =
       | Recover { party; at } -> note party at false
       | Rule _ | Partition _ -> ())
     script;
+  (* canonical ascending-party order: this list reaches the runner's honest
+     set and from there the oracle verdicts, so flap-state bucket order
+     must not leak (D2) *)
   Hashtbl.fold
     (fun party (_, is_down) acc -> if is_down then party :: acc else acc)
     last []

@@ -5,14 +5,26 @@
    layer carries the byte size of each message on its [Net_send] events.
    Per-round milestone tables (entry / proposal / notarization /
    finalization) are Hashtbl-backed, so recording is O(1) per event rather
-   than a scan over all rounds seen so far. *)
+   than a scan over all rounds seen so far.
+
+   The per-kind traffic counters sit on the hottest path of all — one
+   update per [Net_send], i.e. per broadcast — so they are interned
+   arrays, not string-keyed Hashtbls: each distinct kind string is mapped
+   to a dense index once, and the common case (the same static kind
+   string as the previous event) is a physical-equality hit that touches
+   no hash function at all. *)
 
 type t = {
   n : int;
   msgs_sent : int array; (* per party, network messages (unicast count) *)
   bytes_sent : int array;
-  msgs_by_kind : (string, int) Hashtbl.t;
-  bytes_by_kind : (string, int) Hashtbl.t;
+  (* interned per-kind counters *)
+  mutable kind_names : string array;
+  mutable kind_msgs : int array;
+  mutable kind_bytes : int array;
+  mutable kind_count : int;
+  mutable last_kind : string; (* memoized last lookup *)
+  mutable last_kind_idx : int;
   mutable finalized_blocks : int;
   mutable finalization_log : (int * float) list; (* (round, time), newest first *)
   finalization_by_round : (int, float) Hashtbl.t; (* first decision per round *)
@@ -20,6 +32,7 @@ type t = {
   notarization_by_round : (int, float) Hashtbl.t; (* first notarization *)
   round_entry_by_round : (int, float) Hashtbl.t; (* first party entry *)
   mutable latencies : float list; (* propose -> finalize, per finalized block *)
+  mutable latencies_sorted : float array option; (* memoized sorted view *)
   mutable max_round : int; (* highest round seen in any milestone *)
 }
 
@@ -28,8 +41,12 @@ let create n =
     n;
     msgs_sent = Array.make (n + 1) 0;
     bytes_sent = Array.make (n + 1) 0;
-    msgs_by_kind = Hashtbl.create 16;
-    bytes_by_kind = Hashtbl.create 16;
+    kind_names = Array.make 16 "";
+    kind_msgs = Array.make 16 0;
+    kind_bytes = Array.make 16 0;
+    kind_count = 0;
+    last_kind = "";
+    last_kind_idx = -1;
     finalized_blocks = 0;
     finalization_log = [];
     finalization_by_round = Hashtbl.create 64;
@@ -37,6 +54,7 @@ let create n =
     notarization_by_round = Hashtbl.create 64;
     round_entry_by_round = Hashtbl.create 64;
     latencies = [];
+    latencies_sorted = None;
     max_round = 0;
   }
 
@@ -44,17 +62,52 @@ let n t = t.n
 
 (* --- recording --------------------------------------------------------- *)
 
-let bump tbl key v =
-  let cur = Option.value ~default:0 (Hashtbl.find_opt tbl key) in
-  Hashtbl.replace tbl key (cur + v)
+(* Intern [kind], with a fast path for repeat senders: kind strings are
+   static literals from [Message.kind] and friends, so physical equality
+   with the previous event's kind almost always hits.  The fallback scan
+   is over the handful of distinct kinds a run produces. *)
+let kind_index t kind =
+  if kind == t.last_kind then t.last_kind_idx
+  else begin
+    let idx = ref (-1) in
+    (try
+       for i = 0 to t.kind_count - 1 do
+         if String.equal t.kind_names.(i) kind then begin
+           idx := i;
+           raise_notrace Exit
+         end
+       done
+     with Exit -> ());
+    if !idx < 0 then begin
+      if t.kind_count = Array.length t.kind_names then begin
+        let cap = 2 * t.kind_count in
+        let names = Array.make cap "" in
+        let msgs = Array.make cap 0 in
+        let bytes = Array.make cap 0 in
+        Array.blit t.kind_names 0 names 0 t.kind_count;
+        Array.blit t.kind_msgs 0 msgs 0 t.kind_count;
+        Array.blit t.kind_bytes 0 bytes 0 t.kind_count;
+        t.kind_names <- names;
+        t.kind_msgs <- msgs;
+        t.kind_bytes <- bytes
+      end;
+      t.kind_names.(t.kind_count) <- kind;
+      idx := t.kind_count;
+      t.kind_count <- t.kind_count + 1
+    end;
+    t.last_kind <- kind;
+    t.last_kind_idx <- !idx;
+    !idx
+  end
 
 let record_send t ~src ~size ~kind ~copies =
   if src >= 1 && src <= t.n then begin
     t.msgs_sent.(src) <- t.msgs_sent.(src) + copies;
     t.bytes_sent.(src) <- t.bytes_sent.(src) + (size * copies)
   end;
-  bump t.msgs_by_kind kind copies;
-  bump t.bytes_by_kind kind (size * copies)
+  let i = kind_index t kind in
+  t.kind_msgs.(i) <- t.kind_msgs.(i) + copies;
+  t.kind_bytes.(i) <- t.kind_bytes.(i) + (size * copies)
 
 let seen_round t round = if round > t.max_round then t.max_round <- round
 
@@ -75,7 +128,9 @@ let record_finalization t ~round ~time =
   t.finalization_log <- (round, time) :: t.finalization_log;
   record_first t.finalization_by_round t ~round ~time
 
-let record_latency t dt = t.latencies <- dt :: t.latencies
+let record_latency t dt =
+  t.latencies <- dt :: t.latencies;
+  t.latencies_sorted <- None
 
 (* --- the trace-bus consumer -------------------------------------------- *)
 
@@ -111,16 +166,34 @@ let total_bytes t = Array.fold_left ( + ) 0 t.bytes_sent
 
 let max_bytes_per_party t = Array.fold_left max 0 t.bytes_sent
 
+let find_kind t kind =
+  let idx = ref (-1) in
+  (try
+     for i = 0 to t.kind_count - 1 do
+       if String.equal t.kind_names.(i) kind then begin
+         idx := i;
+         raise_notrace Exit
+       end
+     done
+   with Exit -> ());
+  !idx
+
 let msgs_of_kind t kind =
-  Option.value ~default:0 (Hashtbl.find_opt t.msgs_by_kind kind)
+  let i = find_kind t kind in
+  if i < 0 then 0 else t.kind_msgs.(i)
 
 let bytes_of_kind t kind =
-  Option.value ~default:0 (Hashtbl.find_opt t.bytes_by_kind kind)
+  let i = find_kind t kind in
+  if i < 0 then 0 else t.kind_bytes.(i)
 
 let kinds t =
-  Hashtbl.fold
-    (fun kind msgs acc -> (kind, msgs, bytes_of_kind t kind) :: acc)
-    t.msgs_by_kind []
+  let rec collect i acc =
+    if i < 0 then acc
+    else
+      collect (i - 1)
+        ((t.kind_names.(i), t.kind_msgs.(i), t.kind_bytes.(i)) :: acc)
+  in
+  collect (t.kind_count - 1) []
   |> List.sort (fun (ka, _, _) (kb, _, _) -> String.compare ka kb)
 
 let finalized_blocks t = t.finalized_blocks
@@ -137,20 +210,38 @@ let mean = function
   | [] -> nan
   | l -> List.fold_left ( +. ) 0. l /. float_of_int (List.length l)
 
-(* Nearest-rank percentile over a sorted float array; [nan]s are dropped
-   first (the polymorphic [compare] mis-sorts them, and they would poison
-   any rank they landed on). *)
-let percentile p l =
+(* [nan]s are dropped before sorting (the polymorphic [compare] mis-sorts
+   them, and they would poison any rank they landed on). *)
+let sorted_samples l =
   let a =
     Array.of_list (List.filter (fun x -> not (Float.is_nan x)) l)
   in
+  Array.sort Float.compare a;
+  a
+
+(* Nearest-rank percentile over an already-sorted sample array. *)
+let percentile_of_sorted p a =
   let len = Array.length a in
   if len = 0 then nan
-  else begin
-    Array.sort Float.compare a;
+  else
     let idx = int_of_float (ceil (p /. 100. *. float_of_int len)) - 1 in
     a.(max 0 (min (len - 1) idx))
-  end
+
+let percentile p l = percentile_of_sorted p (sorted_samples l)
+
+(* The run's latency distribution, sorted once and memoized;
+   [record_latency] invalidates the view, so repeated percentile queries
+   over a finished (or quiescent) run are O(1) after the first. *)
+let latency_percentile t p =
+  let a =
+    match t.latencies_sorted with
+    | Some a -> a
+    | None ->
+        let a = sorted_samples t.latencies in
+        t.latencies_sorted <- Some a;
+        a
+  in
+  percentile_of_sorted p a
 
 let mean_latency t = mean t.latencies
 

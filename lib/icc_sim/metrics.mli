@@ -67,6 +67,19 @@ val percentile : float -> float list -> float
 (** Nearest-rank percentile; [nan] values are dropped, empty input yields
     [nan]. *)
 
+val sorted_samples : float list -> float array
+(** Drop [nan]s and sort ascending — the one-time half of {!percentile},
+    for callers querying several ranks of the same samples. *)
+
+val percentile_of_sorted : float -> float array -> float
+(** Nearest-rank percentile over a {!sorted_samples} array, O(1). *)
+
+val latency_percentile : t -> float -> float
+(** Percentile of the run's propose→commit latencies, served from a
+    memoized sorted view that is invalidated by {!record_latency} — so
+    analyzers querying many ranks of a finished run sort once, not per
+    query. *)
+
 val mean_latency : t -> float
 val blocks_per_second : t -> window:float -> float
 val mean_bytes_per_party_per_second : t -> window:float -> float

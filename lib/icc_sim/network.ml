@@ -69,7 +69,12 @@ let deliver_self t ~src msg =
 (* Schedule one remote transmission.  The delay is sampled before anything
    else so the RNG stream is independent of hold state, fault state and
    tracing; the nemesis (when installed) is consulted exactly once per
-   transmission, also independent of hold state. *)
+   transmission, also independent of hold state.
+
+   Event batching happens below this layer: the engine's queue is a
+   calendar of per-timestamp buckets, so the n-1 same-release deliveries
+   of a broadcast under a fixed-delay model cost one heap entry total —
+   each call here is an O(1) bucket append, not an O(log events) push. *)
 let transmit t ~src ~dst ~size ~kind msg =
   let now = Engine.now t.engine in
   let d = sample_delay t ~src ~dst in
@@ -89,15 +94,22 @@ let transmit t ~src ~dst ~size ~kind msg =
   in
   if deliveries <> [] && release > now && Trace.detailed t.trace then
     Trace.emit t.trace ~time:now (Trace.Net_hold { src; dst; kind; release });
-  List.iter
-    (fun extra ->
-      Engine.schedule_at t.engine ~time:(release +. d +. extra) (fun () ->
-          t.delivered <- t.delivered + 1;
-          if Trace.detailed t.trace then
-            Trace.emit t.trace ~time:(Engine.now t.engine)
-              (Trace.Net_deliver { src; dst; kind; size });
-          t.handler ~dst ~src msg))
-    deliveries
+  let deliver () =
+    t.delivered <- t.delivered + 1;
+    if Trace.detailed t.trace then
+      Trace.emit t.trace ~time:(Engine.now t.engine)
+        (Trace.Net_deliver { src; dst; kind; size });
+    t.handler ~dst ~src msg
+  in
+  match deliveries with
+  | [ extra ] ->
+      (* fault-free / single-delivery fast path: one closure, no list walk *)
+      Engine.schedule_at t.engine ~time:(release +. d +. extra) deliver
+  | deliveries ->
+      List.iter
+        (fun extra ->
+          Engine.schedule_at t.engine ~time:(release +. d +. extra) deliver)
+        deliveries
 
 let unicast t ~src ~dst ~size ~kind msg =
   if dst < 1 || dst > t.n then invalid_arg "Network.unicast: bad destination";

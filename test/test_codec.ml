@@ -158,9 +158,109 @@ let prop_random_payload_roundtrip =
       in
       Icc_core.Codec.decode (Icc_core.Codec.encode msg) = Some msg)
 
+(* --- compact-format properties ----------------------------------------- *)
+
+(* Varint boundary values: 1-byte/2-byte/3-byte/… group edges. *)
+let varint_edge =
+  QCheck.oneofl
+    [ 0; 1; 127; 128; 255; 16383; 16384; 2097151; 1 lsl 30; 1 lsl 40 ]
+
+(* Every compact frame round-trips at varint group boundaries (the
+   resync frames carry raw varint triples; the signed frames carry varint
+   rounds/ids next to fixed-width digests). *)
+let prop_varint_edges_roundtrip =
+  QCheck.Test.make ~name:"compact frames roundtrip at varint edges" ~count:100
+    (QCheck.pair varint_edge varint_edge) (fun (a, b) ->
+      let frames =
+        [
+          Icc_core.Message.Pool_summary
+            { ps_party = a; ps_round = b; ps_kmax = a };
+          Icc_core.Message.Pool_request
+            { pr_party = b; pr_from = a; pr_upto = b };
+        ]
+      in
+      List.for_all
+        (fun msg ->
+          Icc_core.Codec.decode (Icc_core.Codec.encode msg) = Some msg)
+        frames)
+
+(* A well-formed proposal bundle (parent certificate naming the block's
+   parent hash) round-trips through the digest-elided form and saves the
+   32 duplicated digest bytes. *)
+let test_shared_prefix_digest_elision () =
+  let b1 = Kit.block ~round:1 ~proposer:1 ~parent:None () in
+  let b2 = Kit.block ~round:2 ~proposer:2 ~parent:(Some b1) () in
+  let well_formed =
+    Icc_core.Message.Proposal
+      {
+        p_block = b2;
+        p_authenticator = Kit.authenticator kit b2;
+        p_parent_cert = Some (Kit.notarization kit b1 [ 1; 2; 3 ]);
+      }
+  in
+  (match Icc_core.Codec.decode (Icc_core.Codec.encode well_formed) with
+  | Some msg' ->
+      Alcotest.(check bool) "elided bundle roundtrips" true (well_formed = msg')
+  | None -> Alcotest.fail "elided bundle failed to decode");
+  (* same bundle with a mismatched certificate digest must keep both
+     digests on the wire, costing at least the 32 elided bytes *)
+  let mismatched =
+    Icc_core.Message.Proposal
+      {
+        p_block = b2;
+        p_authenticator = Kit.authenticator kit b2;
+        p_parent_cert = Some (Kit.notarization kit b2 [ 1; 2; 3 ]);
+      }
+  in
+  (match Icc_core.Codec.decode (Icc_core.Codec.encode mismatched) with
+  | Some msg' ->
+      Alcotest.(check bool) "mismatched bundle roundtrips" true
+        (mismatched = msg')
+  | None -> Alcotest.fail "mismatched bundle failed to decode");
+  Alcotest.(check bool) "elision saves the duplicated digest" true
+    (String.length (Icc_core.Codec.encode well_formed) + 32
+    <= String.length (Icc_core.Codec.encode mismatched))
+
+(* Small frames must actually be small: a resync summary is three varints
+   plus the tag, nowhere near the 25 bytes of the old fixed-width layout. *)
+let test_compactness () =
+  let summary =
+    Icc_core.Message.Pool_summary { ps_party = 3; ps_round = 40; ps_kmax = 39 }
+  in
+  Alcotest.(check bool) "summary fits in 4 bytes" true
+    (String.length (Icc_core.Codec.encode summary) <= 4);
+  let share =
+    Icc_core.Message.Notarization_share
+      (Kit.notarization_share kit ~signer:2
+         (Kit.block ~round:1 ~proposer:1 ~parent:None ()))
+  in
+  (* tag + 3 small varints + 32-byte digest + signer + signature ints *)
+  Alcotest.(check bool) "share frame under 64 bytes" true
+    (String.length (Icc_core.Codec.encode share) <= 64)
+
+(* Each value has exactly one encoding: non-canonical varint padding
+   ("0x80 0x00" continuation groups encoding zero) is rejected. *)
+let test_non_canonical_varint_rejected () =
+  (* tag 7 (pool summary), ps_party as padded zero, then two zeros *)
+  let padded = "\x07\x80\x00\x00\x00" in
+  Alcotest.(check bool) "padded varint rejected" true
+    (Icc_core.Codec.decode padded = None);
+  let canonical = "\x07\x00\x00\x00" in
+  Alcotest.(check bool) "canonical zero accepted" true
+    (Icc_core.Codec.decode canonical
+    = Some
+        (Icc_core.Message.Pool_summary
+           { ps_party = 0; ps_round = 0; ps_kmax = 0 }))
+
 let suite =
   [
     Alcotest.test_case "roundtrip variants" `Quick test_roundtrip_all_variants;
+    Alcotest.test_case "shared-prefix digest elision" `Quick
+      test_shared_prefix_digest_elision;
+    Alcotest.test_case "compact frame sizes" `Quick test_compactness;
+    Alcotest.test_case "non-canonical varints rejected" `Quick
+      test_non_canonical_varint_rejected;
+    QCheck_alcotest.to_alcotest prop_varint_edges_roundtrip;
     Alcotest.test_case "hashes/signatures preserved" `Quick
       test_roundtrip_preserves_hashes_and_signatures;
     Alcotest.test_case "deterministic" `Quick test_deterministic;

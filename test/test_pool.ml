@@ -274,6 +274,53 @@ let test_prune_keeps_all_tables_bounded () =
   Alcotest.(check bool) "below-horizon block rejected" false
     (Icc_core.Pool.add_block pool stale)
 
+(* --- large-n slot ring stays bounded, caches stay fresh ----------------
+
+   Regression for the slot-ring pool at committee sizes in the hundreds:
+   the ring and every per-slot structure must stay bounded by the retained
+   round window (never by run length or by n²), and the per-slot epoch
+   caches must be invalidated by admissions — a stale cache would freeze a
+   round's valid/notarized views the moment they were first queried. *)
+let test_large_n_bounded_and_caches_invalidated () =
+  let n = 200 in
+  let big = Kit.make ~n ~t:66 () in
+  let pool = Icc_core.Pool.create big.Kit.system in
+  let depth = 8 in
+  let parent = ref None in
+  for r = 1 to 200 do
+    let b = Kit.block ~round:r ~proposer:((r mod n) + 1) ~parent:!parent () in
+    (* populate the caches first, then check admissions refresh them *)
+    Alcotest.(check int)
+      (Printf.sprintf "round %d starts empty" r)
+      0
+      (List.length (Icc_core.Pool.valid_blocks pool r));
+    Kit.admit_notarized big pool b;
+    Alcotest.(check int)
+      (Printf.sprintf "round %d valid view refreshed by admission" r)
+      1
+      (List.length (Icc_core.Pool.valid_blocks pool r));
+    Alcotest.(check bool)
+      (Printf.sprintf "round %d notarized view refreshed" r)
+      true
+      (Icc_core.Pool.notarized_blocks pool r <> []);
+    (* orphan share salt from the top of the signer id range *)
+    let phantom =
+      Kit.block ~round:r ~proposer:(((r + 7) mod n) + 1) ~parent:!parent ()
+    in
+    ignore
+      (Icc_core.Pool.add_notarization_share pool
+         (Kit.notarization_share big ~signer:n phantom));
+    parent := Some b;
+    if r mod 4 = 0 then Icc_core.Pool.prune pool ~below:(r - depth)
+  done;
+  let bound = 80 in
+  List.iter
+    (fun (name, size) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s bounded (%d <= %d)" name size bound)
+        true (size <= bound))
+    (Icc_core.Pool.table_sizes pool)
+
 let test_chain_walk () =
   let pool = Icc_core.Pool.create kit.Kit.system in
   let b1 = Kit.block ~round:1 ~proposer:1 ~parent:None () in
@@ -315,5 +362,7 @@ let suite =
       test_verified_beacon_shares_evicts_failures;
     Alcotest.test_case "prune keeps tables bounded" `Quick
       test_prune_keeps_all_tables_bounded;
+    Alcotest.test_case "large-n ring bounded, caches invalidated" `Quick
+      test_large_n_bounded_and_caches_invalidated;
     Alcotest.test_case "chain walk" `Quick test_chain_walk;
   ]
