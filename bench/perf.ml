@@ -30,6 +30,10 @@ type scenario_result = {
   trace_events : int;
   ops_before : (string * int) list;
   ops_after : (string * int) list;
+  phases : (string * int) list;
+      (* span name -> self-microseconds, from a separate profiled run (the
+         profiler never runs during the timed before/after passes, so its
+         overhead cannot pollute the regression gate) *)
 }
 
 (* --- argv ----------------------------------------------------------- *)
@@ -80,12 +84,27 @@ let traced_run run_fn scenario =
   let dt = Unix.gettimeofday () -. t0 in
   (dt, Buffer.contents buf, Icc_crypto.Counters.snapshot ())
 
+(* Per-phase attribution from one extra optimised run with the
+   self-profiler on.  Kept apart from [traced_run] so the timed passes pay
+   zero profiling overhead. *)
+let profiled_phases run_fn scenario =
+  Icc_obs.Profile.reset ();
+  Icc_obs.Profile.set_enabled true;
+  let _ = run_fn scenario in
+  Icc_obs.Profile.set_enabled false;
+  List.map
+    (fun st ->
+      ( st.Icc_obs.Profile.sp_name,
+        int_of_float ((st.Icc_obs.Profile.sp_self_s *. 1e6) +. 0.5) ))
+    (Icc_obs.Profile.stats ())
+
 let measure ~quick ~seed ~n name run_fn =
   let scenario = perf_scenario ~quick ~seed ~n in
   set_optimizations false;
   let before_s, trace_before, ops_before = traced_run run_fn scenario in
   set_optimizations true;
   let after_s, trace_after, ops_after = traced_run run_fn scenario in
+  let phases = profiled_phases run_fn scenario in
   {
     name;
     before_s;
@@ -95,6 +114,7 @@ let measure ~quick ~seed ~n name run_fn =
     trace_events = count_lines trace_after;
     ops_before;
     ops_after;
+    phases;
   }
 
 (* --- committee-size sweep --------------------------------------------- *)
@@ -149,9 +169,9 @@ let ops_json ops =
 
 let scenario_json r =
   Printf.sprintf
-    {|    {"name":%S,"before_s":%.6f,"after_s":%.6f,"speedup":%.2f,"trace_identical":%b,"trace_events":%d,"ops_before":%s,"ops_after":%s}|}
+    {|    {"name":%S,"before_s":%.6f,"after_s":%.6f,"speedup":%.2f,"trace_identical":%b,"trace_events":%d,"ops_before":%s,"ops_after":%s,"phases_us":%s}|}
     r.name r.before_s r.after_s r.speedup r.trace_identical r.trace_events
-    (ops_json r.ops_before) (ops_json r.ops_after)
+    (ops_json r.ops_before) (ops_json r.ops_after) (ops_json r.phases)
 
 let sweep_json s =
   Printf.sprintf
@@ -264,6 +284,30 @@ let print_table results =
                 | Some b, Some a -> Some (Printf.sprintf "%s %d->%d" k b a)
                 | _ -> None)
               interesting)))
+    results;
+  (* Per-phase attribution (share of profiled self-time, top phases). *)
+  List.iter
+    (fun r ->
+      let total = List.fold_left (fun a (_, us) -> a + us) 0 r.phases in
+      if total > 0 then begin
+        let top =
+          List.sort
+            (fun (n1, a) (n2, b) ->
+              match Int.compare b a with
+              | 0 -> String.compare n1 n2
+              | c -> c)
+            r.phases
+          |> List.filteri (fun i _ -> i < 4)
+        in
+        Printf.printf "  %s phases: %s
+" r.name
+          (String.concat "  "
+             (List.map
+                (fun (name, us) ->
+                  Printf.sprintf "%s %.1f%%" name
+                    (100. *. float_of_int us /. float_of_int total))
+                top))
+      end)
     results
 
 let print_sweep sweep =
@@ -305,7 +349,14 @@ let main () =
   let sweep = run_sweep ~quick ~seed in
   print_sweep sweep;
   let json = results_json ~quick ~seed ~rounds ~n results sweep in
-  let oc = open_out out in
+  let oc =
+    try open_out out
+    with Sys_error msg ->
+      Printf.eprintf
+        "bench perf: cannot write --out %s (%s); does the directory exist?\n"
+        out msg;
+      exit 1
+  in
   output_string oc json;
   close_out oc;
   Printf.printf "wrote %s\n" out;

@@ -6,6 +6,7 @@
      exp         regenerate any single experiment E1..E8
      baselines   run PBFT / chained HotStuff on a matching network
      analyze     replay a --trace JSONL dump offline (monitor + reports)
+     profile     run with the self-profiler on and print the breakdown
      keys        demonstrate key generation and the random beacon *)
 
 open Cmdliner
@@ -213,9 +214,18 @@ let run_cmd =
   let fanout =
     Arg.(value & opt int 4 & info [ "fanout" ] ~doc:"Gossip fanout (icc1).")
   in
+  let profile =
+    Arg.(value & flag
+         & info [ "profile" ]
+             ~doc:"Enable the self-profiler (spans + registry counters). \
+                   With $(b,--trace), the run's aggregate lands on the bus \
+                   as $(i,prof-span)/$(i,prof-counter) events before \
+                   run-end; $(b,icc analyze) renders them.")
+  in
   let exec protocol n seed duration delta wan epsilon delta_bnd load block_size
-      corrupt async_until fanout drop dup reorder flap nemesis_file crash_cycles
-      trace_file monitor monitor_abort stall_factor =
+      corrupt async_until fanout profile drop dup reorder flap nemesis_file
+      crash_cycles trace_file monitor monitor_abort stall_factor =
+    Icc_obs.Profile.set_enabled profile;
     let nemesis =
       nemesis_script ~drop ~dup ~reorder ~flap ~file:nemesis_file
         ~cycles:crash_cycles
@@ -270,6 +280,13 @@ let run_cmd =
       (float_of_int
          (Icc_sim.Metrics.max_bytes_per_party r.Icc_core.Runner.metrics)
       /. 1e6);
+    (* Crypto-op totals from the registry-backed counters (satellite of
+       the observability pass: `icc run` always ends with this line). *)
+    let ops = List.filter (fun (_, v) -> v > 0) (Icc_crypto.Counters.snapshot ()) in
+    if ops <> [] then
+      Printf.printf "crypto ops          %s\n"
+        (String.concat ", "
+           (List.map (fun (name, v) -> Printf.sprintf "%s %d" name v) ops));
     print_monitor_report r.Icc_core.Runner.monitor;
     (* One-line verdict from the global Check oracles (and the online
        monitor when attached). *)
@@ -294,9 +311,9 @@ let run_cmd =
     Term.(
       const exec $ protocol $ n $ seed $ duration $ delta $ wan $ epsilon
       $ delta_bnd $ load $ block_size $ corrupt $ async_until $ fanout
-      $ drop_arg $ dup_arg $ reorder_arg $ flap_arg $ nemesis_file_arg
-      $ crash_cycle_arg $ trace_arg $ monitor_arg $ monitor_abort_arg
-      $ stall_factor_arg)
+      $ profile $ drop_arg $ dup_arg $ reorder_arg $ flap_arg
+      $ nemesis_file_arg $ crash_cycle_arg $ trace_arg $ monitor_arg
+      $ monitor_abort_arg $ stall_factor_arg)
 
 (* ------------------------------------------------------------ exhibits *)
 
@@ -448,6 +465,286 @@ let analyze_cmd =
              report round pipelines, bandwidth and critical paths.")
     Term.(const exec $ file $ round $ delta $ stall_factor_arg)
 
+(* ------------------------------------------------------------- profile *)
+
+(* `icc profile`: one run with the self-profiler on, rendered as a
+   per-phase breakdown, the registry counters, per-round and per-party
+   self-time attribution, and optionally a folded-stack export and a JSON
+   dump.  Everything here is host wall-clock observation — the simulated
+   run itself is the same deterministic run `icc run` performs. *)
+
+let profile_cmd =
+  let protocol =
+    Arg.(value & opt protocol_conv `Icc0 & info [ "protocol"; "p" ]
+           ~docv:"PROTO" ~doc:"Protocol variant: icc0, icc1 or icc2.")
+  in
+  let n = Arg.(value & opt int 7 & info [ "n" ] ~doc:"Number of parties.") in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed.") in
+  let duration =
+    Arg.(value & opt float 30. & info [ "duration"; "d" ]
+           ~doc:"Simulated seconds.")
+  in
+  let delta =
+    Arg.(value & opt float 0.05 & info [ "delta" ]
+           ~doc:"One-way network delay in seconds (fixed model).")
+  in
+  let wan =
+    Arg.(value & flag & info [ "wan" ]
+           ~doc:"Use the paper's WAN model instead of a fixed delay.")
+  in
+  let fanout =
+    Arg.(value & opt int 4 & info [ "fanout" ] ~doc:"Gossip fanout (icc1).")
+  in
+  let folded =
+    Arg.(value & opt (some string) None
+         & info [ "folded" ] ~docv:"FILE"
+             ~doc:"Write the folded-stack profile (one \"path \
+                   self-microseconds\" line per distinct span stack) to                    $(docv) — flamegraph.pl / inferno input.")
+  in
+  let json =
+    Arg.(value & flag
+         & info [ "json" ]
+             ~doc:"Emit the whole profile as one JSON object on stdout \
+                   instead of the tables.")
+  in
+  let top =
+    Arg.(value & opt int 12
+         & info [ "top" ] ~docv:"K"
+             ~doc:"Rows shown in the breakdown table (the rest is summed \
+                   into an (other) row).  0 means all.")
+  in
+  let prometheus =
+    Arg.(value & opt (some string) None
+         & info [ "prometheus" ] ~docv:"FILE"
+             ~doc:"Write the end-of-run registry in Prometheus text \
+                   exposition format to $(docv) ($(i,-) for stdout).")
+  in
+  let json_escape s =
+    let b = Buffer.create (String.length s) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string b "\\\""
+        | '\\' -> Buffer.add_string b "\\\\"
+        | c -> Buffer.add_char b c)
+      s;
+    Buffer.contents b
+  in
+  let us s = int_of_float ((s *. 1e6) +. 0.5) in
+  let exec protocol n seed duration delta wan fanout monitor folded json top
+      prometheus =
+    Icc_obs.Registry.reset ();
+    Icc_obs.Profile.reset ();
+    Icc_obs.Profile.set_enabled true;
+    let t0 = Icc_obs.Profile.now () in
+    let r =
+      let scenario =
+        {
+          (Icc_core.Runner.default_scenario ~n ~seed) with
+          Icc_core.Runner.duration;
+          delay =
+            (if wan then Icc_core.Runner.Wan { rtt_lo = 0.006; rtt_hi = 0.110 }
+             else Icc_core.Runner.Fixed_delay delta);
+          monitor =
+            monitor_config ~on:monitor ~abort:false ~stall_factor:8.
+              ~delta:1.0;
+        }
+      in
+      match protocol with
+      | `Icc0 -> Icc_core.Runner.run scenario
+      | `Icc1 -> Icc_gossip.Icc1.run ~fanout scenario
+      | `Icc2 -> Icc_rbc.Icc2.run scenario
+    in
+    let wall = Icc_obs.Profile.now () -. t0 in
+    Icc_obs.Profile.set_enabled false;
+    let stats = Icc_obs.Profile.stats () in
+    let counters =
+      List.filter (fun (_, v) -> v > 0) (Icc_obs.Registry.counters ())
+    in
+    let by_self =
+      List.sort
+        (fun a b ->
+          match
+            Float.compare b.Icc_obs.Profile.sp_self_s a.Icc_obs.Profile.sp_self_s
+          with
+          | 0 ->
+              String.compare a.Icc_obs.Profile.sp_name b.Icc_obs.Profile.sp_name
+          | c -> c)
+        stats
+    in
+    let total_self =
+      List.fold_left
+        (fun acc st -> acc +. st.Icc_obs.Profile.sp_self_s)
+        0. stats
+    in
+    (match folded with
+    | None -> ()
+    | Some path -> (
+        match open_out path with
+        | oc ->
+            output_string oc (Icc_obs.Profile.folded_lines ());
+            close_out oc
+        | exception Sys_error msg ->
+            Printf.eprintf "icc: cannot open folded output: %s\n" msg;
+            exit 1));
+    (match prometheus with
+    | None -> ()
+    | Some "-" -> print_string (Icc_obs.Registry.to_prometheus ())
+    | Some path -> (
+        match open_out path with
+        | oc ->
+            output_string oc (Icc_obs.Registry.to_prometheus ());
+            close_out oc
+        | exception Sys_error msg ->
+            Printf.eprintf "icc: cannot open prometheus output: %s\n" msg;
+            exit 1));
+    if json then begin
+      let b = Buffer.create 4096 in
+      let p fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+      let proto_name =
+        match protocol with `Icc0 -> "icc0" | `Icc1 -> "icc1" | `Icc2 -> "icc2"
+      in
+      p {|{"protocol":"%s","n":%d,"seed":%d,"duration":%g,"wall_s":%.6f|}
+        proto_name n seed duration wall;
+      p {|,"rounds_decided":%d|} r.Icc_core.Runner.rounds_decided;
+      p {|,"spans":[|};
+      List.iteri
+        (fun i st ->
+          if i > 0 then p ",";
+          p {|{"name":"%s","count":%d,"total_us":%d,"self_us":%d}|}
+            (json_escape st.Icc_obs.Profile.sp_name)
+            st.Icc_obs.Profile.sp_count
+            (us st.Icc_obs.Profile.sp_total_s)
+            (us st.Icc_obs.Profile.sp_self_s))
+        by_self;
+      p {|],"counters":[|};
+      List.iteri
+        (fun i (name, v) ->
+          if i > 0 then p ",";
+          p {|{"name":"%s","value":%d}|} (json_escape name) v)
+        counters;
+      let contexts key_name rows =
+        List.iteri
+          (fun i (key, cells) ->
+            if i > 0 then p ",";
+            p {|{"%s":%d,"spans":[|} key_name key;
+            List.iteri
+              (fun j (name, self) ->
+                if j > 0 then p ",";
+                p {|{"name":"%s","self_us":%d}|} (json_escape name) (us self))
+              cells;
+            p "]}")
+          rows
+      in
+      p {|],"by_round":[|};
+      contexts "round" (Icc_obs.Profile.by_round ());
+      p {|],"by_party":[|};
+      contexts "party" (Icc_obs.Profile.by_party ());
+      p "]}";
+      print_endline (Buffer.contents b)
+    end
+    else begin
+      let proto_name =
+        match protocol with `Icc0 -> "icc0" | `Icc1 -> "icc1" | `Icc2 -> "icc2"
+      in
+      Printf.printf
+        "profile: %s n=%d seed=%d duration=%g (wall %.3f s, %d rounds decided)\n"
+        proto_name n seed duration wall r.Icc_core.Runner.rounds_decided;
+      print_newline ();
+      Printf.printf "phase breakdown (self-time descending):\n";
+      Printf.printf "  %-28s %10s %12s %12s %6s\n" "span" "count" "total-us"
+        "self-us" "share";
+      let shown, rest =
+        if top <= 0 || List.length by_self <= top then (by_self, [])
+        else (List.filteri (fun i _ -> i < top) by_self,
+              List.filteri (fun i _ -> i >= top) by_self)
+      in
+      let share self =
+        if total_self = 0. then 0. else 100. *. self /. total_self
+      in
+      List.iter
+        (fun st ->
+          Printf.printf "  %-28s %10d %12d %12d %5.1f%%\n"
+            st.Icc_obs.Profile.sp_name st.Icc_obs.Profile.sp_count
+            (us st.Icc_obs.Profile.sp_total_s)
+            (us st.Icc_obs.Profile.sp_self_s)
+            (share st.Icc_obs.Profile.sp_self_s))
+        shown;
+      if rest <> [] then begin
+        let cnt = List.fold_left (fun a st -> a + st.Icc_obs.Profile.sp_count) 0 rest in
+        let tot = List.fold_left (fun a st -> a +. st.Icc_obs.Profile.sp_total_s) 0. rest in
+        let slf = List.fold_left (fun a st -> a +. st.Icc_obs.Profile.sp_self_s) 0. rest in
+        Printf.printf "  %-28s %10d %12d %12d %5.1f%%\n"
+          (Printf.sprintf "(other x%d)" (List.length rest))
+          cnt (us tot) (us slf) (share slf)
+      end;
+      if counters <> [] then begin
+        print_newline ();
+        Printf.printf "counters:\n";
+        List.iter
+          (fun (name, v) -> Printf.printf "  %-28s %12d\n" name v)
+          counters
+      end;
+      (* Per-round self-µs heatmap: one row per round context, bar scaled
+         to the busiest round. *)
+      let rounds = Icc_obs.Profile.by_round () in
+      if rounds <> [] then begin
+        let row_total cells =
+          List.fold_left (fun a (_, s) -> a +. s) 0. cells
+        in
+        let peak =
+          List.fold_left (fun a (_, cells) -> Float.max a (row_total cells)) 0.
+            rounds
+        in
+        print_newline ();
+        Printf.printf "per-round self-us (0 = outside any round):\n";
+        List.iter
+          (fun (round, cells) ->
+            let t = row_total cells in
+            let bar =
+              if peak = 0. then 0
+              else int_of_float (40. *. t /. peak +. 0.5)
+            in
+            let topname =
+              match
+                List.sort
+                  (fun (n1, s1) (n2, s2) ->
+                    match Float.compare s2 s1 with
+                    | 0 -> String.compare n1 n2
+                    | c -> c)
+                  cells
+              with
+              | (name, _) :: _ -> name
+              | [] -> "-"
+            in
+            Printf.printf "  %5d %10d  %-40s %s\n" round (us t)
+              (String.make bar '#') topname)
+          rounds
+      end;
+      let parties = Icc_obs.Profile.by_party () in
+      if parties <> [] then begin
+        print_newline ();
+        Printf.printf "per-party self-us (0 = outside any party):\n";
+        List.iter
+          (fun (party, cells) ->
+            let t = List.fold_left (fun a (_, s) -> a +. s) 0. cells in
+            Printf.printf "  %5d %10d\n" party (us t))
+          parties
+      end;
+      match folded with
+      | None -> ()
+      | Some path ->
+          print_newline ();
+          Printf.printf "folded stacks written to %s\n" path
+    end
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:"Run one simulation with the self-profiler enabled and print              the per-phase wall-clock breakdown (plus folded-stack and              JSON exports).")
+    Term.(
+      const exec $ protocol $ n $ seed $ duration $ delta $ wan $ fanout
+      $ monitor_arg $ folded $ json $ top $ prometheus)
+
 (* ---------------------------------------------------------------- lint *)
 
 let lint_cmd =
@@ -548,6 +845,7 @@ let () =
             exp_cmd;
             baselines_cmd;
             analyze_cmd;
+            profile_cmd;
             lint_cmd;
             keys_cmd;
           ]))

@@ -242,6 +242,7 @@ let parent_full = 1 (* digest differs from the block's parent hash *)
 let parent_elided = 2 (* digest = block.parent_hash, written once *)
 
 let encode (msg : Message.t) : string =
+  Icc_obs.Profile.span "codec.encode" @@ fun () ->
   let buf = Buffer.create 256 in
   (match msg with
   | Message.Proposal p ->
@@ -293,6 +294,7 @@ let encode (msg : Message.t) : string =
   Buffer.contents buf
 
 let decode (data : string) : Message.t option =
+  Icc_obs.Profile.span "codec.decode" @@ fun () ->
   let c = { data; pos = 0 } in
   match
     let tag = r_byte c in

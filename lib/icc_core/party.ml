@@ -267,6 +267,9 @@ let my_rank p =
 (* Forward declaration of the fixpoint driver so timers can call it. *)
 let rec step p =
   if not p.behavior.crashed then begin
+    Icc_obs.Profile.set_party p.id;
+    Icc_obs.Profile.set_round p.round;
+    Icc_obs.Profile.span "party.step" @@ fun () ->
     let progress = ref true in
     while !progress do
       progress := false;

@@ -392,6 +392,7 @@ let rec promote_entry t ~round s e =
    that fails verification. *)
 
 let add_block t (b : Block.t) =
+  Icc_obs.Profile.span "pool.admit" @@ fun () ->
   let round = b.Block.round in
   if round < t.pruned_below || round < 0 then false
   else
@@ -409,6 +410,7 @@ let add_block t (b : Block.t) =
     end
 
 let add_authenticator t ~round ~proposer ~block_hash signature =
+  Icc_obs.Profile.span "pool.admit" @@ fun () ->
   if round < t.pruned_below || round < 0 then false
   else
     let existing = entry_of t (round, block_hash) in
@@ -448,6 +450,7 @@ let verify_cert t ~text (c : Types.cert) =
     c.Types.c_multisig
 
 let add_notarization t (c : Types.cert) =
+  Icc_obs.Profile.span "pool.admit" @@ fun () ->
   let round = c.Types.c_round in
   if round < t.pruned_below || round < 0 then false
   else
@@ -465,6 +468,7 @@ let add_notarization t (c : Types.cert) =
         else false
 
 let add_finalization t (c : Types.cert) =
+  Icc_obs.Profile.span "pool.admit" @@ fun () ->
   let round = c.Types.c_round in
   if round < t.pruned_below || round < 0 then false
   else
@@ -482,6 +486,7 @@ let add_finalization t (c : Types.cert) =
         else false
 
 let add_share t ~kind (s : Types.share_msg) =
+  Icc_obs.Profile.span "pool.admit" @@ fun () ->
   let round = s.Types.s_round in
   let params, text =
     match kind with
@@ -573,6 +578,7 @@ let beacon_store t s signer entry =
      exists, freeing the slot for a genuine retransmission. *)
 let add_beacon_share t ~round ?verify
     (share : Icc_crypto.Threshold_vuf.signature_share) =
+  Icc_obs.Profile.span "pool.admit" @@ fun () ->
   if round < t.pruned_below || round < 0 then false
   else
     let signer = share.Icc_crypto.Threshold_vuf.signer in

@@ -447,6 +447,28 @@ let run scenario =
   Icc_sim.Engine.run ~until:scenario.duration engine;
 
   let elapsed = Icc_sim.Engine.now engine in
+  (* Profiler snapshot onto the bus, just before run-end.  Gated on the
+     profiling toggle, so unprofiled traces carry no prof-* lines and stay
+     byte-identical (CI strips these lines and compares the remainder). *)
+  if Icc_obs.Profile.enabled () && Icc_sim.Trace.active trace then begin
+    let us s = int_of_float ((s *. 1e6) +. 0.5) in
+    List.iter
+      (fun st ->
+        Icc_sim.Trace.emit trace ~time:elapsed
+          (Icc_sim.Trace.Prof_span
+             {
+               name = st.Icc_obs.Profile.sp_name;
+               count = st.Icc_obs.Profile.sp_count;
+               total_us = us st.Icc_obs.Profile.sp_total_s;
+               self_us = us st.Icc_obs.Profile.sp_self_s;
+             }))
+      (Icc_obs.Profile.stats ());
+    List.iter
+      (fun (name, value) ->
+        Icc_sim.Trace.emit trace ~time:elapsed
+          (Icc_sim.Trace.Prof_counter { name; value }))
+      (Icc_obs.Registry.counters ())
+  end;
   Icc_sim.Trace.emit trace ~time:elapsed
     (Icc_sim.Trace.Run_end { label = run_label });
   let outputs =

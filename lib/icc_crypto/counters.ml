@@ -1,18 +1,20 @@
-(* Crypto-operation counters for the bench harness (bench perf mode).
+(* Crypto-operation counters, backed by the {!Icc_obs.Registry}.
 
-   Plain monotone counters bumped on the hot paths; they carry no
-   information back into the protocol (nothing reads them inside lib/), so
-   they cannot affect scheduling or determinism.  [reset]/[snapshot] are
-   only called by the benchmark driver between runs. *)
+   The counters keep their historical names and ordering — they are the
+   ["ops_before"]/["ops_after"] keys of BENCH_perf.json — but live in the
+   process-global registry, so `icc profile`, the Prometheus exposition
+   and the trace-bus [prof-counter] snapshots all see them too.  They
+   remain write-only inside lib/ (nothing reads them back into protocol
+   decisions), so they cannot affect scheduling or determinism. *)
 
-let sha256_digests = ref 0
-let schnorr_signs = ref 0
-let schnorr_verifies = ref 0
-let dleq_proves = ref 0
-let dleq_verifies = ref 0
-let pow_generic = ref 0
-let pow_fixed_base = ref 0
-let fixed_base_tables = ref 0
+let sha256_digests = Icc_obs.Registry.counter "sha256_digests"
+let schnorr_signs = Icc_obs.Registry.counter "schnorr_signs"
+let schnorr_verifies = Icc_obs.Registry.counter "schnorr_verifies"
+let dleq_proves = Icc_obs.Registry.counter "dleq_proves"
+let dleq_verifies = Icc_obs.Registry.counter "dleq_verifies"
+let pow_generic = Icc_obs.Registry.counter "pow_generic"
+let pow_fixed_base = Icc_obs.Registry.counter "pow_fixed_base"
+let fixed_base_tables = Icc_obs.Registry.counter "fixed_base_tables"
 
 let all =
   [
@@ -26,5 +28,6 @@ let all =
     ("fixed_base_tables", fixed_base_tables);
   ]
 
-let reset () = List.iter (fun (_, r) -> r := 0) all
-let snapshot () = List.map (fun (name, r) -> (name, !r)) all
+let bump = Icc_obs.Registry.inc
+let reset () = List.iter (fun (_, c) -> Icc_obs.Registry.add c (- Icc_obs.Registry.value c)) all
+let snapshot () = List.map (fun (name, c) -> (name, Icc_obs.Registry.value c)) all

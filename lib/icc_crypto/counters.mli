@@ -1,26 +1,35 @@
-(** Crypto-operation counters for the benchmark harness.
+(** Crypto-operation counters, registered in the process-global
+    {!Icc_obs.Registry} under their historical names (the
+    ["ops_before"]/["ops_after"] keys of BENCH_perf.json).
 
-    Monotone counters bumped on the crypto hot paths (hashing,
-    signing/verification, exponentiation).  Nothing inside the library
-    reads them, so they cannot influence protocol behaviour; the bench
-    driver resets and snapshots them around measured runs. *)
+    Bumped on the crypto hot paths (hashing, signing/verification,
+    exponentiation); write-only inside the library, so they cannot
+    influence protocol behaviour.  The bench driver resets and snapshots
+    them around measured runs; `icc run` prints a summary line from
+    {!snapshot}; the runner mirrors them onto the trace bus as
+    [prof-counter] events when profiling is enabled. *)
 
-val sha256_digests : int ref
-val schnorr_signs : int ref
-val schnorr_verifies : int ref
-val dleq_proves : int ref
-val dleq_verifies : int ref
+val sha256_digests : Icc_obs.Registry.counter
+val schnorr_signs : Icc_obs.Registry.counter
+val schnorr_verifies : Icc_obs.Registry.counter
+val dleq_proves : Icc_obs.Registry.counter
+val dleq_verifies : Icc_obs.Registry.counter
 
-val pow_generic : int ref
+val pow_generic : Icc_obs.Registry.counter
 (** Group exponentiations via generic square-and-multiply. *)
 
-val pow_fixed_base : int ref
+val pow_fixed_base : Icc_obs.Registry.counter
 (** Group exponentiations served by a precomputed fixed-base table. *)
 
-val fixed_base_tables : int ref
+val fixed_base_tables : Icc_obs.Registry.counter
 (** Fixed-base tables built (one-time cost per cached base). *)
 
+val bump : Icc_obs.Registry.counter -> unit
+(** Alias for {!Icc_obs.Registry.inc} — one mutable store. *)
+
 val reset : unit -> unit
+(** Zero the crypto counters only (the rest of the registry is left
+    alone). *)
 
 val snapshot : unit -> (string * int) list
 (** Stable, ordered list of counter names and current values. *)

@@ -18,7 +18,8 @@ let challenge_hash ~base1 ~base2 ~a ~b ~commit1 ~commit2 =
           commit2))
 
 let prove ~base1 ~base2 ~exponent ~msg_tag =
-  incr Counters.dleq_proves;
+  Icc_obs.Profile.span "crypto.dleq_prove" @@ fun () ->
+  Counters.bump Counters.dleq_proves;
   let x = Group.scalar_reduce exponent in
   (* base1 is the long-lived generator at every call site, so it goes
      through the fixed-base cache; base2 is a per-message point and must
@@ -40,7 +41,8 @@ let prove ~base1 ~base2 ~exponent ~msg_tag =
   { challenge; response }
 
 let verify ~base1 ~base2 ~a ~b { challenge; response } =
-  incr Counters.dleq_verifies;
+  Icc_obs.Profile.span "crypto.dleq_verify" @@ fun () ->
+  Counters.bump Counters.dleq_verifies;
   (* commit1' = base1^s * a^(-c), commit2' = base2^s * b^(-c).
      base1 (generator) and a (a verification key) are long-lived bases and
      use the fixed-base cache; base2/b depend on the message and don't. *)

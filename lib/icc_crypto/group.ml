@@ -31,7 +31,7 @@ let mul a b = Fp.mul a b p
 let elt_inv a = Fp.inv a p
 
 let pow base e =
-  incr Counters.pow_generic;
+  Counters.bump Counters.pow_generic;
   Fp.pow base (Fp.reduce e q) p
 
 (* --- fixed-base windowed exponentiation -------------------------------- *)
@@ -54,7 +54,7 @@ module Fixed_base = struct
   type table = elt array array
 
   let make (base : elt) : table =
-    incr Counters.fixed_base_tables;
+    Counters.bump Counters.fixed_base_tables;
     let rows = Array.make_matrix windows radix one in
     let b = ref base in
     for i = 0 to windows - 1 do
@@ -105,7 +105,7 @@ let pow_cached base e =
   if !fixed_base then
     match Fixed_base.find base with
     | Some table ->
-        incr Counters.pow_fixed_base;
+        Counters.bump Counters.pow_fixed_base;
         Fixed_base.pow table e
     | None -> pow base e
   else pow base e

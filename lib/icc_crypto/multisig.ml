@@ -54,6 +54,7 @@ let verify_share params msg { signer; signature } =
   && Schnorr.verify params.public_keys.(signer - 1) msg signature
 
 let combine params msg shares : signature option =
+  Icc_obs.Profile.span "crypto.multisig_combine" @@ fun () ->
   (* Filter before deduplicating so a forged share cannot evict a genuine
      one bearing the same signer index. *)
   let valid =

@@ -29,7 +29,8 @@ let challenge_hash ~commitment ~pk ~msg =
        (Printf.sprintf "schnorr|%d|%d|%s" commitment pk msg))
 
 let sign { sk; cached_pk } (msg : string) : signature =
-  incr Counters.schnorr_signs;
+  Icc_obs.Profile.span "crypto.schnorr_sign" @@ fun () ->
+  Counters.bump Counters.schnorr_signs;
   let nonce =
     let d = Sha256.digest_string (Printf.sprintf "nonce|%d|%s" sk msg) in
     let k = Group.scalar_of_hash d in
@@ -41,7 +42,8 @@ let sign { sk; cached_pk } (msg : string) : signature =
   { challenge; response }
 
 let verify { pk } (msg : string) { challenge; response } : bool =
-  incr Counters.schnorr_verifies;
+  Icc_obs.Profile.span "crypto.schnorr_verify" @@ fun () ->
+  Counters.bump Counters.schnorr_verifies;
   (* R' = g^s * pk^(-c); valid iff H(R', pk, msg) = c.  Both bases are
      long-lived (generator, a party public key), so both exponentiations
      go through the fixed-base cache. *)

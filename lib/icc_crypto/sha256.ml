@@ -79,7 +79,7 @@ let process_block h msg off =
   h.(7) <- h.(7) +% !hh
 
 let digest_bytes (input : Bytes.t) : t =
-  incr Counters.sha256_digests;
+  Counters.bump Counters.sha256_digests;
   let len = Bytes.length input in
   (* padded length: message ++ 0x80 ++ zeros ++ 8-byte big-endian bit length *)
   let rem = (len + 9) mod 64 in

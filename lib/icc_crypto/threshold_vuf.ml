@@ -103,11 +103,13 @@ let select params shares : signature option =
     Some { sigma = interpolate chosen; certificate = chosen }
 
 let combine params msg shares : signature option =
+  Icc_obs.Profile.span "crypto.vuf_combine" @@ fun () ->
   (* Filter before deduplicating so a forged share cannot evict a genuine
      one bearing the same signer index. *)
   select params (List.filter (verify_share params msg) shares)
 
 let combine_preverified params shares : signature option =
+  Icc_obs.Profile.span "crypto.vuf_combine" @@ fun () ->
   (* Shares must already have passed {!verify_share} (the pool verifies at
      admission); skipping re-verification makes combining O(t) group ops
      instead of O(t) DLEQ checks per attempt. *)

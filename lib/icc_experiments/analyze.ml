@@ -205,7 +205,8 @@ let print_faults r =
       | Icc_sim.Trace.Finalize _ | Icc_sim.Trace.Beacon_share _
       | Icc_sim.Trace.Commit _ | Icc_sim.Trace.Block_decided _
       | Icc_sim.Trace.Protocol_error _ | Icc_sim.Trace.Monitor_violation _
-      | Icc_sim.Trace.Monitor_stall _ | Icc_sim.Trace.Monitor_clear _ -> ())
+      | Icc_sim.Trace.Monitor_stall _ | Icc_sim.Trace.Monitor_clear _
+      | Icc_sim.Trace.Prof_span _ | Icc_sim.Trace.Prof_counter _ -> ())
     r.load.Icc_sim.Replay.entries;
   let total_faults = !drops + !dups + !reorders + !link_downs in
   if total_faults > 0 || !crashes <> [] || !summaries > 0 then begin
@@ -224,6 +225,73 @@ let print_faults r =
       Printf.printf
         "  resync: %d summaries, %d requests, %d replies (%d artifacts resent)\n"
         !summaries !requests !replies !resent
+  end
+
+(* Profiler snapshot carried on the bus ([prof-span]/[prof-counter] lines,
+   present only when the run was profiled): per-phase wall-clock table,
+   self-time share ranked descending, plus the crypto-op counters. *)
+let print_profile r =
+  let spans = ref [] and counters = ref [] in
+  Array.iter
+    (fun (e : Icc_sim.Replay.entry) ->
+      match e.Icc_sim.Replay.event with
+      | Icc_sim.Trace.Prof_span { name; count; total_us; self_us } ->
+          spans := (name, count, total_us, self_us) :: !spans
+      | Icc_sim.Trace.Prof_counter { name; value } ->
+          counters := (name, value) :: !counters
+      | Icc_sim.Trace.Run_start _ | Icc_sim.Trace.Run_end _
+      | Icc_sim.Trace.Engine_dispatch _ | Icc_sim.Trace.Net_send _
+      | Icc_sim.Trace.Net_deliver _ | Icc_sim.Trace.Net_hold _
+      | Icc_sim.Trace.Gossip_publish _ | Icc_sim.Trace.Gossip_request _
+      | Icc_sim.Trace.Gossip_acquire _ | Icc_sim.Trace.Rbc_fragment _
+      | Icc_sim.Trace.Rbc_echo _ | Icc_sim.Trace.Rbc_reconstruct _
+      | Icc_sim.Trace.Rbc_inconsistent _ | Icc_sim.Trace.Round_entry _
+      | Icc_sim.Trace.Propose _ | Icc_sim.Trace.Notarize _
+      | Icc_sim.Trace.Finalize _ | Icc_sim.Trace.Beacon_share _
+      | Icc_sim.Trace.Commit _ | Icc_sim.Trace.Block_decided _
+      | Icc_sim.Trace.Protocol_error _ | Icc_sim.Trace.Monitor_violation _
+      | Icc_sim.Trace.Monitor_stall _ | Icc_sim.Trace.Monitor_clear _
+      | Icc_sim.Trace.Fault_drop _ | Icc_sim.Trace.Fault_duplicate _
+      | Icc_sim.Trace.Fault_reorder _ | Icc_sim.Trace.Fault_link_down _
+      | Icc_sim.Trace.Fault_crash _ | Icc_sim.Trace.Fault_recover _
+      | Icc_sim.Trace.Resync_summary _ | Icc_sim.Trace.Resync_request _
+      | Icc_sim.Trace.Resync_reply _ -> ())
+    r.load.Icc_sim.Replay.entries;
+  if !spans <> [] then begin
+    let spans =
+      List.sort
+        (fun (n1, _, _, s1) (n2, _, _, s2) ->
+          match Int.compare s2 s1 with 0 -> String.compare n1 n2 | c -> c)
+        !spans
+    in
+    let total_self =
+      List.fold_left (fun acc (_, _, _, s) -> acc + s) 0 spans
+    in
+    print_newline ();
+    Printf.printf "profile (host wall-clock, self-time descending):
+";
+    Printf.printf "  %-28s %10s %12s %12s %6s
+" "span" "count" "total-us"
+      "self-us" "share";
+    List.iter
+      (fun (name, count, total_us, self_us) ->
+        Printf.printf "  %-28s %10d %12d %12d %5.1f%%
+" name count total_us
+          self_us
+          (if total_self = 0 then 0.
+           else 100. *. float_of_int self_us /. float_of_int total_self))
+      spans;
+    let counters =
+      List.sort (fun (n1, _) (n2, _) -> String.compare n1 n2) !counters
+    in
+    if counters <> [] then begin
+      Printf.printf "  counters:
+";
+      List.iter
+        (fun (name, value) -> Printf.printf "    %-28s %12d
+" name value)
+        counters
+    end
   end
 
 let print_critical_path r =
@@ -248,4 +316,5 @@ let print r =
   print_bandwidth r;
   print_amplification r;
   print_faults r;
+  print_profile r;
   print_critical_path r

@@ -35,6 +35,22 @@ type row = {
   sc_safety_ok : bool;
 }
 
+(* Per-phase attribution from the self-profiler: where a party's host
+   wall-clock actually goes at scale, bucketed by span-name prefix
+   (crypto.*, pool.*, gossip.*/net.*, engine.*, rest).  Measured on its
+   own short profiled leg so the wall-clock rows above stay free of
+   profiling overhead. *)
+type phase_row = {
+  ph_proto : string;
+  ph_n : int;
+  ph_total_self_s : float;
+  ph_crypto_pct : float;
+  ph_pool_pct : float;
+  ph_net_pct : float;
+  ph_engine_pct : float;
+  ph_other_pct : float;
+}
+
 type trace_check = {
   tc_proto : string;
   tc_n : int;
@@ -123,6 +139,50 @@ let trace_roundtrip ~proto ~n ~rounds =
           && report.Analyze.load.Icc_sim.Replay.errors = [];
       })
 
+let phase_leg ~proto ~n ~rounds =
+  let sc = scenario ~n ~rounds ~monitor:false ~trace:None in
+  Icc_obs.Profile.reset ();
+  Icc_obs.Profile.set_enabled true;
+  let _ = run_fn proto sc in
+  Icc_obs.Profile.set_enabled false;
+  let bucket name =
+    match String.index_opt name '.' with
+    | None -> `Other
+    | Some i -> (
+        match String.sub name 0 i with
+        | "crypto" -> `Crypto
+        | "pool" -> `Pool
+        | "net" | "gossip" | "rbc" -> `Net
+        | "engine" -> `Engine
+        | _ -> `Other)
+  in
+  let crypto = ref 0. and pool = ref 0. and net = ref 0. in
+  let engine = ref 0. and other = ref 0. in
+  List.iter
+    (fun st ->
+      let cell =
+        match bucket st.Icc_obs.Profile.sp_name with
+        | `Crypto -> crypto
+        | `Pool -> pool
+        | `Net -> net
+        | `Engine -> engine
+        | `Other -> other
+      in
+      cell := !cell +. st.Icc_obs.Profile.sp_self_s)
+    (Icc_obs.Profile.stats ());
+  let total = !crypto +. !pool +. !net +. !engine +. !other in
+  let pct v = if total = 0. then 0. else 100. *. v /. total in
+  {
+    ph_proto = proto;
+    ph_n = n;
+    ph_total_self_s = total;
+    ph_crypto_pct = pct !crypto;
+    ph_pool_pct = pct !pool;
+    ph_net_pct = pct !net;
+    ph_engine_pct = pct !engine;
+    ph_other_pct = pct !other;
+  }
+
 let run ?(quick = false) () =
   let plan =
     (* (n, wall-clock rounds): fewer rounds at the top end keep the full
@@ -150,9 +210,17 @@ let run ?(quick = false) () =
         ])
       trace_ns
   in
-  (rows, checks)
+  let phase_ns = if quick then [ 50 ] else [ 100; 250 ] in
+  let phases =
+    List.concat_map
+      (fun n ->
+        let rounds = if n > 100 then 3 else 5 in
+        [ phase_leg ~proto:"ICC0" ~n ~rounds; phase_leg ~proto:"ICC1" ~n ~rounds ])
+      phase_ns
+  in
+  (rows, checks, phases)
 
-let print (rows, checks) =
+let print (rows, checks, phases) =
   print_endline "== E10: large-n scale-out (monitor attached) ==";
   Printf.printf "%-6s %6s %7s %10s %12s %12s %14s %10s %8s %8s\n" "proto" "n"
     "rounds" "wall (s)" "s/round" "messages" "msgs/party/rd" "msgs/rn^2"
@@ -174,6 +242,18 @@ let print (rows, checks) =
         c.tc_rounds_seen
         (if c.tc_analyze_ok then "ok" else "FAIL"))
     checks;
+  print_endline
+    "-- per-phase attribution (self-profiler, separate short runs) --";
+  Printf.printf "%-6s %6s %10s %8s %8s %10s %8s %8s
+" "proto" "n" "self (s)"
+    "crypto" "pool" "net+gossip" "engine" "other";
+  List.iter
+    (fun p ->
+      Printf.printf "%-6s %6d %10.3f %7.1f%% %7.1f%% %9.1f%% %7.1f%% %7.1f%%
+"
+        p.ph_proto p.ph_n p.ph_total_self_s p.ph_crypto_pct p.ph_pool_pct
+        p.ph_net_pct p.ph_engine_pct p.ph_other_pct)
+    phases;
   print_endline
     "  claim: messages grow O(n^2) (flat msgs/rn^2 column) while per-round\n\
     \  wall-clock grows no faster than the traffic — per-message processing\n\

@@ -16,6 +16,19 @@ type row = {
   sc_safety_ok : bool;
 }
 
+type phase_row = {
+  ph_proto : string;
+  ph_n : int;
+  ph_total_self_s : float;  (** sum of span self-times over the run *)
+  ph_crypto_pct : float;  (** [crypto.*] share of self-time *)
+  ph_pool_pct : float;  (** [pool.*] *)
+  ph_net_pct : float;  (** [net.*] + [gossip.*] + [rbc.*] *)
+  ph_engine_pct : float;  (** [engine.*] *)
+  ph_other_pct : float;  (** everything else ([party.*], [codec.*], ...) *)
+}
+(** Where host wall-clock goes at scale, from the self-profiler on a
+    separate short leg (the wall-clock rows never run profiled). *)
+
 type trace_check = {
   tc_proto : string;
   tc_n : int;
@@ -26,5 +39,6 @@ type trace_check = {
 
 val run_one : proto:string -> n:int -> rounds:int -> row
 val trace_roundtrip : proto:string -> n:int -> rounds:int -> trace_check
-val run : ?quick:bool -> unit -> row list * trace_check list
-val print : row list * trace_check list -> unit
+val phase_leg : proto:string -> n:int -> rounds:int -> phase_row
+val run : ?quick:bool -> unit -> row list * trace_check list * phase_row list
+val print : row list * trace_check list * phase_row list -> unit

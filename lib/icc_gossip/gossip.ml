@@ -138,6 +138,7 @@ let acquire t ~party ~from_peer id msg =
   end
 
 let on_wire t ~dst ~src w =
+  Icc_obs.Profile.span "gossip.relay" @@ fun () ->
   if t.is_active dst then
     match w with
     | Advert { id } ->
@@ -187,6 +188,7 @@ let create ~engine ~trace ~n ~rng ~delay_model ?(async_until = 0.) ?fault
    publisher delivers to itself immediately (its pool holds its own
    messages). *)
 let publish t ~src msg =
+  Icc_obs.Profile.span "gossip.publish" @@ fun () ->
   let id = artifact_id_of msg in
   if not (knows t src id) then begin
     mark_known t src id;

@@ -116,6 +116,7 @@ let instance_of t ~party key =
 
 (* The proposer's Send step (and self-delivery of the full bundle). *)
 let disseminate t ~src (msg : Icc_core.Message.t) =
+  Icc_obs.Profile.span "rbc.disseminate" @@ fun () ->
   let data = serialize msg in
   let coded = Icc_erasure.Reed_solomon.encode ~k:t.k ~n:t.n data in
   let leaves = Array.to_list coded.Icc_erasure.Reed_solomon.fragments in
@@ -182,6 +183,7 @@ let frag_valid t (f : frag) =
   && Icc_crypto.Merkle.verify ~root:f.f_root ~leaf:f.f_bytes f.f_proof
 
 let try_reconstruct t ~party key (inst : instance) (f : frag) =
+  Icc_obs.Profile.span "rbc.reconstruct" @@ fun () ->
   if (not inst.delivered) && (not inst.bad)
      && List.length inst.fragments >= t.k
   then begin

@@ -165,7 +165,7 @@ let run ?(until = infinity) ?(max_events = max_int) t =
               (match t.observer with
               | Some f -> f ~time:b.b_time ~seq
               | None -> ());
-              fn ()
+              Icc_obs.Profile.span "engine.dispatch" fn
             end
     done
   with Stopped -> ()

@@ -156,7 +156,8 @@ let attach t trace =
       | Trace.Monitor_stall _ | Trace.Monitor_clear _
       | Trace.Fault_drop _ | Trace.Fault_duplicate _ | Trace.Fault_reorder _
       | Trace.Fault_link_down _ | Trace.Fault_crash _ | Trace.Fault_recover _
-      | Trace.Resync_summary _ | Trace.Resync_request _ | Trace.Resync_reply _ ->
+      | Trace.Resync_summary _ | Trace.Resync_request _ | Trace.Resync_reply _
+      | Trace.Prof_span _ | Trace.Prof_counter _ ->
           ())
 
 (* --- queries ----------------------------------------------------------- *)

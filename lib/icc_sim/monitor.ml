@@ -436,7 +436,8 @@ let observe t ~time ev =
     | Trace.Fault_drop _
     | Trace.Fault_duplicate _ | Trace.Fault_reorder _ | Trace.Fault_link_down _
     | Trace.Fault_crash _ | Trace.Fault_recover _ | Trace.Resync_summary _
-    | Trace.Resync_request _ | Trace.Resync_reply _ ) as ev ->
+    | Trace.Resync_request _ | Trace.Resync_reply _ | Trace.Prof_span _
+    | Trace.Prof_counter _ ) as ev ->
       (match ev with
       | Trace.Run_start { n; _ } ->
           t.n <- n;
@@ -486,7 +487,7 @@ let observe t ~time ev =
       | Trace.Monitor_clear _ | Trace.Fault_drop _ | Trace.Fault_duplicate _
       | Trace.Fault_reorder _ | Trace.Fault_link_down _ | Trace.Fault_crash _
       | Trace.Resync_summary _ | Trace.Resync_request _
-      | Trace.Resync_reply _ ->
+      | Trace.Resync_reply _ | Trace.Prof_span _ | Trace.Prof_counter _ ->
           ());
       if time >= t.next_deadline && not t.ended then sweep t ~time
 

@@ -76,6 +76,7 @@ let deliver_self t ~src msg =
    of a broadcast under a fixed-delay model cost one heap entry total —
    each call here is an O(1) bucket append, not an O(log events) push. *)
 let transmit t ~src ~dst ~size ~kind msg =
+  Icc_obs.Profile.span "net.transmit" @@ fun () ->
   let now = Engine.now t.engine in
   let d = sample_delay t ~src ~dst in
   let deliveries, fault_floor =

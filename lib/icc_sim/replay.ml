@@ -66,7 +66,8 @@ let parties entries =
       | Trace.Monitor_stall _ | Trace.Monitor_clear _ | Trace.Fault_drop _
       | Trace.Fault_duplicate _ | Trace.Fault_reorder _ | Trace.Fault_link_down _
       | Trace.Fault_crash _ | Trace.Fault_recover _ | Trace.Resync_summary _
-      | Trace.Resync_request _ | Trace.Resync_reply _ -> ())
+      | Trace.Resync_request _ | Trace.Resync_reply _ | Trace.Prof_span _
+      | Trace.Prof_counter _ -> ())
     entries;
   !n
 
@@ -133,7 +134,7 @@ let bandwidth entries =
       | Trace.Monitor_clear _ | Trace.Fault_drop _ | Trace.Fault_duplicate _
       | Trace.Fault_reorder _ | Trace.Fault_link_down _ | Trace.Fault_crash _
       | Trace.Fault_recover _ | Trace.Resync_summary _ | Trace.Resync_request _
-      | Trace.Resync_reply _ -> ())
+      | Trace.Resync_reply _ | Trace.Prof_span _ | Trace.Prof_counter _ -> ())
     entries;
   let row_sum m i = Array.fold_left ( + ) 0 m.(i) in
   let col_sum m j =
@@ -220,7 +221,8 @@ let rounds entries =
       | Trace.Protocol_error _ | Trace.Monitor_violation _ | Trace.Monitor_stall _ | Trace.Monitor_clear _
       | Trace.Fault_drop _ | Trace.Fault_duplicate _ | Trace.Fault_reorder _
       | Trace.Fault_link_down _ | Trace.Fault_crash _ | Trace.Fault_recover _
-      | Trace.Resync_summary _ | Trace.Resync_request _ | Trace.Resync_reply _ ->
+      | Trace.Resync_summary _ | Trace.Resync_request _ | Trace.Resync_reply _
+      | Trace.Prof_span _ | Trace.Prof_counter _ ->
           ())
     entries;
   Hashtbl.fold (fun _ r acc -> !r :: acc) tbl []
@@ -274,7 +276,8 @@ let amplification entries =
       | Trace.Monitor_stall _ | Trace.Monitor_clear _ | Trace.Fault_drop _
       | Trace.Fault_duplicate _ | Trace.Fault_reorder _ | Trace.Fault_link_down _
       | Trace.Fault_crash _ | Trace.Fault_recover _ | Trace.Resync_summary _
-      | Trace.Resync_request _ | Trace.Resync_reply _ -> ())
+      | Trace.Resync_request _ | Trace.Resync_reply _ | Trace.Prof_span _
+      | Trace.Prof_counter _ -> ())
     entries;
   let per_block v =
     if !decided = 0 then nan else float_of_int v /. float_of_int !decided
@@ -334,7 +337,8 @@ let critical_path entries ~round =
       | Trace.Monitor_stall _ | Trace.Monitor_clear _ | Trace.Fault_drop _
       | Trace.Fault_duplicate _ | Trace.Fault_reorder _ | Trace.Fault_link_down _
       | Trace.Fault_crash _ | Trace.Fault_recover _ | Trace.Resync_summary _
-      | Trace.Resync_request _ | Trace.Resync_reply _ -> ())
+      | Trace.Resync_request _ | Trace.Resync_reply _ | Trace.Prof_span _
+      | Trace.Prof_counter _ -> ())
     entries;
   (* keyed (time, then party) order: the trace's (float, int) pairs must
      not go through polymorphic compare (D1) *)

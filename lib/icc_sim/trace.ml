@@ -71,6 +71,10 @@ type event =
       upto : int;
       count : int;
     }
+  (* profiler snapshots (emitted once before run-end when profiling is on;
+     times are integer microseconds so JSON round-trips are exact) *)
+  | Prof_span of { name : string; count : int; total_us : int; self_us : int }
+  | Prof_counter of { name : string; value : int }
 
 type level = Core | Detail
 
@@ -83,7 +87,8 @@ let level_of = function
   | Gossip_request _ | Gossip_acquire _ | Rbc_fragment _ | Rbc_echo _
   | Rbc_reconstruct _ | Rbc_inconsistent _ | Finalize _ | Beacon_share _
   | Commit _ | Fault_drop _ | Fault_duplicate _ | Fault_reorder _
-  | Fault_link_down _ | Resync_summary _ | Resync_request _ | Resync_reply _ ->
+  | Fault_link_down _ | Resync_summary _ | Resync_request _ | Resync_reply _
+  | Prof_span _ | Prof_counter _ ->
       Detail
 
 type sink = { all : bool; fn : time:float -> event -> unit }
@@ -145,6 +150,8 @@ let kind_of = function
   | Resync_summary _ -> "resync-summary"
   | Resync_request _ -> "resync-request"
   | Resync_reply _ -> "resync-reply"
+  | Prof_span _ -> "prof-span"
+  | Prof_counter _ -> "prof-counter"
 
 (* Strings on the bus are message kinds and artifact ids (printable ASCII),
    but escape defensively so every emitted line is valid JSON. *)
@@ -234,6 +241,11 @@ let to_json ~time ev =
     | Resync_reply { party; peer; from_round; upto; count } ->
         p {|"party":%d,"peer":%d,"from":%d,"upto":%d,"count":%d|} party peer
           from_round upto count
+    | Prof_span { name; count; total_us; self_us } ->
+        p {|"name":"%s","count":%d,"total_us":%d,"self_us":%d|}
+          (json_escape name) count total_us self_us
+    | Prof_counter { name; value } ->
+        p {|"name":"%s","value":%d|} (json_escape name) value
   in
   p {|{"t":%.6f,"ev":"%s",%s}|} time (kind_of ev) fields
 
@@ -551,6 +563,16 @@ let of_json line =
                   upto = int "upto";
                   count = int "count";
                 }
+          | "prof-span" ->
+              Prof_span
+                {
+                  name = str "name";
+                  count = int "count";
+                  total_us = int "total_us";
+                  self_us = int "self_us";
+                }
+          | "prof-counter" ->
+              Prof_counter { name = str "name"; value = int "value" }
           | other ->
               raise (Parse_error (Printf.sprintf "unknown event kind %S" other))
         in

@@ -79,6 +79,13 @@ type event =
       upto : int;
       count : int;
     }  (** [count] pool artifacts retransmitted for the window. *)
+  | Prof_span of { name : string; count : int; total_us : int; self_us : int }
+      (** Profiler snapshot: aggregate wall-clock for one span name
+          ([total_us] includes children, [self_us] excludes them), emitted
+          once per span name just before [Run_end] when profiling is on.
+          Integer microseconds, so the JSON round-trip is exact. *)
+  | Prof_counter of { name : string; value : int }
+      (** Registry counter value at end of run (profiling runs only). *)
 
 type level = Core | Detail
 

@@ -14,6 +14,7 @@ let () =
       ("merkle", Test_merkle.suite);
       ("sim", Test_sim.suite);
       ("trace", Test_trace.suite);
+      ("obs", Test_obs.suite);
       ("monitor", Test_monitor.suite);
       ("replay", Test_replay.suite);
       ("erasure", Test_erasure.suite);

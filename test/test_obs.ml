@@ -1,0 +1,279 @@
+(* Icc_obs — metrics registry and span profiler.
+
+   The registry is process-global, so every test uses its own metric
+   names; profiler tests run under [with_profiler], which guarantees the
+   toggle ends up off and the recorded data dropped whatever happens. *)
+
+module Registry = Icc_obs.Registry
+module Profile = Icc_obs.Profile
+
+let with_profiler f =
+  Fun.protect
+    ~finally:(fun () ->
+      Profile.set_enabled false;
+      Profile.reset ())
+    (fun () ->
+      Profile.reset ();
+      Profile.set_enabled true;
+      f ())
+
+(* ------------------------------------------------------------ registry *)
+
+let test_counter_basics () =
+  let c = Registry.counter "t_obs_counter_basics" in
+  Alcotest.(check int) "starts at zero" 0 (Registry.value c);
+  Registry.inc c;
+  Registry.inc c;
+  Registry.add c 40;
+  Alcotest.(check int) "inc/add accumulate" 42 (Registry.value c);
+  (* registration is idempotent: same name yields the same cell *)
+  let c' = Registry.counter "t_obs_counter_basics" in
+  Registry.inc c';
+  Alcotest.(check int) "same name, same counter" 43 (Registry.value c)
+
+let test_cross_kind_registration_rejected () =
+  let _ = Registry.counter "t_obs_kind_clash" in
+  Alcotest.check_raises "counter name reused as gauge"
+    (Invalid_argument
+       "Registry.gauge: t_obs_kind_clash registered as another kind")
+    (fun () -> ignore (Registry.gauge "t_obs_kind_clash"));
+  Alcotest.check_raises "counter name reused as histogram"
+    (Invalid_argument
+       "Registry.histogram: t_obs_kind_clash registered as another kind")
+    (fun () -> ignore (Registry.histogram "t_obs_kind_clash"))
+
+let test_gauge () =
+  let g = Registry.gauge "t_obs_gauge" in
+  Registry.set_gauge g 2.5;
+  Alcotest.(check (float 0.)) "set/read" 2.5 (Registry.gauge_value g)
+
+(* Bucket boundaries are half-open (lo, bound]: a value equal to a bound
+   lands in that bound's bucket, one epsilon above spills into the next. *)
+let test_histogram_bucket_boundaries () =
+  let h = Registry.histogram ~lo:1.0 ~ratio:2.0 ~buckets:3 "t_obs_hist_bounds" in
+  Alcotest.(check (array (float 1e-12)))
+    "bounds are lo * ratio^i" [| 1.0; 2.0; 4.0 |] (Registry.bucket_bounds h);
+  Registry.observe h 0.5 (* below lo: first bucket *);
+  Registry.observe h 1.0 (* exactly bound 0: first bucket *);
+  Registry.observe h 1.0001 (* just above: second bucket *);
+  Registry.observe h 4.0 (* exactly last bound: third bucket *);
+  Registry.observe h 7.0 (* above every bound: overflow *);
+  let s = Registry.hist_stats h in
+  Alcotest.(check int) "count" 5 s.Registry.hs_count;
+  Alcotest.(check (float 1e-9)) "sum" 13.5001 s.Registry.hs_sum;
+  Alcotest.(check (float 0.)) "min" 0.5 s.Registry.hs_min;
+  Alcotest.(check (float 0.)) "max" 7.0 s.Registry.hs_max;
+  Alcotest.(check (list (pair (float 0.) int)))
+    "per-bucket counts (upper bound, count); empty buckets omitted"
+    [ (1.0, 2); (2.0, 1); (4.0, 1); (infinity, 1) ]
+    s.Registry.hs_buckets
+
+let test_histogram_empty_snapshot () =
+  let h = Registry.histogram "t_obs_hist_empty" in
+  let s = Registry.hist_stats h in
+  Alcotest.(check int) "count" 0 s.Registry.hs_count;
+  Alcotest.(check (float 0.)) "sum" 0. s.Registry.hs_sum;
+  Alcotest.(check bool) "min is nan" true (Float.is_nan s.Registry.hs_min);
+  Alcotest.(check bool) "max is nan" true (Float.is_nan s.Registry.hs_max);
+  Alcotest.(check bool) "p50 is nan" true (Float.is_nan s.Registry.hs_p50);
+  Alcotest.(check bool) "p99 is nan" true (Float.is_nan s.Registry.hs_p99);
+  Alcotest.(check (list (pair (float 0.) int)))
+    "no buckets" [] s.Registry.hs_buckets
+
+let test_histogram_percentiles () =
+  let h = Registry.histogram ~lo:1.0 ~ratio:2.0 ~buckets:8 "t_obs_hist_pct" in
+  (* 90 observations in the (1,2] bucket, 10 in the (8,16] bucket *)
+  for _ = 1 to 90 do Registry.observe h 1.5 done;
+  for _ = 1 to 10 do Registry.observe h 12.0 done;
+  let s = Registry.hist_stats h in
+  Alcotest.(check (float 0.)) "p50 in the low bucket" 2.0 s.Registry.hs_p50;
+  (* p95 crosses into the sparse tail; the bucket bound (16) is clamped to
+     the observed maximum *)
+  Alcotest.(check (float 0.)) "p95 clamped to max" 12.0 s.Registry.hs_p95;
+  Alcotest.(check (float 0.)) "p99 clamped to max" 12.0 s.Registry.hs_p99;
+  (* a single observation reports itself, not its bucket ceiling *)
+  let h1 = Registry.histogram ~lo:1.0 "t_obs_hist_single" in
+  Registry.observe h1 3.3;
+  let s1 = Registry.hist_stats h1 in
+  Alcotest.(check (float 0.)) "one-sample p50 = the sample" 3.3
+    s1.Registry.hs_p50
+
+let test_registry_snapshot_and_reset () =
+  let c = Registry.counter "t_obs_reset_c" in
+  let h = Registry.histogram "t_obs_reset_h" in
+  Registry.add c 7;
+  Registry.observe h 0.5;
+  (match List.assoc_opt "t_obs_reset_c" (Registry.snapshot ()) with
+  | Some (Registry.Counter 7) -> ()
+  | _ -> Alcotest.fail "snapshot missing counter value");
+  Alcotest.(check (list (pair string int)))
+    "counters () lists it"
+    [ ("t_obs_reset_c", 7) ]
+    (List.filter
+       (fun (name, _) -> String.equal name "t_obs_reset_c")
+       (Registry.counters ()));
+  Registry.reset ();
+  Alcotest.(check int) "counter zeroed" 0 (Registry.value c);
+  let s = Registry.hist_stats h in
+  Alcotest.(check int) "histogram emptied" 0 s.Registry.hs_count;
+  Alcotest.(check bool) "histogram min back to nan" true
+    (Float.is_nan s.Registry.hs_min)
+
+let test_prometheus_exposition () =
+  let c = Registry.counter "t_obs_prom-c" (* '-' must be sanitized *) in
+  let h = Registry.histogram ~lo:1.0 ~ratio:2.0 ~buckets:2 "t_obs_prom_h" in
+  Registry.add c 3;
+  Registry.observe h 1.0;
+  Registry.observe h 1.5;
+  Registry.observe h 100.0;
+  let text = Registry.to_prometheus () in
+  let contains needle =
+    let n = String.length needle and m = String.length text in
+    let rec go i =
+      i + n <= m && (String.equal (String.sub text i n) needle || go (i + 1))
+    in
+    go 0
+  in
+  Alcotest.(check bool) "counter line" true (contains "t_obs_prom_c 3");
+  Alcotest.(check bool) "counter TYPE" true
+    (contains "# TYPE t_obs_prom_c counter");
+  Alcotest.(check bool) "histogram buckets are cumulative" true
+    (contains "t_obs_prom_h_bucket{le=\"2\"} 2");
+  Alcotest.(check bool) "+Inf bucket = count" true
+    (contains "t_obs_prom_h_bucket{le=\"+Inf\"} 3");
+  Alcotest.(check bool) "histogram count" true (contains "t_obs_prom_h_count 3")
+
+(* ------------------------------------------------------------ profiler *)
+
+let test_span_disabled_is_transparent () =
+  Profile.set_enabled false;
+  Profile.reset ();
+  let r = Profile.span "t_obs.off" (fun () -> 41 + 1) in
+  Alcotest.(check int) "thunk result returned" 42 r;
+  Alcotest.(check int) "nothing recorded" 0 (List.length (Profile.stats ()))
+
+let test_span_nesting_and_folding () =
+  with_profiler (fun () ->
+      let r =
+        Profile.span "t_obs.outer" (fun () ->
+            Profile.span "t_obs.inner" (fun () -> ());
+            Profile.span "t_obs.inner" (fun () -> ());
+            "done")
+      in
+      Alcotest.(check string) "result flows through" "done" r;
+      let stat name =
+        match
+          List.find_opt (fun s -> String.equal s.Profile.sp_name name)
+            (Profile.stats ())
+        with
+        | Some s -> s
+        | None -> Alcotest.failf "span %s not recorded" name
+      in
+      let outer = stat "t_obs.outer" and inner = stat "t_obs.inner" in
+      Alcotest.(check int) "outer count" 1 outer.Profile.sp_count;
+      Alcotest.(check int) "inner count" 2 inner.Profile.sp_count;
+      Alcotest.(check bool) "outer total covers inner" true
+        (outer.Profile.sp_total_s >= inner.Profile.sp_total_s);
+      Alcotest.(check bool) "self excludes children" true
+        (outer.Profile.sp_self_s <= outer.Profile.sp_total_s);
+      (* folded view has the stacked path, not just leaf names *)
+      let paths = List.map (fun (p, _, _) -> p) (Profile.folded ()) in
+      Alcotest.(check bool) "folded path outer;inner" true
+        (List.mem "t_obs.outer;t_obs.inner" paths);
+      Alcotest.(check bool) "folded path outer" true
+        (List.mem "t_obs.outer" paths);
+      (* folded_lines is 'path space integer' per line *)
+      String.split_on_char '\n' (Profile.folded_lines ())
+      |> List.iter (fun line ->
+             if String.length line > 0 then
+               match String.rindex_opt line ' ' with
+               | None -> Alcotest.failf "no separator in %S" line
+               | Some i ->
+                   let count =
+                     String.sub line (i + 1) (String.length line - i - 1)
+                   in
+                   Alcotest.(check bool)
+                     (Printf.sprintf "numeric self-us in %S" line)
+                     true
+                     (Option.is_some (int_of_string_opt count))))
+
+let test_span_exception_unwinds () =
+  with_profiler (fun () ->
+      (try
+         Profile.span "t_obs.raiser" (fun () -> failwith "boom")
+       with Failure _ -> ());
+      (* the stack unwound: a new top-level span nests under nothing *)
+      Profile.span "t_obs.after" (fun () -> ());
+      let paths = List.map (fun (p, _, _) -> p) (Profile.folded ()) in
+      Alcotest.(check bool) "raising span recorded" true
+        (List.mem "t_obs.raiser" paths);
+      Alcotest.(check bool) "next span is top-level" true
+        (List.mem "t_obs.after" paths);
+      Alcotest.(check bool) "not nested under the raiser" false
+        (List.mem "t_obs.raiser;t_obs.after" paths))
+
+let test_context_attribution () =
+  with_profiler (fun () ->
+      Profile.set_round 3;
+      Profile.set_party 7;
+      Profile.span "t_obs.ctx" (fun () -> ());
+      Profile.set_round 4;
+      Profile.span "t_obs.ctx" (fun () -> ());
+      let rounds = List.map fst (Profile.by_round ()) in
+      Alcotest.(check (list int)) "rounds charged" [ 3; 4 ] rounds;
+      let parties = List.map fst (Profile.by_party ()) in
+      Alcotest.(check (list int)) "party charged" [ 7 ] parties;
+      match List.assoc_opt 3 (Profile.by_round ()) with
+      | Some [ (name, self) ] ->
+          Alcotest.(check string) "span name in context" "t_obs.ctx" name;
+          Alcotest.(check bool) "self-time non-negative" true (self >= 0.)
+      | _ -> Alcotest.fail "round 3 should hold exactly the one span")
+
+(* ------------------------------- Metrics memoized percentile view ------ *)
+
+let test_latency_percentile_invalidation () =
+  let m = Icc_sim.Metrics.create 4 in
+  Alcotest.(check bool) "empty distribution is nan" true
+    (Float.is_nan (Icc_sim.Metrics.latency_percentile m 50.));
+  Icc_sim.Metrics.record_latency m 3.0;
+  Icc_sim.Metrics.record_latency m 1.0;
+  Icc_sim.Metrics.record_latency m 2.0;
+  Alcotest.(check (float 0.)) "p50 of {1,2,3}" 2.0
+    (Icc_sim.Metrics.latency_percentile m 50.);
+  Alcotest.(check (float 0.)) "p100 of {1,2,3}" 3.0
+    (Icc_sim.Metrics.latency_percentile m 100.);
+  (* the second query hit the memoized view; recording must invalidate it *)
+  Icc_sim.Metrics.record_latency m 10.0;
+  Icc_sim.Metrics.record_latency m 11.0;
+  Alcotest.(check (float 0.)) "p100 sees the new maximum" 11.0
+    (Icc_sim.Metrics.latency_percentile m 100.);
+  Alcotest.(check (float 0.)) "p50 re-sorted over 5 samples" 3.0
+    (Icc_sim.Metrics.latency_percentile m 50.)
+
+let suite =
+  [
+    Alcotest.test_case "registry: counter basics" `Quick test_counter_basics;
+    Alcotest.test_case "registry: cross-kind registration rejected" `Quick
+      test_cross_kind_registration_rejected;
+    Alcotest.test_case "registry: gauge" `Quick test_gauge;
+    Alcotest.test_case "registry: histogram bucket boundaries" `Quick
+      test_histogram_bucket_boundaries;
+    Alcotest.test_case "registry: empty histogram snapshot" `Quick
+      test_histogram_empty_snapshot;
+    Alcotest.test_case "registry: histogram percentiles" `Quick
+      test_histogram_percentiles;
+    Alcotest.test_case "registry: snapshot and reset" `Quick
+      test_registry_snapshot_and_reset;
+    Alcotest.test_case "registry: prometheus exposition" `Quick
+      test_prometheus_exposition;
+    Alcotest.test_case "profiler: disabled span is transparent" `Quick
+      test_span_disabled_is_transparent;
+    Alcotest.test_case "profiler: nesting and folded stacks" `Quick
+      test_span_nesting_and_folding;
+    Alcotest.test_case "profiler: exception unwinds the stack" `Quick
+      test_span_exception_unwinds;
+    Alcotest.test_case "profiler: per-round/per-party attribution" `Quick
+      test_context_attribution;
+    Alcotest.test_case "metrics: latency percentile memo invalidation" `Quick
+      test_latency_percentile_invalidation;
+  ]

@@ -213,6 +213,10 @@ let all_constructor_witnesses : Icc_sim.Trace.event list =
     Resync_summary { party = 1; peer = 2; round = 9; kmax = 7 };
     Resync_request { party = 2; peer = 1; from_round = 8; upto = 9 };
     Resync_reply { party = 1; peer = 2; from_round = 8; upto = 9; count = 11 };
+    Prof_span
+      { name = {|engine.dispatch;party.step "x"|}; count = 42;
+        total_us = 123456; self_us = 654 };
+    Prof_counter { name = "schnorr_verifies"; value = 98765 };
   ]
 
 let test_json_round_trip () =
@@ -240,7 +244,7 @@ let test_json_round_trip_is_exhaustive () =
     List.map Icc_sim.Trace.kind_of all_constructor_witnesses
     |> List.sort_uniq compare
   in
-  Alcotest.(check int) "one witness per constructor" 33
+  Alcotest.(check int) "one witness per constructor" 35
     (List.length witnessed)
 
 (* Property: round-tripping holds for arbitrary payload contents, not just
