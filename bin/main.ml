@@ -14,14 +14,33 @@ open Cmdliner
 let protocol_conv =
   Arg.enum [ ("icc0", `Icc0); ("icc1", `Icc1); ("icc2", `Icc2) ]
 
+(* --corrupt tags: crash/lazy are Party behaviors; the Byzantine ones
+   compile to Adversary directives (the strategies live there now). *)
 let behavior_conv =
   Arg.enum
     [
-      ("crashed", Icc_core.Party.crashed);
-      ("equivocator", Icc_core.Party.byzantine_equivocator);
-      ("stealthy", Icc_core.Party.stealthy_equivocator);
-      ("lazy", Icc_core.Party.lazy_participant);
+      ("crashed", `Crashed);
+      ("equivocator", `Equivocator);
+      ("stealthy", `Stealthy);
+      ("lazy", `Lazy);
     ]
+
+let split_corrupt corrupt =
+  List.fold_left
+    (fun (bs, ds) (id, tag) ->
+      match tag with
+      | `Crashed -> ((id, Icc_core.Party.crashed) :: bs, ds)
+      | `Lazy -> ((id, Icc_core.Party.lazy_participant) :: bs, ds)
+      | `Equivocator -> (bs, [ Icc_sim.Adversary.equivocate ~noisy:true id ] :: ds)
+      | `Stealthy ->
+          ( bs,
+            [
+              Icc_sim.Adversary.equivocate id;
+              Icc_sim.Adversary.withhold ~notar:true ~final:true id;
+            ]
+            :: ds ))
+    ([], []) corrupt
+  |> fun (bs, ds) -> (bs, List.concat ds)
 
 (* --trace FILE: subscribe a JSONL sink to a fresh trace bus and hand the
    bus to the scenario; one JSON object per line, schema in DESIGN.md. *)
@@ -163,6 +182,59 @@ let nemesis_script ~drop ~dup ~reorder ~flap ~file ~cycles =
   in
   match script with [] -> None | s -> Some s
 
+(* Shared adversary flags (run / baselines): a Byzantine strategy script
+   assembled from an optional JSON file and the quick shorthands. *)
+let adversary_file_arg =
+  Arg.(value & opt (some string) None
+       & info [ "adversary" ] ~docv:"FILE"
+           ~doc:"JSON adversary script: an array of objects selected by \
+                 their \"adversary\" field (equivocate, withhold, censor, \
+                 delay, crash, straggle); see DESIGN.md §3.8.")
+
+let equivocate_arg =
+  Arg.(value & opt_all int []
+       & info [ "equivocate" ] ~docv:"ID"
+           ~doc:"Adversary: party $(docv) proposes conflicting blocks and \
+                 shares promiscuously (noisy equivocation).  Repeatable.")
+
+let withhold_arg =
+  Arg.(value & opt_all int []
+       & info [ "withhold" ] ~docv:"ID"
+           ~doc:"Adversary: party $(docv) withholds all its shares \
+                 (beacon, notarization, finalization).  Repeatable.")
+
+let corrupt_adaptive_arg =
+  Arg.(value & opt (some int) None
+       & info [ "corrupt-adaptive" ] ~docv:"K"
+           ~doc:"Adversary: adaptively corrupt up to $(docv) round leaders \
+                 (beacon rank 0) as noisy equivocators.")
+
+let adversary_script ~file ~equivocate ~withhold ~adaptive ~extra =
+  let base =
+    match file with
+    | None -> []
+    | Some path -> (
+        match Icc_sim.Adversary.script_of_json (read_file path) with
+        | Ok s -> s
+        | Error msg ->
+            Printf.eprintf "icc: bad adversary script %s: %s\n" path msg;
+            exit 1)
+  in
+  let script =
+    base
+    @ List.map (fun id -> Icc_sim.Adversary.equivocate ~noisy:true id) equivocate
+    @ List.map (fun id -> Icc_sim.Adversary.withhold id) withhold
+    @ (match adaptive with
+      | None -> []
+      | Some k ->
+          [
+            Icc_sim.Adversary.adaptive ~rank:0 ~max_corrupt:k
+              (Icc_sim.Adversary.Equivocate { noisy = true });
+          ])
+    @ extra
+  in
+  match script with [] -> None | s -> Some s
+
 (* ------------------------------------------------------------------ run *)
 
 let run_cmd =
@@ -224,11 +296,17 @@ let run_cmd =
   in
   let exec protocol n seed duration delta wan epsilon delta_bnd load block_size
       corrupt async_until fanout profile drop dup reorder flap nemesis_file
-      crash_cycles trace_file monitor monitor_abort stall_factor =
+      crash_cycles adversary_file equivocate withhold corrupt_adaptive
+      trace_file monitor monitor_abort stall_factor =
     Icc_obs.Profile.set_enabled profile;
     let nemesis =
       nemesis_script ~drop ~dup ~reorder ~flap ~file:nemesis_file
         ~cycles:crash_cycles
+    in
+    let behaviors, corrupt_directives = split_corrupt corrupt in
+    let adversary =
+      adversary_script ~file:adversary_file ~equivocate ~withhold
+        ~adaptive:corrupt_adaptive ~extra:corrupt_directives
     in
     let r =
       with_monitor_abort (fun () ->
@@ -238,13 +316,14 @@ let run_cmd =
                   (Icc_core.Runner.default_scenario ~n ~seed) with
                   Icc_core.Runner.duration;
                   nemesis;
+                  adversary;
                   delay =
                     (if wan then
                        Icc_core.Runner.Wan { rtt_lo = 0.006; rtt_hi = 0.110 }
                      else Icc_core.Runner.Fixed_delay delta);
                   epsilon;
                   delta_bnd;
-                  behaviors = corrupt;
+                  behaviors;
                   async_until;
                   workload =
                     (match (block_size, load) with
@@ -312,8 +391,9 @@ let run_cmd =
       const exec $ protocol $ n $ seed $ duration $ delta $ wan $ epsilon
       $ delta_bnd $ load $ block_size $ corrupt $ async_until $ fanout
       $ profile $ drop_arg $ dup_arg $ reorder_arg $ flap_arg
-      $ nemesis_file_arg $ crash_cycle_arg $ trace_arg $ monitor_arg
-      $ monitor_abort_arg $ stall_factor_arg)
+      $ nemesis_file_arg $ crash_cycle_arg $ adversary_file_arg
+      $ equivocate_arg $ withhold_arg $ corrupt_adaptive_arg $ trace_arg
+      $ monitor_arg $ monitor_abort_arg $ stall_factor_arg)
 
 (* ------------------------------------------------------------ exhibits *)
 
@@ -331,7 +411,7 @@ let table1_cmd =
 let exp_cmd =
   let which =
     Arg.(required & pos 0 (some string) None
-         & info [] ~docv:"ID" ~doc:"Experiment id: e1..e10.")
+         & info [] ~docv:"ID" ~doc:"Experiment id: e1..e11.")
   in
   let exec quick which =
     match String.lowercase_ascii which with
@@ -358,10 +438,13 @@ let exp_cmd =
     | "e9" ->
         Icc_experiments.Adaptivity.print (Icc_experiments.Adaptivity.run ~quick ())
     | "e10" -> Icc_experiments.Scale.print (Icc_experiments.Scale.run ~quick ())
-    | other -> Printf.eprintf "unknown experiment %s (expected e1..e10)\n" other
+    | "e11" ->
+        Icc_experiments.Adversary_sweep.print
+          (Icc_experiments.Adversary_sweep.run ~quick ())
+    | other -> Printf.eprintf "unknown experiment %s (expected e1..e11)\n" other
   in
   Cmd.v
-    (Cmd.info "exp" ~doc:"Regenerate one experiment (e1..e10).")
+    (Cmd.info "exp" ~doc:"Regenerate one experiment (e1..e11).")
     Term.(const exec $ quick_arg $ which)
 
 (* ----------------------------------------------------------- baselines *)
@@ -381,11 +464,15 @@ let baselines_cmd =
   let crashed =
     Arg.(value & opt_all int [] & info [ "crash" ] ~doc:"Crashed replica id.")
   in
-  let exec proto n duration delta crashed drop trace_file monitor monitor_abort
-      stall_factor =
+  let exec proto n duration delta crashed drop adversary_file withhold
+      trace_file monitor monitor_abort stall_factor =
     let nemesis =
       nemesis_script ~drop ~dup:None ~reorder:None ~flap:None ~file:None
         ~cycles:[]
+    in
+    let adversary =
+      adversary_script ~file:adversary_file ~equivocate:[] ~withhold
+        ~adaptive:None ~extra:[]
     in
     let r =
       with_monitor_abort (fun () ->
@@ -397,6 +484,7 @@ let baselines_cmd =
                   delay = Icc_core.Runner.Fixed_delay delta;
                   crashed;
                   nemesis;
+                  adversary;
                   trace;
                   monitor =
                     (* The watchdog scales by the view-change timeout: the
@@ -427,7 +515,8 @@ let baselines_cmd =
     (Cmd.info "baselines" ~doc:"Run a baseline protocol (PBFT / HotStuff / Tendermint).")
     Term.(
       const exec $ proto $ n $ duration $ delta $ crashed $ drop_arg
-      $ trace_arg $ monitor_arg $ monitor_abort_arg $ stall_factor_arg)
+      $ adversary_file_arg $ withhold_arg $ trace_arg $ monitor_arg
+      $ monitor_abort_arg $ stall_factor_arg)
 
 (* ------------------------------------------------------------- analyze *)
 

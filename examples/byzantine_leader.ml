@@ -15,7 +15,7 @@
      dune exec examples/byzantine_leader.exe *)
 
 let () =
-  let run behaviors label =
+  let run ~behaviors ~adversary label =
     let scenario =
       {
         (Icc_core.Runner.default_scenario ~n:7 ~seed:2024) with
@@ -25,6 +25,7 @@ let () =
         epsilon = 0.15;
         delta_bnd = 0.4;
         behaviors;
+        adversary;
       }
     in
     let r = Icc_core.Runner.run scenario in
@@ -33,13 +34,11 @@ let () =
     r
   in
   print_endline "=== ICC0 under Byzantine attack (n=7, t=2) ===";
-  let fault_free = run [] "fault-free" in
+  let fault_free = run ~behaviors:[] ~adversary:None "fault-free" in
   let attacked =
     run
-      [
-        (2, Icc_core.Party.byzantine_equivocator);
-        (4, Icc_core.Party.crashed);
-      ]
+      ~behaviors:[ (4, Icc_core.Party.crashed) ]
+      ~adversary:(Some [ Icc_sim.Adversary.equivocate ~noisy:true 2 ])
       "equivocator + crash"
   in
   let ratio = attacked.blocks_per_s /. fault_free.blocks_per_s in

@@ -12,7 +12,7 @@ let () =
       delay = Icc_core.Runner.Fixed_delay 0.05;
       epsilon = 0.2;
       delta_bnd = 0.4;
-      behaviors = [ (3, Icc_core.Party.byzantine_equivocator) ];
+      adversary = Some [ Icc_sim.Adversary.equivocate ~noisy:true 3 ];
     }
   in
   print_endline "=== replicated KV store over ICC0 (party 3 Byzantine) ===";

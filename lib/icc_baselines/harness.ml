@@ -16,6 +16,7 @@ type scenario = {
   trace : Icc_sim.Trace.t option; (* observe the run; None = untraced *)
   monitor : Icc_sim.Monitor.config option; (* online invariant monitor *)
   nemesis : Icc_sim.Fault.script option; (* link faults on the baseline's net *)
+  adversary : Icc_sim.Adversary.script option; (* Byzantine strategies *)
 }
 
 let default_scenario ~n ~seed =
@@ -33,6 +34,7 @@ let default_scenario ~n ~seed =
     trace = None;
     monitor = None;
     nemesis = None;
+    adversary = None;
   }
 
 (* Attach the scenario's monitor to a freshly built transport env; called
@@ -55,6 +57,40 @@ let install_nemesis scenario ~rng ~trace net =
         Icc_sim.Fault.create ~rng:(Icc_sim.Rng.split rng) ~trace script
       in
       Icc_sim.Network.set_fault net fault
+
+(* Wire-kind classifier enabling network-level share withholding for the
+   baselines: they have no protocol-layer adversary hooks, so a corrupt
+   replica's "shares" (votes) are suppressed as they hit the network.  The
+   kind strings are disjoint across the three baselines, so one classifier
+   serves all.  Equivocation directives are inert here (the baselines'
+   proposers are not scriptable); censor/delay/straggle/crash apply as on
+   any network. *)
+let baseline_classify kind =
+  match kind with
+  | "prepare" | "hs-vote" | "tm-prevote" -> Some Icc_sim.Adversary.Notar
+  | "commit" | "tm-precommit" -> Some Icc_sim.Adversary.Final
+  | _ -> None
+
+(* Install the scenario's adversary (if any) on a baseline's network; the
+   RNG is split only when a non-empty script is present, preserving
+   historical streams.  Only statically targeted directives apply — the
+   baselines never call note_round, so adaptive (Any-targeted) directives
+   stay dormant. *)
+let install_adversary scenario ~rng ~trace net =
+  match scenario.adversary with
+  | None | Some [] -> ()
+  | Some script ->
+      let adv =
+        Icc_sim.Adversary.create ~rng:(Icc_sim.Rng.split rng) ~trace
+          ~n:scenario.n ~classify:baseline_classify script
+      in
+      Icc_sim.Network.set_adversary net adv
+
+(* Statically corrupt replicas leave the honest set, like [crashed]. *)
+let adversary_corrupt scenario =
+  match scenario.adversary with
+  | None -> []
+  | Some script -> Icc_sim.Adversary.static_corrupt script
 
 type result = {
   metrics : Icc_sim.Metrics.t;

@@ -20,6 +20,13 @@ type scenario = {
       (** Link faults (drop / duplicate / reorder / flap / partition) on
           the baseline's network; crash/recover directives are ignored by
           the baselines — use [crashed] / [kill_at] instead. *)
+  adversary : Icc_sim.Adversary.script option;
+      (** Byzantine strategies on the baseline's network.  Only statically
+          targeted directives apply (the baselines have no protocol-layer
+          hooks): share withholding works at the wire via
+          {!baseline_classify}; censorship, stealthy delays, straggling and
+          crash windows apply as on any network; equivocation directives
+          are inert. *)
 }
 
 val default_scenario : n:int -> seed:int -> scenario
@@ -35,6 +42,22 @@ val install_nemesis :
 (** Install the scenario's nemesis (if any) on a baseline's network; call
     right after building the network.  Splits [rng] only when a script is
     present, preserving historical streams. *)
+
+val baseline_classify : string -> Icc_sim.Adversary.share_class option
+(** Maps baseline wire kinds to share classes (PBFT [prepare]/[commit],
+    HotStuff [hs-vote], Tendermint [tm-prevote]/[tm-precommit]) so
+    withhold directives apply at the network level. *)
+
+val install_adversary :
+  scenario -> rng:Icc_sim.Rng.t -> trace:Icc_sim.Trace.t ->
+  'msg Icc_sim.Network.t -> unit
+(** Install the scenario's adversary (if any) on a baseline's network; call
+    right after {!install_nemesis}.  Splits [rng] only when a non-empty
+    script is present. *)
+
+val adversary_corrupt : scenario -> int list
+(** Replicas statically corrupted by the scenario's adversary script —
+    excluded from honest-commit accounting, like [crashed]. *)
 
 type result = {
   metrics : Icc_sim.Metrics.t;

@@ -151,22 +151,29 @@ and update_high t r (q : qc) =
   enter_view t r next;
   if r.view = next then propose t r ~view:next
 
-(* Execute [h] and its unexecuted ancestors, oldest first. *)
+(* Execute [h] and its unexecuted ancestors, oldest first.  If an ancestor
+   was never delivered (lossy links, straggling sender) the whole chain
+   stays unexecuted: executing across the gap would fork this replica's
+   executed prefix.  Real HotStuff fetches the missing node first; the
+   model simply waits, trading liveness for safety. *)
 and execute t r h =
   let rec collect h acc =
-    if String.equal h genesis_hash || Hashtbl.mem r.executed h then acc
+    if String.equal h genesis_hash || Hashtbl.mem r.executed h then Some acc
     else
       match Hashtbl.find_opt r.nodes h with
       | Some nd -> collect nd.parent (h :: acc)
-      | None -> acc
+      | None -> None
   in
-  List.iter
-    (fun h ->
-      Hashtbl.replace r.executed h ();
-      r.executed_order <- h :: r.executed_order;
-      if List.mem r.id t.honest then
-        Harness.note_execution t.tracker ~digest:h ~time:(now t))
-    (collect h [])
+  match collect h [] with
+  | None -> ()
+  | Some chain ->
+      List.iter
+        (fun h ->
+          Hashtbl.replace r.executed h ();
+          r.executed_order <- h :: r.executed_order;
+          if List.mem r.id t.honest then
+            Harness.note_execution t.tracker ~digest:h ~time:(now t))
+        chain
 
 (* The chained commit rule: a proposal's justify closes a potential
    three-chain b0 <- b1 <- b2 with consecutive views; b0 commits. *)
@@ -307,10 +314,13 @@ let run (scenario : Harness.scenario) : Harness.result =
       ~delay_model:(Harness.delay_model net_rng scenario.Harness.delay ~n) ()
   in
   Harness.install_nemesis scenario ~rng ~trace net;
+  Harness.install_adversary scenario ~rng ~trace net;
+  let adv_corrupt = Harness.adversary_corrupt scenario in
   let honest =
     List.init n (fun i -> i + 1)
     |> List.filter (fun id -> not (List.mem id scenario.Harness.crashed))
     |> List.filter (fun id -> not (List.mem_assoc id scenario.Harness.kill_at))
+    |> List.filter (fun id -> not (List.mem id adv_corrupt))
   in
   let tracker = Harness.tracker ~n_honest:(List.length honest) ~trace in
   let replicas =

@@ -369,10 +369,13 @@ let run (scenario : Harness.scenario) : Harness.result =
       ~delay_model:(Harness.delay_model net_rng scenario.Harness.delay ~n) ()
   in
   Harness.install_nemesis scenario ~rng ~trace net;
+  Harness.install_adversary scenario ~rng ~trace net;
+  let adv_corrupt = Harness.adversary_corrupt scenario in
   let honest =
     List.init n (fun i -> i + 1)
     |> List.filter (fun id -> not (List.mem id scenario.Harness.crashed))
     |> List.filter (fun id -> not (List.mem_assoc id scenario.Harness.kill_at))
+    |> List.filter (fun id -> not (List.mem id adv_corrupt))
   in
   let tracker = Harness.tracker ~n_honest:(List.length honest) ~trace in
   let replicas =

@@ -8,46 +8,19 @@
    (rounds only advance; N, D, kmax only grow), so the fixpoint loop
    terminates.
 
-   Byzantine behaviours are composable deviations from the honest code
-   path; corrupt parties hold real keys and emit really-signed messages. *)
+   Byzantine behaviours are driven by the run's {!Icc_sim.Adversary}
+   script: corrupt parties hold real keys and emit really-signed messages,
+   and the adversary instance decides — per round, deterministically —
+   whether this party equivocates, withholds shares, or sits inside a
+   crash window. *)
 
 type behavior = {
   crashed : bool; (* sends and processes nothing *)
-  equivocate : bool; (* proposes two conflicting blocks, split delivery *)
-  promiscuous_shares : bool; (* notarization-shares every valid block, no delays *)
-  promiscuous_final : bool; (* finalization-shares every block it shared *)
-  silent_shares : bool; (* withholds all notarization/finalization shares *)
   never_propose : bool; (* consistent failure: participates but never proposes *)
 }
 
-let honest =
-  {
-    crashed = false;
-    equivocate = false;
-    promiscuous_shares = false;
-    promiscuous_final = false;
-    silent_shares = false;
-    never_propose = false;
-  }
-
+let honest = { crashed = false; never_propose = false }
 let crashed = { honest with crashed = true }
-
-(* Noisy equivocator: tries to get conflicting blocks notarized by sharing
-   everything — the strongest safety attack. *)
-let byzantine_equivocator =
-  {
-    honest with
-    equivocate = true;
-    promiscuous_shares = true;
-    promiscuous_final = true;
-  }
-
-(* Stealthy equivocator: splits the honest parties between two blocks and
-   withholds its own shares, so neither side reaches quorum — the strongest
-   liveness/round-complexity attack (rounds it leads decide only later). *)
-let stealthy_equivocator =
-  { honest with equivocate = true; silent_shares = true }
-
 let lazy_participant = { honest with never_propose = true }
 
 type env = {
@@ -69,6 +42,9 @@ type env = {
     Types.payload;
   on_output : party:int -> Block.t -> unit;
       (* called once per block, in commit order, as Fig. 2 outputs it *)
+  adversary : Icc_sim.Adversary.t option;
+      (* Byzantine strategy driver; None means every party follows the
+         honest code path (modulo [behavior]'s crash/never-propose) *)
 }
 
 type t = {
@@ -76,6 +52,12 @@ type t = {
   id : Types.party_id;
   keys : Icc_crypto.Keygen.party_keys;
   mutable behavior : behavior; (* mutable so runs can crash parties mid-way *)
+  (* Adversary decisions latched at round entry (each drawn exactly once
+     per round, so fixpoint re-evaluation never re-rolls them). *)
+  mutable adv_equivocate : bool;
+  mutable adv_noisy : bool;
+  mutable adv_withhold_notar : bool;
+  mutable adv_withhold_final : bool;
   pool : Pool.t;
   beacon : Beacon.t;
   mutable round : Types.round;
@@ -105,6 +87,10 @@ let create env ~id ~keys ~behavior =
     id;
     keys;
     behavior;
+    adv_equivocate = false;
+    adv_noisy = false;
+    adv_withhold_notar = false;
+    adv_withhold_final = false;
     pool = Pool.create env.system;
     beacon = Beacon.create env.system keys.Icc_crypto.Keygen.beacon_key;
     round = 1;
@@ -173,6 +159,18 @@ let sign_finalization_share p ~(block : Block.t) =
 let emit p ev =
   Icc_sim.Trace.emit p.env.trace ~time:(Icc_sim.Engine.now p.env.engine) ev
 
+let now p = Icc_sim.Engine.now p.env.engine
+
+(* A party is halted while its behavior says crashed or the adversary holds
+   it inside a crash window (the crash-vs-Byzantine hybrid): it sends and
+   processes nothing until the window ends and the runner's wake fires. *)
+let halted p =
+  p.behavior.crashed
+  ||
+  match p.env.adversary with
+  | None -> false
+  | Some a -> Icc_sim.Adversary.crashed_now a ~now:(now p) ~party:p.id
+
 (* Announce a should-be-impossible protocol-layer condition as a traced,
    monitor-visible event (once per (round, what)) instead of asserting:
    a single adversarial edge case must not abort a whole simulation run. *)
@@ -189,10 +187,31 @@ let protocol_error p ~round ~what =
 
 let broadcast_beacon_share p ~round =
   match Beacon.my_share p.beacon round with
-  | Some share ->
-      emit p (Icc_sim.Trace.Beacon_share { party = p.id; round });
-      broadcast p (Message.Beacon_share { b_round = round; b_signer = p.id; b_share = share })
   | None -> ()
+  | Some share ->
+      let withheld =
+        match p.env.adversary with
+        | None -> false
+        | Some a ->
+            Icc_sim.Adversary.withholds a ~now:(now p) ~party:p.id ~round
+              Icc_sim.Adversary.Beacon
+      in
+      if withheld then
+        (* Keep our own pipeline moving: a broadcast's self-copy is the
+           sender's own pool admission, so a withheld share still lands
+           there — it just never goes on the wire.  (Unicasting to self is
+           NOT equivalent: under gossip, inject with dst = src re-publishes
+           to the whole network.) *)
+        ignore
+          (Pool.add_beacon_share p.pool ~round
+             ?verify:(Beacon.share_verifier p.beacon round)
+             share)
+      else begin
+        emit p (Icc_sim.Trace.Beacon_share { party = p.id; round });
+        broadcast p
+          (Message.Beacon_share
+             { b_round = round; b_signer = p.id; b_share = share })
+      end
 
 (* Bundle a block for (re)broadcast: block + authenticator + parent
    notarization, as Fig. 1's propose and echo steps require. *)
@@ -207,8 +226,6 @@ let proposal_bundle p (block : Block.t) ~authenticator =
     { p_block = block; p_authenticator = authenticator; p_parent_cert = parent_cert }
 
 (* --- round machinery --------------------------------------------------- *)
-
-let now p = Icc_sim.Engine.now p.env.engine
 
 let in_n p block_hash =
   List.exists (fun (h, _) -> Icc_crypto.Sha256.equal h block_hash) p.n_shared
@@ -266,7 +283,7 @@ let my_rank p =
 
 (* Forward declaration of the fixpoint driver so timers can call it. *)
 let rec step p =
-  if not p.behavior.crashed then begin
+  if not (halted p) then begin
     Icc_obs.Profile.set_party p.id;
     Icc_obs.Profile.set_round p.round;
     Icc_obs.Profile.span "party.step" @@ fun () ->
@@ -279,12 +296,12 @@ let rec step p =
         if condition_a p then progress := true
         else begin
           if condition_b p then progress := true;
-          if (not p.behavior.silent_shares) && condition_c p then
+          if (not p.adv_withhold_notar) && condition_c p then
             progress := true
         end
       end;
-      if p.behavior.promiscuous_shares && p.round_started && byzantine_share_pass p
-      then progress := true
+      if p.adv_noisy && p.round_started && byzantine_share_pass p then
+        progress := true
     done
   end
 
@@ -300,15 +317,36 @@ and try_start_round p =
     p.proposed <- false;
     p.round_done <- false;
     p.scheduled_ntry <- [];
+    (* Latch this round's adversary decisions (activation triggers see the
+       freshly computed beacon rank; withhold draws roll once per round). *)
+    (match p.env.adversary with
+    | None -> ()
+    | Some a ->
+        let nowt = now p in
+        Icc_sim.Adversary.note_round a ~now:nowt ~party:p.id ~round:p.round
+          ~rank:(my_rank p);
+        (match Icc_sim.Adversary.equivocation a ~now:nowt ~party:p.id with
+        | Some noisy ->
+            p.adv_equivocate <- true;
+            p.adv_noisy <- noisy
+        | None ->
+            p.adv_equivocate <- false;
+            p.adv_noisy <- false);
+        p.adv_withhold_notar <-
+          Icc_sim.Adversary.withholds a ~now:nowt ~party:p.id ~round:p.round
+            Icc_sim.Adversary.Notar;
+        p.adv_withhold_final <-
+          Icc_sim.Adversary.withholds a ~now:nowt ~party:p.id ~round:p.round
+            Icc_sim.Adversary.Final);
     emit p (Icc_sim.Trace.Round_entry { party = p.id; round = p.round });
     broadcast_beacon_share p ~round:(p.round + 1);
     (* Timer for our own proposal delay. *)
-    (if not (p.behavior.never_propose || p.behavior.equivocate) then
+    (if not (p.behavior.never_propose || p.adv_equivocate) then
        let round = p.round in
        let delay = prop_delay p (my_rank p) in
        Icc_sim.Engine.schedule p.env.engine ~delay (fun () ->
            if p.round = round then step p));
-    (if p.behavior.equivocate then
+    (if p.adv_equivocate then
        let round = p.round in
        let delay = prop_delay p (my_rank p) in
        Icc_sim.Engine.schedule p.env.engine ~delay (fun () ->
@@ -379,7 +417,7 @@ and condition_a p =
       let n_subset_of_b =
         List.for_all (fun (h, _) -> Icc_crypto.Sha256.equal h block_hash) p.n_shared
       in
-      if n_subset_of_b && not p.behavior.silent_shares then
+      if n_subset_of_b && not p.adv_withhold_final then
         broadcast p (sign_finalization_share p ~block);
       update_delay_scale p;
       (* Proceed to the next round; its beacon shares are likely pooled
@@ -392,7 +430,7 @@ and condition_a p =
    elapsed. *)
 and condition_b p =
   if
-    p.proposed || p.behavior.never_propose || p.behavior.equivocate
+    p.proposed || p.behavior.never_propose || p.adv_equivocate
     || now p < p.t0 +. prop_delay p (my_rank p) -. 1e-12
   then false
   else begin
@@ -541,9 +579,10 @@ and finalization_pass p =
       | Some _ | None -> ());
       true)
 
-(* Byzantine: notarization-share (and optionally finalization-share) every
-   valid current-round block immediately, ignoring delays, D and the
-   best-rank rule. *)
+(* Noisy equivocator's share pass: notarization- and finalization-share
+   every valid current-round block immediately, ignoring delays, D and the
+   best-rank rule — maximising the chance a conflicting block gathers a
+   certificate (the strongest safety attack). *)
 and byzantine_share_pass p =
   let fresh =
     List.filter
@@ -555,8 +594,7 @@ and byzantine_share_pass p =
   | b :: _ ->
       p.n_shared <- (Block.hash b, rank_of_block p b) :: p.n_shared;
       broadcast p (sign_notarization_share p ~block:b);
-      if p.behavior.promiscuous_final then
-        broadcast p (sign_finalization_share p ~block:b);
+      broadcast p (sign_finalization_share p ~block:b);
       true
 
 (* Byzantine proposal: two conflicting blocks, each delivered to one half of
@@ -588,10 +626,18 @@ and equivocating_propose p =
               (Types.authenticator_text ~round:p.round ~proposer:p.id
                  ~block_hash:(Block.hash block))
           in
-          proposal_bundle p block ~authenticator
+          (block, proposal_bundle p block ~authenticator)
         in
-        let bundle_a = make 1 and bundle_b = make 2 in
+        let block_a, bundle_a = make 1 and block_b, bundle_b = make 2 in
         emit p (Icc_sim.Trace.Propose { party = p.id; round = p.round });
+        emit p
+          (Icc_sim.Trace.Adv_equivocate
+             {
+               party = p.id;
+               round = p.round;
+               block_a = Icc_crypto.Sha256.short_hex (Block.hash block_a);
+               block_b = Icc_crypto.Sha256.short_hex (Block.hash block_b);
+             });
         let n = p.env.config.Config.n in
         for dst = 1 to n do
           unicast p ~dst (if dst <= n / 2 then bundle_a else bundle_b)
@@ -632,7 +678,7 @@ let send_summary p =
    a recovered party resumes summaries without re-arming — and backs off
    exponentially (capped) while the round is stuck, resetting on progress. *)
 let rec resync_tick p (rs : Config.resync) =
-  if not p.behavior.crashed then begin
+  if not (halted p) then begin
     if p.round > p.resync_last_round then begin
       p.resync_last_round <- p.round;
       p.resync_interval <- rs.Config.rs_period
@@ -727,7 +773,7 @@ let resync_on_request p ~pr_party ~pr_from ~pr_upto =
 (* --- inbound ------------------------------------------------------------ *)
 
 let on_message p (msg : Message.t) =
-  if not p.behavior.crashed then begin
+  if not (halted p) then begin
     let changed =
       match msg with
       | Message.Proposal { p_block; p_authenticator; p_parent_cert } ->
@@ -772,7 +818,7 @@ let on_message p (msg : Message.t) =
    it begins summarising as soon as it recovers. *)
 let start p =
   start_resync p;
-  if not p.behavior.crashed then begin
+  if not (halted p) then begin
     broadcast_beacon_share p ~round:1;
     step p
   end
@@ -786,6 +832,28 @@ let start p =
 let recover p =
   if p.behavior.crashed then begin
     p.behavior <- { p.behavior with crashed = false };
+    if p.round_started then begin
+      p.t0 <- now p;
+      p.scheduled_ntry <- []
+    end;
+    broadcast_beacon_share p ~round:p.round;
+    broadcast_beacon_share p ~round:(p.round + 1);
+    (match resync_config p with
+    | Some rs ->
+        p.resync_interval <- rs.Config.rs_period;
+        p.resync_last_round <- p.round;
+        send_summary p
+    | None -> ());
+    step p
+  end
+
+(* Crash-window wake-up: an adversary crash window ends on the script's
+   clock, not through a Fault_recover directive, so the runner schedules
+   this at each window end.  Same rehydration as [recover] minus the
+   behavior flag: restart the round clock, re-release our beacon shares,
+   announce our frontier, re-run the guards. *)
+let wake p =
+  if not (halted p) then begin
     if p.round_started then begin
       p.t0 <- now p;
       p.scheduled_ntry <- []

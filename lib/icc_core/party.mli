@@ -7,31 +7,23 @@
     guards are monotone — rounds only advance, the sets N and D and the
     finalization cursor kmax only grow — so the fixpoint terminates.
 
-    Byzantine behaviours are composable deviations from the honest code
-    path; corrupt parties hold real keys and emit really-signed messages. *)
+    Byzantine behaviours are driven by the run's {!Icc_sim.Adversary}
+    script: corrupt parties hold real keys and emit really-signed messages,
+    and the adversary instance decides — per round, deterministically —
+    whether this party equivocates, withholds shares, or sits inside a
+    crash window. *)
 
-(** Deviations from the honest protocol. *)
+(** Non-Byzantine deviations from the honest protocol.  (Byzantine
+    strategies — equivocation, share withholding, censorship, delays,
+    crash windows, straggling — live in {!Icc_sim.Adversary} scripts,
+    wired through [env.adversary].) *)
 type behavior = {
   crashed : bool;  (** Sends and processes nothing. *)
-  equivocate : bool;  (** Proposes two conflicting blocks, split delivery. *)
-  promiscuous_shares : bool;
-      (** Notarization-shares every valid block immediately. *)
-  promiscuous_final : bool;  (** Finalization-shares every block it shared. *)
-  silent_shares : bool;  (** Withholds all notarization/finalization shares. *)
   never_propose : bool;  (** Consistent failure: participates, never proposes. *)
 }
 
 val honest : behavior
 val crashed : behavior
-
-val byzantine_equivocator : behavior
-(** Noisy equivocator: also shares everything — the strongest safety attack
-    (tries to notarize and finalize conflicting blocks). *)
-
-val stealthy_equivocator : behavior
-(** Equivocates and withholds its own shares, splitting the honest quorum —
-    the strongest liveness attack: rounds it leads decide only later. *)
-
 val lazy_participant : behavior
 
 (** Shared immutable context; the send functions abstract the transport
@@ -52,6 +44,9 @@ type env = {
     Types.payload;
   on_output : party:int -> Block.t -> unit;
       (** Called once per committed block, in order, as Fig. 2 outputs it. *)
+  adversary : Icc_sim.Adversary.t option;
+      (** Byzantine strategy driver; [None] means every party follows the
+          honest code path (modulo [behavior]'s crash/never-propose). *)
 }
 
 type t
@@ -74,6 +69,12 @@ val recover : t -> unit
     beacon shares, announce our frontier so peers retransmit the gap (when
     [config.resync] is enabled), and re-run the guards.  The pool models
     persistent storage and survives the crash.  No-op if not crashed. *)
+
+val wake : t -> unit
+(** Crash-window wake-up: same rehydration as {!recover} without touching
+    the behavior flag.  The runner schedules this at the end of each
+    adversary crash window ({!Icc_sim.Adversary.static_crash_wakes});
+    no-op while the party is still halted. *)
 
 (** {1 Inspection} *)
 

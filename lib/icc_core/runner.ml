@@ -18,6 +18,8 @@ type transport_ctx = {
   tr_delay_model : Icc_sim.Network.delay_model;
   tr_async_until : float;
   tr_fault : Icc_sim.Fault.t option; (* nemesis, installed on every network *)
+  tr_adversary : Icc_sim.Adversary.t option;
+      (* Byzantine adversary, interposed on every network's sends *)
   tr_is_active : int -> bool; (* false once a party has crashed *)
   tr_deliver : dst:int -> Message.t -> unit;
   tr_system : Icc_crypto.Keygen.system;
@@ -63,6 +65,8 @@ type scenario = {
   trace : Icc_sim.Trace.t option; (* observe the run on an external bus *)
   monitor : Icc_sim.Monitor.config option; (* online invariant monitor *)
   nemesis : Icc_sim.Fault.script option; (* deterministic fault injection *)
+  adversary : Icc_sim.Adversary.script option;
+      (* Byzantine strategy script; None (or Some []) = all parties honest *)
   resync : Config.resync option;
       (* pool-resync retransmission; defaults on (with default parameters)
          whenever a nemesis script is present *)
@@ -89,6 +93,7 @@ let default_scenario ~n ~seed =
     trace = None;
     monitor = None;
     nemesis = None;
+    adversary = None;
     resync = None;
   }
 
@@ -98,7 +103,8 @@ let direct_transport ctx =
   let net =
     Icc_sim.Transport.network ~engine:ctx.tr_engine ~n:ctx.tr_n
       ~trace:ctx.tr_trace ~delay_model:ctx.tr_delay_model
-      ~async_until:ctx.tr_async_until ?fault:ctx.tr_fault ()
+      ~async_until:ctx.tr_async_until ?fault:ctx.tr_fault
+      ?adversary:ctx.tr_adversary ()
   in
   Icc_sim.Network.set_handler net (fun ~dst ~src:_ msg -> ctx.tr_deliver ~dst msg);
   {
@@ -226,6 +232,20 @@ let run scenario =
     | Some script ->
         Some (Icc_sim.Fault.create ~rng:(Icc_sim.Rng.split rng) ~trace script)
   in
+  (* The adversary layer likewise owns a private stream, split only when a
+     non-empty script is configured, so adversary-free scenarios keep their
+     exact historical streams (pinned by the golden-trace test). *)
+  let adv_script =
+    match scenario.adversary with None | Some [] -> None | Some _ as s -> s
+  in
+  let adversary =
+    match adv_script with
+    | None -> None
+    | Some script ->
+        Some
+          (Icc_sim.Adversary.create ~rng:(Icc_sim.Rng.split rng) ~trace ~n
+             script)
+  in
   (* Client workload: commands are submitted to every party (clients
      broadcast); client->replica traffic is not consensus traffic and is not
      accounted. *)
@@ -287,11 +307,20 @@ let run scenario =
     | None -> []
     | Some script -> Icc_sim.Fault.finally_down script
   in
+  (* Statically scripted corrupt parties are excluded from the honest set
+     upfront; adaptively corrupted ones are subtracted after the run (the
+     adversary only learns who it corrupted as triggers fire). *)
+  let adv_static_corrupt =
+    match adv_script with
+    | None -> []
+    | Some script -> Icc_sim.Adversary.static_corrupt script
+  in
   let honest_ids =
     List.init n (fun i -> i + 1)
     |> List.filter (fun id -> behavior_of scenario id = Party.honest)
     |> List.filter (fun id -> not (List.mem_assoc id scenario.kill_at))
     |> List.filter (fun id -> not (List.mem id nemesis_down))
+    |> List.filter (fun id -> not (List.mem id adv_static_corrupt))
   in
   let n_honest = List.length honest_ids in
   (* O(1) honest-set membership for the per-output hot path (the list scan
@@ -376,9 +405,17 @@ let run scenario =
       tr_delay_model = delay_model;
       tr_async_until = scenario.async_until;
       tr_fault = fault;
+      tr_adversary = adversary;
       tr_is_active =
         (fun id ->
-          not (Party.behavior (!parties_ref).(id - 1)).Party.crashed);
+          (not (Party.behavior (!parties_ref).(id - 1)).Party.crashed)
+          &&
+          match adversary with
+          | None -> true
+          | Some a ->
+              not
+                (Icc_sim.Adversary.crashed_now a
+                   ~now:(Icc_sim.Engine.now engine) ~party:id));
       tr_deliver = deliver;
       tr_system = system;
       tr_keys = Array.of_list keys;
@@ -400,6 +437,7 @@ let run scenario =
       trace;
       get_payload;
       on_output;
+      adversary;
     }
   in
   let parties =
@@ -443,6 +481,17 @@ let run scenario =
                       Party.recover p
                     end))
         (Icc_sim.Fault.crash_schedule script));
+  (* Adversary crash windows end on the script's clock: kick the party at
+     each window end so it rehydrates (the window silenced its timers). *)
+  (match adv_script with
+  | None -> ()
+  | Some script ->
+      List.iter
+        (fun (time, party) ->
+          if party >= 1 && party <= n then
+            Icc_sim.Engine.schedule_at engine ~time (fun () ->
+                Party.wake parties.(party - 1)))
+        (Icc_sim.Adversary.static_crash_wakes script));
   Array.iter Party.start parties;
   Icc_sim.Engine.run ~until:scenario.duration engine;
 
@@ -471,6 +520,15 @@ let run scenario =
   end;
   Icc_sim.Trace.emit trace ~time:elapsed
     (Icc_sim.Trace.Run_end { label = run_label });
+  (* Parties the adversary corrupted adaptively during the run leave the
+     honest set now — the correctness oracles judge honest parties only. *)
+  let honest_ids =
+    match adversary with
+    | None -> honest_ids
+    | Some a ->
+        let corrupt = Icc_sim.Adversary.corrupted a in
+        List.filter (fun id -> not (List.mem id corrupt)) honest_ids
+  in
   let outputs =
     List.map (fun id -> (id, Party.output_chain parties.(id - 1))) honest_ids
   in

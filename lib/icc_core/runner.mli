@@ -30,6 +30,10 @@ type transport_ctx = {
       (** The scenario's nemesis, when present; a transport must install it
           on every {!Icc_sim.Network} it creates so link faults apply
           uniformly to direct, gossip and RBC traffic. *)
+  tr_adversary : Icc_sim.Adversary.t option;
+      (** The scenario's Byzantine adversary, when present; a transport must
+          install it on every {!Icc_sim.Network} it creates so censorship,
+          straggling and stealthy delays apply to all its traffic. *)
   tr_is_active : int -> bool;  (** False once a party has crashed. *)
   tr_deliver : dst:int -> Message.t -> unit;
   tr_system : Icc_crypto.Keygen.system;
@@ -92,6 +96,15 @@ type scenario = {
           treated like [kill_at] (excluded from the honest set);
           crash–recover cycles keep the party honest — it must rejoin and
           commit everything. *)
+  adversary : Icc_sim.Adversary.script option;
+      (** Byzantine strategy script ({!Icc_sim.Adversary}): equivocation,
+          share withholding, censorship, stealthy-leader delays, crash
+          windows, straggling, and adaptive corruption.  Statically
+          targeted parties are excluded from the honest set upfront;
+          adaptively corrupted ones are subtracted after the run.  [None]
+          (or [Some []]) runs fully honest with the adversary layer
+          inactive — and the RNG streams untouched, so traces are
+          byte-identical to pre-adversary builds. *)
   resync : Config.resync option;
       (** Override the pool-resync parameters.  [None] means: off without a
           nemesis, {!Config.default_resync} with one. *)

@@ -1,0 +1,20 @@
+(** Experiment E11 — Byzantine strategy x protocol resilience sweep: every
+    {!Icc_sim.Adversary} strategy against ICC0/ICC1/ICC2 and the PBFT /
+    HotStuff / Tendermint baselines at f = 0..t corrupt parties plus the
+    f = t+1 overshoot, asserting monitor-verified safety at f <= t and
+    quantifying per-strategy liveness degradation. *)
+
+type row = {
+  strategy : string;
+  protocol : string;
+  f : int;
+  blocks_per_s : float;
+  vs_honest : float;
+      (** Block rate over the same protocol's f = 0 rate. *)
+  safety : bool;
+      (** Monitor-verified for the ICC stack, prefix-consistency for the
+          baselines. *)
+}
+
+val run : ?quick:bool -> unit -> row list
+val print : row list -> unit

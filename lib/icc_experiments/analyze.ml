@@ -180,6 +180,8 @@ let print_faults r =
   let link_downs = ref 0 and crashes = ref [] and recovers = ref [] in
   let summaries = ref 0 and requests = ref 0 and replies = ref 0 in
   let resent = ref 0 in
+  let corrupts = ref [] and equivs = ref 0 and withholds = ref 0 in
+  let censors = ref 0 and delays = ref 0 and straggles = ref 0 in
   Array.iter
     (fun (e : Icc_sim.Replay.entry) ->
       match e.Icc_sim.Replay.event with
@@ -194,6 +196,12 @@ let print_faults r =
       | Icc_sim.Trace.Resync_reply { count; _ } ->
           incr replies;
           resent := !resent + count
+      | Icc_sim.Trace.Adv_corrupt { party; _ } -> corrupts := party :: !corrupts
+      | Icc_sim.Trace.Adv_equivocate _ -> incr equivs
+      | Icc_sim.Trace.Adv_withhold _ -> incr withholds
+      | Icc_sim.Trace.Adv_censor _ -> incr censors
+      | Icc_sim.Trace.Adv_delay _ -> incr delays
+      | Icc_sim.Trace.Adv_straggle _ -> incr straggles
       | Icc_sim.Trace.Run_start _ | Icc_sim.Trace.Run_end _
       | Icc_sim.Trace.Engine_dispatch _ | Icc_sim.Trace.Net_send _
       | Icc_sim.Trace.Net_deliver _ | Icc_sim.Trace.Net_hold _
@@ -225,6 +233,77 @@ let print_faults r =
       Printf.printf
         "  resync: %d summaries, %d requests, %d replies (%d artifacts resent)\n"
         !summaries !requests !replies !resent
+  end;
+  let total_adv = !equivs + !withholds + !censors + !delays + !straggles in
+  if !corrupts <> [] || total_adv > 0 then begin
+    print_newline ();
+    let ids l =
+      String.concat "," (List.map string_of_int (List.sort_uniq Int.compare l))
+    in
+    Printf.printf "adversary: %d corruption%s (parties %s)\n"
+      (List.length (List.sort_uniq Int.compare !corrupts))
+      (if List.length (List.sort_uniq Int.compare !corrupts) = 1 then ""
+       else "s")
+      (ids !corrupts);
+    Printf.printf
+      "  %d equivocations, %d withholds, %d censored, %d delayed, %d straggled\n"
+      !equivs !withholds !censors !delays !straggles
+  end
+
+(* Satellite of the adversary layer: when the monitor caught a safety
+   violation, dump the offending adv-*/monitor-* event window around each
+   fatal violation so the attack is reproducible from the trace alone —
+   rounds, parties and digests all appear verbatim in the JSONL lines. *)
+let print_violation_window r =
+  let fatal = Icc_sim.Monitor.fatal_violations r.monitor in
+  if fatal <> [] then begin
+    let entries = r.load.Icc_sim.Replay.entries in
+    let is_relevant ~lo ~hi (e : Icc_sim.Replay.entry) =
+      let in_window round = round >= lo && round <= hi in
+      match e.Icc_sim.Replay.event with
+      | Icc_sim.Trace.Adv_corrupt { round; _ }
+      | Icc_sim.Trace.Adv_equivocate { round; _ }
+      | Icc_sim.Trace.Adv_withhold { round; _ }
+      | Icc_sim.Trace.Monitor_violation { round; _ }
+      | Icc_sim.Trace.Notarize { round; _ }
+      | Icc_sim.Trace.Finalize { round; _ } ->
+          in_window round
+      | Icc_sim.Trace.Adv_censor _ | Icc_sim.Trace.Adv_delay _
+      | Icc_sim.Trace.Adv_straggle _ | Icc_sim.Trace.Run_start _
+      | Icc_sim.Trace.Run_end _ | Icc_sim.Trace.Engine_dispatch _
+      | Icc_sim.Trace.Net_send _ | Icc_sim.Trace.Net_deliver _
+      | Icc_sim.Trace.Net_hold _ | Icc_sim.Trace.Gossip_publish _
+      | Icc_sim.Trace.Gossip_request _ | Icc_sim.Trace.Gossip_acquire _
+      | Icc_sim.Trace.Rbc_fragment _ | Icc_sim.Trace.Rbc_echo _
+      | Icc_sim.Trace.Rbc_reconstruct _ | Icc_sim.Trace.Rbc_inconsistent _
+      | Icc_sim.Trace.Round_entry _ | Icc_sim.Trace.Propose _
+      | Icc_sim.Trace.Beacon_share _ | Icc_sim.Trace.Commit _
+      | Icc_sim.Trace.Block_decided _ | Icc_sim.Trace.Protocol_error _
+      | Icc_sim.Trace.Monitor_stall _ | Icc_sim.Trace.Monitor_clear _
+      | Icc_sim.Trace.Fault_drop _ | Icc_sim.Trace.Fault_duplicate _
+      | Icc_sim.Trace.Fault_reorder _ | Icc_sim.Trace.Fault_link_down _
+      | Icc_sim.Trace.Fault_crash _ | Icc_sim.Trace.Fault_recover _
+      | Icc_sim.Trace.Resync_summary _ | Icc_sim.Trace.Resync_request _
+      | Icc_sim.Trace.Resync_reply _ | Icc_sim.Trace.Prof_span _
+      | Icc_sim.Trace.Prof_counter _ ->
+          false
+    in
+    List.iter
+      (fun (v : Icc_sim.Monitor.violation) ->
+        print_newline ();
+        Printf.printf
+          "violation window: %s in round %d (events of rounds %d..%d)\n"
+          v.Icc_sim.Monitor.v_what v.v_round (max 1 (v.v_round - 1))
+          (v.v_round + 1);
+        let lo = max 1 (v.v_round - 1) and hi = v.v_round + 1 in
+        Array.iteri
+          (fun i (e : Icc_sim.Replay.entry) ->
+            if is_relevant ~lo ~hi e then
+              Printf.printf "  line %-7d %s\n" (i + 1)
+                (Icc_sim.Trace.to_json ~time:e.Icc_sim.Replay.time
+                   e.Icc_sim.Replay.event))
+          entries)
+      fatal
   end
 
 (* Profiler snapshot carried on the bus ([prof-span]/[prof-counter] lines,
@@ -254,6 +333,9 @@ let print_profile r =
       | Icc_sim.Trace.Fault_drop _ | Icc_sim.Trace.Fault_duplicate _
       | Icc_sim.Trace.Fault_reorder _ | Icc_sim.Trace.Fault_link_down _
       | Icc_sim.Trace.Fault_crash _ | Icc_sim.Trace.Fault_recover _
+      | Icc_sim.Trace.Adv_corrupt _ | Icc_sim.Trace.Adv_equivocate _
+      | Icc_sim.Trace.Adv_withhold _ | Icc_sim.Trace.Adv_censor _
+      | Icc_sim.Trace.Adv_delay _ | Icc_sim.Trace.Adv_straggle _
       | Icc_sim.Trace.Resync_summary _ | Icc_sim.Trace.Resync_request _
       | Icc_sim.Trace.Resync_reply _ -> ())
     r.load.Icc_sim.Replay.entries;
@@ -316,5 +398,6 @@ let print r =
   print_bandwidth r;
   print_amplification r;
   print_faults r;
+  print_violation_window r;
   print_profile r;
   print_critical_path r

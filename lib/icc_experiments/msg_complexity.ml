@@ -19,10 +19,14 @@ type row = {
 
 let run_one ~quick ~n ~adversarial =
   let t = Icc_crypto.Keygen.max_corrupt ~n in
-  let behaviors =
+  (* Noisy equivocators (Adversary script): propose conflicting blocks and
+     share everything, inflating the per-round message count. *)
+  let adversary =
     if adversarial then
-      List.init t (fun i -> ((i * 2) + 2, Icc_core.Party.byzantine_equivocator))
-    else []
+      Some
+        (List.init t (fun i ->
+             Icc_sim.Adversary.equivocate ~noisy:true ((i * 2) + 2)))
+    else None
   in
   let rounds = if quick then 10 else 30 in
   let scenario =
@@ -34,7 +38,7 @@ let run_one ~quick ~n ~adversarial =
       epsilon = 0.1;
       delta_bnd = 0.25;
       t_corrupt = t;
-      behaviors;
+      adversary;
     }
   in
   let r = Icc_core.Runner.run scenario in

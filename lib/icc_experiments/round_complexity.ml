@@ -32,9 +32,22 @@ let run_one ~quick ~n ~beta =
       epsilon = 0.15;
       delta_bnd = 0.3;
       t_corrupt = Icc_crypto.Keygen.max_corrupt ~n;
-      behaviors =
-        List.init corrupt (fun i ->
-            ((3 * i) + 1, Icc_core.Party.stealthy_equivocator));
+      (* Stealthy equivocators (Adversary script): split the honest quorum
+         with conflicting proposals while withholding their own shares, so
+         rounds they lead decide only later. *)
+      adversary =
+        (match corrupt with
+        | 0 -> None
+        | _ ->
+            Some
+              (List.concat_map
+                 (fun i ->
+                   let id = (3 * i) + 1 in
+                   [
+                     Icc_sim.Adversary.equivocate id;
+                     Icc_sim.Adversary.withhold ~notar:true ~final:true id;
+                   ])
+                 (List.init corrupt Fun.id)));
     }
   in
   let r = Icc_core.Runner.run scenario in

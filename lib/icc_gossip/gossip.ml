@@ -161,10 +161,10 @@ let on_wire t ~dst ~src w =
         else acquire t ~party:dst ~from_peer:src id msg
 
 let create ~engine ~trace ~n ~rng ~delay_model ?(async_until = 0.) ?fault
-    ~fanout ~is_active ~deliver_up () =
+    ?adversary ~fanout ~is_active ~deliver_up () =
   let net =
     Icc_sim.Transport.network ~engine ~n ~trace ~delay_model ~async_until
-      ?fault ()
+      ?fault ?adversary ()
   in
   let t =
     {

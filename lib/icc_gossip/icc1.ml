@@ -16,7 +16,8 @@ let transport ?(fanout = default_fanout) () : Icc_core.Runner.transport =
       ~rng:ctx.Icc_core.Runner.tr_rng
       ~delay_model:ctx.Icc_core.Runner.tr_delay_model
       ~async_until:ctx.Icc_core.Runner.tr_async_until
-      ?fault:ctx.Icc_core.Runner.tr_fault ~fanout
+      ?fault:ctx.Icc_core.Runner.tr_fault
+      ?adversary:ctx.Icc_core.Runner.tr_adversary ~fanout
       ~is_active:ctx.Icc_core.Runner.tr_is_active
       ~deliver_up:ctx.Icc_core.Runner.tr_deliver ()
   in

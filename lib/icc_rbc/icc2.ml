@@ -15,6 +15,7 @@ let transport () : Icc_core.Runner.transport =
       ~delay_model:ctx.Icc_core.Runner.tr_delay_model
       ~async_until:ctx.Icc_core.Runner.tr_async_until
       ?fault:ctx.Icc_core.Runner.tr_fault
+      ?adversary:ctx.Icc_core.Runner.tr_adversary
       ~is_active:ctx.Icc_core.Runner.tr_is_active
       ~deliver_up:ctx.Icc_core.Runner.tr_deliver
       ~system:ctx.Icc_core.Runner.tr_system ~keys:ctx.Icc_core.Runner.tr_keys

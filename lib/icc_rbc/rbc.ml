@@ -272,10 +272,10 @@ let on_frag t ~dst (f : frag) =
   end
 
 let create ~engine ~trace ~n ~t:t_corrupt ~delay_model ~async_until ?fault
-    ~is_active ~deliver_up ~system ~keys () =
+    ?adversary ~is_active ~deliver_up ~system ~keys () =
   let net =
     Icc_sim.Transport.network ~engine ~n ~trace ~delay_model ~async_until
-      ?fault ()
+      ?fault ?adversary ()
   in
   let t =
     {

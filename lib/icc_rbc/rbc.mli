@@ -38,6 +38,7 @@ val create :
   delay_model:Icc_sim.Network.delay_model ->
   async_until:float ->
   ?fault:Icc_sim.Fault.t ->
+  ?adversary:Icc_sim.Adversary.t ->
   is_active:(int -> bool) ->
   deliver_up:(dst:int -> Icc_core.Message.t -> unit) ->
   system:Icc_crypto.Keygen.system ->

@@ -113,6 +113,22 @@ val finally_down : script -> int list
 
 (** {1 Script files} *)
 
+(** Generic JSON value, shared with {!Adversary} script parsing. *)
+type json =
+  | Jnull
+  | Jbool of bool
+  | Jnum of float
+  | Jstr of string
+  | Jarr of json list
+  | Jobj of (string * json) list
+
+exception Script_error of string
+
+val parse_json : string -> json
+(** Parse arbitrary (nesting) JSON text; raises {!Script_error} with a
+    byte offset on malformed input.  Exposed so sibling script formats
+    ({!Adversary}) reuse one reader. *)
+
 val script_of_json : string -> (script, string) result
 (** Parse a JSON script: an array of objects selected by their ["fault"]
     field — [{"fault":"drop","p":0.2,"from":0,"until":30,"src":1,"dst":2}],

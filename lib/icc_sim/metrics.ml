@@ -155,7 +155,9 @@ let attach t trace =
       | Trace.Protocol_error _ | Trace.Monitor_violation _
       | Trace.Monitor_stall _ | Trace.Monitor_clear _
       | Trace.Fault_drop _ | Trace.Fault_duplicate _ | Trace.Fault_reorder _
-      | Trace.Fault_link_down _ | Trace.Fault_crash _ | Trace.Fault_recover _
+      | Trace.Fault_link_down _ | Trace.Fault_crash _ | Trace.Fault_recover _ | Trace.Adv_corrupt _ | Trace.Adv_equivocate _
+      | Trace.Adv_withhold _ | Trace.Adv_censor _ | Trace.Adv_delay _
+      | Trace.Adv_straggle _
       | Trace.Resync_summary _ | Trace.Resync_request _ | Trace.Resync_reply _
       | Trace.Prof_span _ | Trace.Prof_counter _ ->
           ())

@@ -98,6 +98,7 @@ type t = {
   per_party_beacon : (int * int, int) Hashtbl.t;
   per_round_notarize : (int, int) Hashtbl.t; (* total Notarize events *)
   last_commit_round : (int, int) Hashtbl.t; (* party -> last committed round *)
+  corrupt : (int, unit) Hashtbl.t; (* parties announced by Adv_corrupt *)
   mutable violations : violation list; (* newest first *)
   mutable stalls : stall list; (* newest first *)
 }
@@ -118,6 +119,7 @@ let create ?trace config =
     per_party_beacon = Hashtbl.create 64;
     per_round_notarize = Hashtbl.create 64;
     last_commit_round = Hashtbl.create 16;
+    corrupt = Hashtbl.create 8;
     violations = [];
     stalls = [];
   }
@@ -435,7 +437,9 @@ let observe t ~time ev =
     | Trace.Commit _ | Trace.Block_decided _ | Trace.Protocol_error _
     | Trace.Fault_drop _
     | Trace.Fault_duplicate _ | Trace.Fault_reorder _ | Trace.Fault_link_down _
-    | Trace.Fault_crash _ | Trace.Fault_recover _ | Trace.Resync_summary _
+    | Trace.Fault_crash _ | Trace.Fault_recover _ | Trace.Adv_corrupt _
+    | Trace.Adv_equivocate _ | Trace.Adv_withhold _ | Trace.Adv_censor _
+    | Trace.Adv_delay _ | Trace.Adv_straggle _ | Trace.Resync_summary _
     | Trace.Resync_request _ | Trace.Resync_reply _ | Trace.Prof_span _
     | Trace.Prof_counter _ ) as ev ->
       (match ev with
@@ -479,6 +483,12 @@ let observe t ~time ev =
                    | c -> c)
           in
           List.iter (Hashtbl.remove t.per_party_beacon) stale
+      | Trace.Adv_corrupt { party; _ } ->
+          (* a declared corruption: remember the party so duplicate-share
+             warnings it causes can be attributed (see corrupt_parties) *)
+          Hashtbl.replace t.corrupt party ()
+      | Trace.Adv_equivocate _ | Trace.Adv_withhold _ | Trace.Adv_censor _
+      | Trace.Adv_delay _ | Trace.Adv_straggle _
       | Trace.Engine_dispatch _ | Trace.Net_send _ | Trace.Net_deliver _
       | Trace.Net_hold _ | Trace.Gossip_publish _ | Trace.Gossip_request _
       | Trace.Gossip_acquire _ | Trace.Rbc_fragment _ | Trace.Rbc_echo _
@@ -503,6 +513,10 @@ let violations t = List.rev t.violations
 let fatal_violations t = List.filter (fun v -> v.v_fatal) (violations t)
 let warnings t = List.filter (fun v -> not v.v_fatal) (violations t)
 let stalls t = List.rev t.stalls
+
+let corrupt_parties t =
+  Hashtbl.fold (fun p () acc -> p :: acc) t.corrupt []
+  |> List.sort Int.compare
 
 let stalled_rounds t =
   List.sort_uniq compare

@@ -30,6 +30,7 @@ type 'msg t = {
   mutable hold_until : float; (* global asynchronous interval end *)
   mutable link_hold : (int -> int -> float) option; (* partition model *)
   mutable fault : Fault.t option; (* nemesis interposition *)
+  mutable adversary : Adversary.t option; (* corrupt-sender interposition *)
   mutable handler : dst:int -> src:int -> 'msg -> unit;
   mutable delivered : int;
 }
@@ -43,6 +44,7 @@ let create engine ~n ~trace ~delay_model =
     hold_until = neg_infinity;
     link_hold = None;
     fault = None;
+    adversary = None;
     handler = (fun ~dst:_ ~src:_ _ -> ());
     delivered = 0;
   }
@@ -50,6 +52,7 @@ let create engine ~n ~trace ~delay_model =
 let set_handler t handler = t.handler <- handler
 let set_delay_model t m = t.delay_model <- m
 let set_fault t f = t.fault <- Some f
+let set_adversary t a = t.adversary <- Some a
 
 let hold_all_until t time = t.hold_until <- time
 let set_link_hold t f = t.link_hold <- Some f
@@ -79,13 +82,27 @@ let transmit t ~src ~dst ~size ~kind msg =
   Icc_obs.Profile.span "net.transmit" @@ fun () ->
   let now = Engine.now t.engine in
   let d = sample_delay t ~src ~dst in
-  let deliveries, fault_floor =
-    match t.fault with
-    | None -> ([ 0. ], neg_infinity)
-    | Some f ->
-        let v = Fault.on_transmit f ~now ~src ~dst ~kind in
-        (v.Fault.deliveries, v.Fault.release_floor)
+  (* The adversary rules a corrupt sender's copy before the nemesis sees
+     it: a censored/straggled/withheld transmission never reaches the
+     fault layer (the corrupt party "never sent it").  Each layer draws
+     from its own stream, so installing one never shifts the other. *)
+  let adv_drop, adv_delay =
+    match t.adversary with
+    | None -> (false, 0.)
+    | Some a ->
+        let v = Adversary.on_send a ~now ~src ~dst ~kind in
+        (v.Adversary.av_drop, v.Adversary.av_delay)
   in
+  let deliveries, fault_floor =
+    if adv_drop then ([], neg_infinity)
+    else
+      match t.fault with
+      | None -> ([ 0. ], neg_infinity)
+      | Some f ->
+          let v = Fault.on_transmit f ~now ~src ~dst ~kind in
+          (v.Fault.deliveries, v.Fault.release_floor)
+  in
+  let d = d +. adv_delay in
   let release =
     let global = max now t.hold_until in
     let global = max global fault_floor in

@@ -52,6 +52,15 @@ val set_fault : 'msg t -> Fault.t -> unit
     faults.  The delay-model RNG stream is sampled before the nemesis is
     consulted, so installing a fault never shifts the delay sequence. *)
 
+val set_adversary : 'msg t -> Adversary.t -> unit
+(** Interpose a Byzantine {!Adversary}: every remote transmission is
+    submitted to {!Adversary.on_send} {e before} the nemesis — a copy the
+    corrupt sender suppresses (censorship, straggling, network-level
+    withholding, crash window) never reaches the fault layer, and a
+    stealthy-leader delay adds to the sampled network delay.  Self-delivery
+    is never interposed.  The adversary draws from its own RNG stream after
+    the delay model's, so installing it never shifts delay sampling. *)
+
 val unicast : 'msg t -> src:int -> dst:int -> size:int -> kind:string -> 'msg -> unit
 val broadcast : 'msg t -> src:int -> size:int -> kind:string -> 'msg -> unit
 val delivered : 'msg t -> int

@@ -65,7 +65,9 @@ let parties entries =
       | Trace.Commit _ | Trace.Block_decided _ | Trace.Protocol_error _ | Trace.Monitor_violation _
       | Trace.Monitor_stall _ | Trace.Monitor_clear _ | Trace.Fault_drop _
       | Trace.Fault_duplicate _ | Trace.Fault_reorder _ | Trace.Fault_link_down _
-      | Trace.Fault_crash _ | Trace.Fault_recover _ | Trace.Resync_summary _
+      | Trace.Fault_crash _ | Trace.Fault_recover _ | Trace.Adv_corrupt _ | Trace.Adv_equivocate _
+      | Trace.Adv_withhold _ | Trace.Adv_censor _ | Trace.Adv_delay _
+      | Trace.Adv_straggle _ | Trace.Resync_summary _
       | Trace.Resync_request _ | Trace.Resync_reply _ | Trace.Prof_span _
       | Trace.Prof_counter _ -> ())
     entries;
@@ -133,7 +135,9 @@ let bandwidth entries =
       | Trace.Block_decided _ | Trace.Protocol_error _ | Trace.Monitor_violation _ | Trace.Monitor_stall _
       | Trace.Monitor_clear _ | Trace.Fault_drop _ | Trace.Fault_duplicate _
       | Trace.Fault_reorder _ | Trace.Fault_link_down _ | Trace.Fault_crash _
-      | Trace.Fault_recover _ | Trace.Resync_summary _ | Trace.Resync_request _
+      | Trace.Fault_recover _ | Trace.Adv_corrupt _ | Trace.Adv_equivocate _
+      | Trace.Adv_withhold _ | Trace.Adv_censor _ | Trace.Adv_delay _
+      | Trace.Adv_straggle _ | Trace.Resync_summary _ | Trace.Resync_request _
       | Trace.Resync_reply _ | Trace.Prof_span _ | Trace.Prof_counter _ -> ())
     entries;
   let row_sum m i = Array.fold_left ( + ) 0 m.(i) in
@@ -220,7 +224,9 @@ let rounds entries =
       | Trace.Rbc_inconsistent _ | Trace.Beacon_share _ | Trace.Commit _
       | Trace.Protocol_error _ | Trace.Monitor_violation _ | Trace.Monitor_stall _ | Trace.Monitor_clear _
       | Trace.Fault_drop _ | Trace.Fault_duplicate _ | Trace.Fault_reorder _
-      | Trace.Fault_link_down _ | Trace.Fault_crash _ | Trace.Fault_recover _
+      | Trace.Fault_link_down _ | Trace.Fault_crash _ | Trace.Fault_recover _ | Trace.Adv_corrupt _ | Trace.Adv_equivocate _
+      | Trace.Adv_withhold _ | Trace.Adv_censor _ | Trace.Adv_delay _
+      | Trace.Adv_straggle _
       | Trace.Resync_summary _ | Trace.Resync_request _ | Trace.Resync_reply _
       | Trace.Prof_span _ | Trace.Prof_counter _ ->
           ())
@@ -275,7 +281,9 @@ let amplification entries =
       | Trace.Beacon_share _ | Trace.Commit _ | Trace.Protocol_error _ | Trace.Monitor_violation _
       | Trace.Monitor_stall _ | Trace.Monitor_clear _ | Trace.Fault_drop _
       | Trace.Fault_duplicate _ | Trace.Fault_reorder _ | Trace.Fault_link_down _
-      | Trace.Fault_crash _ | Trace.Fault_recover _ | Trace.Resync_summary _
+      | Trace.Fault_crash _ | Trace.Fault_recover _ | Trace.Adv_corrupt _ | Trace.Adv_equivocate _
+      | Trace.Adv_withhold _ | Trace.Adv_censor _ | Trace.Adv_delay _
+      | Trace.Adv_straggle _ | Trace.Resync_summary _
       | Trace.Resync_request _ | Trace.Resync_reply _ | Trace.Prof_span _
       | Trace.Prof_counter _ -> ())
     entries;
@@ -336,7 +344,9 @@ let critical_path entries ~round =
       | Trace.Commit _ | Trace.Block_decided _ | Trace.Protocol_error _ | Trace.Monitor_violation _
       | Trace.Monitor_stall _ | Trace.Monitor_clear _ | Trace.Fault_drop _
       | Trace.Fault_duplicate _ | Trace.Fault_reorder _ | Trace.Fault_link_down _
-      | Trace.Fault_crash _ | Trace.Fault_recover _ | Trace.Resync_summary _
+      | Trace.Fault_crash _ | Trace.Fault_recover _ | Trace.Adv_corrupt _ | Trace.Adv_equivocate _
+      | Trace.Adv_withhold _ | Trace.Adv_censor _ | Trace.Adv_delay _
+      | Trace.Adv_straggle _ | Trace.Resync_summary _
       | Trace.Resync_request _ | Trace.Resync_reply _ | Trace.Prof_span _
       | Trace.Prof_counter _ -> ())
     entries;

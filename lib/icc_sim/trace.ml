@@ -61,6 +61,18 @@ type event =
   | Fault_link_down of { src : int; dst : int; kind : string; release : float }
   | Fault_crash of { party : int }
   | Fault_recover of { party : int }
+  (* Byzantine adversary (the {!Adversary} strategy layer) *)
+  | Adv_corrupt of { party : int; round : int; strategy : string }
+  | Adv_equivocate of {
+      party : int;
+      round : int;
+      block_a : string;
+      block_b : string;
+    }
+  | Adv_withhold of { party : int; round : int; kind : string }
+  | Adv_censor of { src : int; dst : int; kind : string }
+  | Adv_delay of { src : int; dst : int; kind : string; by : float }
+  | Adv_straggle of { src : int; dst : int; kind : string }
   (* pool resync (retransmission/recovery sub-layer) *)
   | Resync_summary of { party : int; peer : int; round : int; kmax : int }
   | Resync_request of { party : int; peer : int; from_round : int; upto : int }
@@ -81,13 +93,15 @@ type level = Core | Detail
 let level_of = function
   | Run_start _ | Run_end _ | Net_send _ | Round_entry _ | Propose _
   | Notarize _ | Block_decided _ | Protocol_error _ | Monitor_violation _
-  | Monitor_stall _ | Monitor_clear _ | Fault_crash _ | Fault_recover _ ->
+  | Monitor_stall _ | Monitor_clear _ | Fault_crash _ | Fault_recover _
+  | Adv_corrupt _ | Adv_equivocate _ ->
       Core
   | Engine_dispatch _ | Net_deliver _ | Net_hold _ | Gossip_publish _
   | Gossip_request _ | Gossip_acquire _ | Rbc_fragment _ | Rbc_echo _
   | Rbc_reconstruct _ | Rbc_inconsistent _ | Finalize _ | Beacon_share _
   | Commit _ | Fault_drop _ | Fault_duplicate _ | Fault_reorder _
-  | Fault_link_down _ | Resync_summary _ | Resync_request _ | Resync_reply _
+  | Fault_link_down _ | Adv_withhold _ | Adv_censor _ | Adv_delay _
+  | Adv_straggle _ | Resync_summary _ | Resync_request _ | Resync_reply _
   | Prof_span _ | Prof_counter _ ->
       Detail
 
@@ -147,6 +161,12 @@ let kind_of = function
   | Fault_link_down _ -> "fault-link-down"
   | Fault_crash _ -> "fault-crash"
   | Fault_recover _ -> "fault-recover"
+  | Adv_corrupt _ -> "adv-corrupt"
+  | Adv_equivocate _ -> "adv-equivocate"
+  | Adv_withhold _ -> "adv-withhold"
+  | Adv_censor _ -> "adv-censor"
+  | Adv_delay _ -> "adv-delay"
+  | Adv_straggle _ -> "adv-straggle"
   | Resync_summary _ -> "resync-summary"
   | Resync_request _ -> "resync-request"
   | Resync_reply _ -> "resync-reply"
@@ -233,6 +253,21 @@ let to_json ~time ev =
           (json_escape kind) release
     | Fault_crash { party } | Fault_recover { party } ->
         p {|"party":%d|} party
+    | Adv_corrupt { party; round; strategy } ->
+        p {|"party":%d,"round":%d,"strategy":"%s"|} party round
+          (json_escape strategy)
+    | Adv_equivocate { party; round; block_a; block_b } ->
+        p {|"party":%d,"round":%d,"block_a":"%s","block_b":"%s"|} party round
+          (json_escape block_a) (json_escape block_b)
+    | Adv_withhold { party; round; kind } ->
+        p {|"party":%d,"round":%d,"kind":"%s"|} party round (json_escape kind)
+    | Adv_censor { src; dst; kind } ->
+        p {|"src":%d,"dst":%d,"kind":"%s"|} src dst (json_escape kind)
+    | Adv_delay { src; dst; kind; by } ->
+        p {|"src":%d,"dst":%d,"kind":"%s","by":%.6f|} src dst
+          (json_escape kind) by
+    | Adv_straggle { src; dst; kind } ->
+        p {|"src":%d,"dst":%d,"kind":"%s"|} src dst (json_escape kind)
     | Resync_summary { party; peer; round; kmax } ->
         p {|"party":%d,"peer":%d,"round":%d,"kmax":%d|} party peer round kmax
     | Resync_request { party; peer; from_round; upto } ->
@@ -538,6 +573,37 @@ let of_json line =
                 }
           | "fault-crash" -> Fault_crash { party = int "party" }
           | "fault-recover" -> Fault_recover { party = int "party" }
+          | "adv-corrupt" ->
+              Adv_corrupt
+                {
+                  party = int "party";
+                  round = int "round";
+                  strategy = str "strategy";
+                }
+          | "adv-equivocate" ->
+              Adv_equivocate
+                {
+                  party = int "party";
+                  round = int "round";
+                  block_a = str "block_a";
+                  block_b = str "block_b";
+                }
+          | "adv-withhold" ->
+              Adv_withhold
+                { party = int "party"; round = int "round"; kind = str "kind" }
+          | "adv-censor" ->
+              Adv_censor { src = int "src"; dst = int "dst"; kind = str "kind" }
+          | "adv-delay" ->
+              Adv_delay
+                {
+                  src = int "src";
+                  dst = int "dst";
+                  kind = str "kind";
+                  by = flt "by";
+                }
+          | "adv-straggle" ->
+              Adv_straggle
+                { src = int "src"; dst = int "dst"; kind = str "kind" }
           | "resync-summary" ->
               Resync_summary
                 {

@@ -66,6 +66,29 @@ type event =
       (** Nemesis crash directive took a party down mid-run. *)
   | Fault_recover of { party : int }
       (** A crashed party rejoined (it resyncs its pool from peers). *)
+  | Adv_corrupt of { party : int; round : int; strategy : string }
+      (** {!Adversary} directive became active for [party] at [round]
+          (adaptive corruptions announce here the first time they fire). *)
+  | Adv_equivocate of {
+      party : int;
+      round : int;
+      block_a : string;
+      block_b : string;
+    }
+      (** A corrupt proposer sent conflicting proposals (short hex digests)
+          to disjoint halves of the network. *)
+  | Adv_withhold of { party : int; round : int; kind : string }
+      (** A corrupt party suppressed one of its own shares; [kind] is
+          ["beacon-share"], ["notarization-share"] or
+          ["finalization-share"]. *)
+  | Adv_censor of { src : int; dst : int; kind : string }
+      (** A corrupt sender silently dropped a message to a censored peer. *)
+  | Adv_delay of { src : int; dst : int; kind : string; by : float }
+      (** A corrupt sender (stealthy leader) held a message back [by]
+          seconds before transmitting. *)
+  | Adv_straggle of { src : int; dst : int; kind : string }
+      (** Unknown-participation straggler: a corrupt sender probabilistically
+          failed to transmit this copy (Losa–Gafni message adversary). *)
   | Resync_summary of { party : int; peer : int; round : int; kmax : int }
       (** Periodic pool summary ([round], finalization cursor [kmax])
           unicast to one rotating peer. *)

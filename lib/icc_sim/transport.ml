@@ -26,12 +26,14 @@ let env ?trace ~n () =
         Trace.emit trace ~time (Trace.Engine_dispatch { seq }));
   { engine; trace; metrics; n }
 
-let network ~engine ~n ~trace ~delay_model ?(async_until = 0.) ?fault () =
+let network ~engine ~n ~trace ~delay_model ?(async_until = 0.) ?fault
+    ?adversary () =
   let net = Network.create engine ~n ~trace ~delay_model in
   if async_until > 0. then Network.hold_all_until net async_until;
   (match fault with Some f -> Network.set_fault net f | None -> ());
+  (match adversary with Some a -> Network.set_adversary net a | None -> ());
   net
 
-let network_of e ~delay_model ?async_until ?fault () =
+let network_of e ~delay_model ?async_until ?fault ?adversary () =
   network ~engine:e.engine ~n:e.n ~trace:e.trace ~delay_model ?async_until
-    ?fault ()
+    ?fault ?adversary ()

@@ -23,13 +23,15 @@ val network :
   delay_model:Network.delay_model ->
   ?async_until:float ->
   ?fault:Fault.t ->
+  ?adversary:Adversary.t ->
   unit ->
   'msg Network.t
 (** An instrumented network; [async_until > 0] installs the adversarial
-    hold ({!Network.hold_all_until}) before any message is sent, and
-    [fault] interposes a {!Fault} nemesis ({!Network.set_fault}). *)
+    hold ({!Network.hold_all_until}) before any message is sent, [fault]
+    interposes a {!Fault} nemesis ({!Network.set_fault}) and [adversary]
+    interposes a Byzantine {!Adversary} ({!Network.set_adversary}). *)
 
 val network_of :
   env -> delay_model:Network.delay_model -> ?async_until:float ->
-  ?fault:Fault.t -> unit -> 'msg Network.t
+  ?fault:Fault.t -> ?adversary:Adversary.t -> unit -> 'msg Network.t
 (** {!network} with the environment's engine, size and bus. *)

@@ -69,7 +69,7 @@ let test_pruning_under_byzantine_load () =
       {
         (base ()) with
         Icc_core.Runner.prune_depth = Some 2;
-        behaviors = [ (2, Icc_core.Party.byzantine_equivocator) ];
+        adversary = Some [ Icc_sim.Adversary.equivocate ~noisy:true 2 ];
       }
   in
   Alcotest.(check bool) "safety" true r.Icc_core.Runner.safety_ok;

@@ -75,6 +75,100 @@ let prop_icc0_safe_under_random_schedules =
       && monitor_ok r
       && r.Icc_core.Runner.rounds_decided >= 10)
 
+(* --------------------------- random adversary x nemesis compositions *)
+
+(* Random adversary scripts, all targeting party 2 so the corrupt count
+   stays at f = 1 = t for n = 4.  The spec tuple mirrors the nemesis one
+   so QCheck shrinks both the same way. *)
+let adv_script_of_specs specs =
+  List.map
+    (fun (kind, permille, w0, w1) ->
+      let from_ = float_of_int w0 and until = float_of_int (w0 + w1 + 1) in
+      let p = float_of_int permille /. 1000. in
+      match kind mod 8 with
+      | 0 -> Icc_sim.Adversary.equivocate ~noisy:true 2
+      | 1 -> Icc_sim.Adversary.equivocate 2
+      | 2 -> Icc_sim.Adversary.withhold ~p 2
+      | 3 ->
+          Icc_sim.Adversary.withhold ~notar:true ~final:true ~p ~from_ ~until 2
+      | 4 -> Icc_sim.Adversary.censor ~dsts:[ 1 + (w1 mod 4) ] ~from_ ~until 2
+      | 5 -> Icc_sim.Adversary.delay ~by:0.3 ~from_ ~until 2
+      | 6 -> Icc_sim.Adversary.crash_window ~from_ ~until 2
+      | _ -> Icc_sim.Adversary.straggle ~p:(p *. 0.8) ~from_ ~until 2)
+    specs
+
+(* Run a scenario with a trace sink, returning the result and JSONL dump. *)
+let jsonl_run scenario =
+  let tr = Icc_sim.Trace.create () in
+  let buf = Buffer.create (1 lsl 16) in
+  Icc_sim.Trace.subscribe ~all:true tr (fun ~time ev ->
+      Buffer.add_string buf (Icc_sim.Trace.to_json ~time ev);
+      Buffer.add_char buf '\n');
+  let r = Icc_core.Runner.run { scenario with Icc_core.Runner.trace = Some tr } in
+  (r, Buffer.contents buf)
+
+let prop_safe_under_random_adversary_and_nemesis =
+  let spec_gen =
+    QCheck.Gen.(
+      quad (int_bound 7) (int_bound 1000) (int_bound 9) (int_bound 5))
+  in
+  let gen =
+    QCheck.Gen.(
+      triple (int_bound 1000)
+        (list_size (int_range 1 3) spec_gen)
+        (list_size (int_range 0 2)
+           (quad (int_bound 2) (int_bound 200) (int_bound 9) (int_bound 5))))
+  in
+  let print (seed, advs, nems) =
+    let specs l =
+      String.concat "; "
+        (List.map
+           (fun (k, p, w0, w1) -> Printf.sprintf "(%d,%d,%d,%d)" k p w0 w1)
+           l)
+    in
+    Printf.sprintf "seed=%d adv=[%s] nemesis=[%s]" seed (specs advs) (specs nems)
+  in
+  QCheck.Test.make
+    ~name:
+      "icc0 safe under random adversary scripts x nemesis schedules (f <= t), \
+       traces byte-identical across re-runs"
+    ~count:8
+    (QCheck.make ~print gen)
+    (fun (seed, adv_specs, nem_specs) ->
+      let scenario =
+        monitored
+          {
+            (base ~seed ~duration:15. ()) with
+            Icc_core.Runner.nemesis =
+              (match nem_specs with
+              | [] -> None
+              | s -> Some (script_of_specs s));
+            adversary = Some (adv_script_of_specs adv_specs);
+          }
+      in
+      let r1, jsonl1 = jsonl_run scenario in
+      let _r2, jsonl2 = jsonl_run scenario in
+      r1.Icc_core.Runner.safety_ok && r1.Icc_core.Runner.p1_ok
+      && monitor_ok r1
+      && r1.Icc_core.Runner.rounds_decided >= 8
+      && String.length jsonl1 > 10_000
+      && String.equal jsonl1 jsonl2)
+
+let test_disabled_adversary_is_invisible () =
+  (* [adversary = Some []] must not split the RNG or perturb anything:
+     the trace is byte-identical to [adversary = None] — the layer is
+     invisible until configured. *)
+  let scenario = monitored (base ~seed:91 ~duration:10. ()) in
+  let _, j_none =
+    jsonl_run { scenario with Icc_core.Runner.adversary = None }
+  in
+  let _, j_empty =
+    jsonl_run { scenario with Icc_core.Runner.adversary = Some [] }
+  in
+  Alcotest.(check bool) "trace non-empty" true (String.length j_none > 10_000);
+  Alcotest.(check bool) "None and Some [] byte-identical" true
+    (String.equal j_none j_empty)
+
 (* ------------------------------------------- combined acceptance schedule *)
 
 (* 20% loss + duplication over the middle of the run, a healed two-way
@@ -180,6 +274,9 @@ let test_partition_heals_without_crash () =
 let suite =
   [
     QCheck_alcotest.to_alcotest prop_icc0_safe_under_random_schedules;
+    QCheck_alcotest.to_alcotest prop_safe_under_random_adversary_and_nemesis;
+    Alcotest.test_case "adversary disabled is invisible" `Quick
+      test_disabled_adversary_is_invisible;
     Alcotest.test_case "icc0: combined schedule, deterministic trace" `Quick
       test_determinism_icc0;
     Alcotest.test_case "icc1: combined schedule, deterministic trace" `Quick

@@ -52,7 +52,7 @@ let test_equivocating_leader_safety () =
         Icc_core.Runner.run
           {
             (base ~seed ()) with
-            behaviors = [ (1, Icc_core.Party.byzantine_equivocator) ];
+            adversary = Some [ Icc_sim.Adversary.equivocate ~noisy:true 1 ];
           }
       in
       check_invariants ~min_rounds:30 (Printf.sprintf "equivocator seed %d" seed) r)
@@ -64,11 +64,8 @@ let test_equivocator_and_crash_together () =
       {
         (base ~n:7 ()) with
         t_corrupt = 2;
-        behaviors =
-          [
-            (3, Icc_core.Party.byzantine_equivocator);
-            (6, Icc_core.Party.crashed);
-          ];
+        behaviors = [ (6, Icc_core.Party.crashed) ];
+        adversary = Some [ Icc_sim.Adversary.equivocate ~noisy:true 3 ];
       }
   in
   check_invariants ~min_rounds:20 "equivocator+crash" r
@@ -81,7 +78,12 @@ let test_stealthy_equivocator () =
     Icc_core.Runner.run
       {
         (base ()) with
-        behaviors = [ (2, Icc_core.Party.stealthy_equivocator) ];
+        adversary =
+          Some
+            [
+              Icc_sim.Adversary.equivocate 2;
+              Icc_sim.Adversary.withhold ~notar:true ~final:true 2;
+            ];
       }
   in
   check_invariants ~min_rounds:40 "stealthy" r;
@@ -217,13 +219,12 @@ let prop_safety_under_random_adversaries =
           (List.sort_uniq compare
              (List.init t (fun _ -> 1 + Icc_sim.Rng.int rng n)))
       in
-      let behaviors =
-        List.map
-          (fun id ->
-            ( id,
-              if Icc_sim.Rng.bool rng then Icc_core.Party.crashed
-              else Icc_core.Party.byzantine_equivocator ))
-          corrupt
+      let behaviors, directives =
+        List.fold_left
+          (fun (bs, ds) id ->
+            if Icc_sim.Rng.bool rng then ((id, Icc_core.Party.crashed) :: bs, ds)
+            else (bs, Icc_sim.Adversary.equivocate ~noisy:true id :: ds))
+          ([], []) corrupt
       in
       let r =
         Icc_core.Runner.run
@@ -231,6 +232,7 @@ let prop_safety_under_random_adversaries =
             (base ~n ~seed ()) with
             t_corrupt = t;
             behaviors;
+            adversary = (match directives with [] -> None | ds -> Some ds);
             duration = 10.;
           }
       in

@@ -70,7 +70,7 @@ let test_icc1_equivocator_safety () =
     Icc_gossip.Icc1.run ~fanout:4
       {
         (base ()) with
-        behaviors = [ (3, Icc_core.Party.byzantine_equivocator) ];
+        adversary = Some [ Icc_sim.Adversary.equivocate ~noisy:true 3 ];
       }
   in
   Alcotest.(check bool) "safety" true r.Icc_core.Runner.safety_ok;

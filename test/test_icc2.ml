@@ -43,7 +43,7 @@ let test_icc2_equivocator_safety () =
         Icc_rbc.Icc2.run
           {
             (base ~seed ()) with
-            behaviors = [ (2, Icc_core.Party.byzantine_equivocator) ];
+            adversary = Some [ Icc_sim.Adversary.equivocate ~noisy:true 2 ];
           }
       in
       Alcotest.(check bool) "safety" true r.Icc_core.Runner.safety_ok;

@@ -195,14 +195,14 @@ let test_violation_announced_on_bus () =
    the monitor must pin to its round and event index.  The post-hoc Check
    oracles must agree with the online verdict. *)
 let byzantine_scenario ~seed ~monitor =
-  let eq = Icc_core.Party.byzantine_equivocator in
+  let eq id = Icc_sim.Adversary.equivocate ~noisy:true id in
   {
     (Icc_core.Runner.default_scenario ~n:7 ~seed) with
     Icc_core.Runner.duration = 1e6;
     max_rounds = Some 8;
     delay = Icc_core.Runner.Fixed_delay 0.02;
     epsilon = 0.05;
-    behaviors = [ (1, eq); (2, eq); (4, eq); (5, eq) ];
+    adversary = Some [ eq 1; eq 2; eq 4; eq 5 ];
     monitor;
   }
 

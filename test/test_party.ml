@@ -194,6 +194,7 @@ let test_vacuous_n_still_finalization_shares () =
         (fun ~pool:_ ~parent:_ ~round:_ ~proposer:_ ->
           Icc_core.Types.empty_payload);
       on_output = (fun ~party:_ _ -> ());
+      adversary = None;
     }
   in
   let p =

@@ -86,7 +86,7 @@ let test_end_to_end_with_byzantine_party () =
       delay = Icc_core.Runner.Fixed_delay 0.05;
       epsilon = 0.2;
       delta_bnd = 0.3;
-      behaviors = [ (2, Icc_core.Party.byzantine_equivocator) ];
+      adversary = Some [ Icc_sim.Adversary.equivocate ~noisy:true 2 ];
     }
   in
   let r = Icc_smr.Workload.run_kv scenario ~rate_per_s:30. ~cmd_size:128 in

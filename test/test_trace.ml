@@ -69,6 +69,8 @@ let test_levels () =
       Monitor_clear { round = 1; stage = "entry"; waited = 1. };
       Fault_crash { party = 1 };
       Fault_recover { party = 1 };
+      Adv_corrupt { party = 1; round = 1; strategy = "equivocate" };
+      Adv_equivocate { party = 1; round = 1; block_a = "aa"; block_b = "bb" };
     ]
   in
   List.iter
@@ -97,6 +99,10 @@ let test_levels () =
       Fault_link_down { src = 1; dst = 2; kind = "blk"; release = 1. };
       Resync_summary { party = 1; peer = 2; round = 1; kmax = 0 };
       Resync_reply { party = 1; peer = 2; from_round = 1; upto = 1; count = 0 };
+      Adv_withhold { party = 1; round = 1; kind = "beacon-share" };
+      Adv_censor { src = 1; dst = 2; kind = "blk" };
+      Adv_delay { src = 1; dst = 2; kind = "prop"; by = 0.1 };
+      Adv_straggle { src = 1; dst = 2; kind = "share" };
     ]
 
 (* -------------------------------------------------- metrics consumer *)
@@ -210,6 +216,13 @@ let all_constructor_witnesses : Icc_sim.Trace.event list =
     Fault_link_down { src = 1; dst = 4; kind = "blk"; release = 2.5 };
     Fault_crash { party = 3 };
     Fault_recover { party = 3 };
+    Adv_corrupt { party = 2; round = 4; strategy = {|equivocate "noisy"|} };
+    Adv_equivocate
+      { party = 2; round = 4; block_a = "ab12cd34ef56"; block_b = "fe65dc43" };
+    Adv_withhold { party = 3; round = 5; kind = "notarization-share" };
+    Adv_censor { src = 1; dst = 4; kind = {|blk "q"|} };
+    Adv_delay { src = 2; dst = 3; kind = "prop"; by = 0.375 };
+    Adv_straggle { src = 4; dst = 1; kind = "share" };
     Resync_summary { party = 1; peer = 2; round = 9; kmax = 7 };
     Resync_request { party = 2; peer = 1; from_round = 8; upto = 9 };
     Resync_reply { party = 1; peer = 2; from_round = 8; upto = 9; count = 11 };
@@ -244,7 +257,7 @@ let test_json_round_trip_is_exhaustive () =
     List.map Icc_sim.Trace.kind_of all_constructor_witnesses
     |> List.sort_uniq compare
   in
-  Alcotest.(check int) "one witness per constructor" 35
+  Alcotest.(check int) "one witness per constructor" 41
     (List.length witnessed)
 
 (* Property: round-tripping holds for arbitrary payload contents, not just
