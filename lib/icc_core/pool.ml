@@ -101,9 +101,12 @@ type t = {
   mutable pruned_below : Types.round;
 }
 
-let caching = ref true
-let set_caching on = caching := on
-let caching_enabled () = !caching
+(* Â§3.5 toggle, Atomic so a parallel pool reader sees a coherent value;
+   discipline: flip only while single-domain (snapshot-at-spawn,
+   DESIGN.md Â§3.9). *)
+let caching = Atomic.make true
+let set_caching on = Atomic.set caching on
+let caching_enabled () = Atomic.get caching
 
 let fresh_slot () =
   {
@@ -277,7 +280,7 @@ let valid_blocks t round =
   match find_slot t round with
   | None -> []
   | Some s ->
-      if not !caching then compute_valid s
+      if not (Atomic.get caching) then compute_valid s
       else (
         match s.s_valid_cache with
         | Some (ep, v) when ep = s.s_epoch -> v
@@ -295,7 +298,7 @@ let notarized_blocks t round =
   match find_slot t round with
   | None -> []
   | Some s ->
-      if not !caching then compute_notarized s
+      if not (Atomic.get caching) then compute_notarized s
       else (
         match s.s_notarized_cache with
         | Some (ep, v) when ep = s.s_epoch -> v
@@ -828,7 +831,7 @@ let round_completion t round =
   match find_slot t round with
   | None -> None
   | Some s ->
-      if not !caching then compute_round_completion t s
+      if not (Atomic.get caching) then compute_round_completion t s
       else (
         match s.s_completion_cache with
         | Some (ep, v) when ep = s.s_epoch -> v
@@ -865,7 +868,7 @@ let fin_hit t round =
   match find_slot t round with
   | None -> None
   | Some s ->
-      if not !caching then compute_fin_hit t s
+      if not (Atomic.get caching) then compute_fin_hit t s
       else (
         match s.s_fin_cache with
         | Some (ep, v) when ep = s.s_epoch -> v

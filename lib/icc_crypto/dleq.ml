@@ -55,3 +55,4 @@ let verify ~base1 ~base2 ~a ~b { challenge; response } =
   in
   Group.scalar_equal challenge
     (challenge_hash ~base1 ~base2 ~a ~b ~commit1 ~commit2)
+[@@icc.domain_entry]

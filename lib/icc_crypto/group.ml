@@ -33,6 +33,7 @@ let elt_inv a = Fp.inv a p
 let pow base e =
   Counters.bump Counters.pow_generic;
   Fp.pow base (Fp.reduce e q) p
+[@@icc.domain_entry]
 
 (* --- fixed-base windowed exponentiation -------------------------------- *)
 
@@ -43,10 +44,14 @@ let pow base e =
    non-zero window) instead of ~91 for square-and-multiply.  Building a
    table costs ~300 mults, amortised after four exponentiations.
 
-   Tables live in a global cache keyed by base element.  All cache access
-   is by exact key (never iteration), so cache state can never perturb
-   protocol determinism; a size cap bounds memory against adversarial
-   inputs (full cache => compute generic, don't cache). *)
+   Tables live in a domain-local cache keyed by base element: each domain
+   builds its own tables (a table is a pure function of the base, so
+   per-domain rebuilds cost only the ~300-mult construction), which keeps
+   the lookup path lock-free and race-free under a parallel verify pool
+   (DESIGN.md §3.9).  All cache access is by exact key (never iteration),
+   so cache state can never perturb protocol determinism; a size cap
+   bounds memory against adversarial inputs (full cache => compute
+   generic, don't cache). *)
 module Fixed_base = struct
   let windows = 16 (* ceil(61 / 4) *)
   let radix = 16
@@ -82,10 +87,13 @@ module Fixed_base = struct
     done;
     !acc
 
-  let cache : (elt, table) Hashtbl.t = Hashtbl.create 64
+  let cache_key : (elt, table) Hashtbl.t Icc_obs.Dls.key =
+    Icc_obs.Dls.new_key (fun () -> Hashtbl.create 64)
+
   let cache_cap = 4096
 
   let find (base : elt) : table option =
+    let cache = Icc_obs.Dls.get cache_key in
     match Hashtbl.find_opt cache base with
     | Some t -> Some t
     | None ->
@@ -97,18 +105,22 @@ module Fixed_base = struct
         end
 end
 
-let fixed_base = ref true
-let set_fixed_base on = fixed_base := on
-let fixed_base_enabled () = !fixed_base
+(* §3.5 toggle, Atomic so concurrent verify domains read it race-free;
+   discipline: flip only while single-domain (snapshot-at-spawn,
+   DESIGN.md §3.9). *)
+let fixed_base = Atomic.make true
+let set_fixed_base on = Atomic.set fixed_base on
+let fixed_base_enabled () = Atomic.get fixed_base
 
 let pow_cached base e =
-  if !fixed_base then
+  if Atomic.get fixed_base then
     match Fixed_base.find base with
     | Some table ->
         Counters.bump Counters.pow_fixed_base;
         Fixed_base.pow table e
     | None -> pow base e
   else pow base e
+[@@icc.domain_entry]
 
 let base_pow e = pow_cached g e
 

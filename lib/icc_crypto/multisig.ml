@@ -76,6 +76,7 @@ let verify params msg { signers; signatures } =
   && List.for_all2
        (fun signer signature -> verify_share params msg { signer; signature })
        signers signatures
+[@@icc.domain_entry]
 
 (* Modeled wire sizes (BLS multi-signature scale): a share is one 48-byte
    signature; a combined signature is 48 bytes plus an n-bit signer map. *)

@@ -52,6 +52,7 @@ let verify { pk } (msg : string) { challenge; response } : bool =
       (Group.elt_inv (Group.pow_cached pk challenge))
   in
   Group.scalar_equal challenge (challenge_hash ~commitment ~pk ~msg)
+[@@icc.domain_entry]
 
 (* Modeled wire size: production Schnorr/BLS signatures are 48–64 bytes. *)
 let signature_wire_size = 64

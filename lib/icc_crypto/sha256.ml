@@ -18,6 +18,9 @@ let k =
      0x2748774cl; 0x34b0bcb5l; 0x391c0cb3l; 0x4ed8aa4al; 0x5b9cca4fl;
      0x682e6ff3l; 0x748f82eel; 0x78a5636fl; 0x84c87814l; 0x8cc70208l;
      0x90befffal; 0xa4506cebl; 0xbef9a3f7l; 0xc67178f2l |]
+[@@icc.domain_safe
+  "FIPS 180-4 round constants: written by nobody after initialisation, \
+   read-only in every domain"]
 
 let initial_state () =
   [| 0x6a09e667l; 0xbb67ae85l; 0x3c6ef372l; 0xa54ff53al; 0x510e527fl;

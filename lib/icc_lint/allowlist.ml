@@ -87,7 +87,10 @@ let push t (attrs : Parsetree.attributes) =
     true
   end
 
-(* Pop one frame; unused allows become findings. *)
+(* Pop one frame; unused allows become findings.  Domain-rule allows
+   (D5-D8) are excluded: their findings are produced by the deferred
+   cross-module Domain pass, which owns their used/unused bookkeeping —
+   this walk would declare them unused before that pass has run. *)
 let pop t =
   match t.stack with
   | [] -> ()
@@ -95,7 +98,7 @@ let pop t =
       t.stack <- rest;
       List.iter
         (fun e ->
-          if not e.a_used then
+          if (not e.a_used) && not (Diag.is_domain_rule e.a_rule) then
             t.report
               (Diag.of_location e.a_loc ~rule:Diag.rule_allow_unused
                  ~msg:

@@ -1,29 +1,35 @@
-(** Linter orchestration: artifact discovery, the two passes, reporting. *)
+(** Linter orchestration: artifact discovery, the passes, reporting. *)
 
 type config = {
   paths : string list;  (** linted (and contributing type info) *)
   dep_paths : string list;  (** type info only *)
   json : bool;
+  inventory : bool;  (** dump the mutable-state inventory first *)
   protocol_modules : string list;
 }
 
 val default_protocol_modules : string list
 
-val default : ?json:bool -> ?dep_paths:string list -> string list -> config
+val default :
+  ?json:bool -> ?inventory:bool -> ?dep_paths:string list -> string list -> config
 
 type result = {
   findings : Diag.t list;
   errors : string list;
   modules : int;
+  inventory : Domain.inv list;
 }
 
 val collect : config -> result
-(** Run both passes; findings arrive sorted and de-duplicated. *)
+(** Run all passes (D1-D4 per module, D5-D8 cross-module); findings
+    arrive sorted and de-duplicated. *)
 
 val run : config -> int
-(** [collect] + print findings (stdout) and summary (stderr).  Returns the
-    intended exit code: 0 clean, 1 findings, 2 unreadable artifacts. *)
+(** [collect] + print findings (stdout) and summary (stderr); with
+    [json] a final ["lint-summary"] object carries per-rule counts.
+    Returns the intended exit code: 0 clean, 1 findings, 2 unreadable
+    artifacts. *)
 
 val config_of_args : string list -> (config, string) Result.t
-(** Parse [--json] [--deps DIR]... [PATH]... (shared by the standalone
-    binary and the [icc lint] subcommand). *)
+(** Parse [--json] [--inventory] [--deps DIR]... [PATH]... (shared by
+    the standalone binary and the [icc lint] subcommand). *)

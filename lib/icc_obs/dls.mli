@@ -1,0 +1,26 @@
+(** Domain-local storage, portable across the CI compiler matrix.
+
+    On OCaml 5.x this is a thin wrapper over [Domain.DLS]: each domain
+    (including the initial one) gets its own slot, initialised on first
+    access, so state kept behind a [Dls.key] can never be shared between
+    domains — the domain-safety linter (DESIGN.md §3.9) classifies such
+    bindings as confined.  On 4.14, where only one domain can exist, the
+    key degrades to a lazily-initialised process-global cell with
+    identical single-domain semantics.
+
+    The two implementations are selected at build time by dune
+    [enabled_if] copy rules ([dls_50.ml] / [dls_414.ml]); behaviour on
+    the initial domain is the same everywhere, which is what keeps the
+    golden n=16 traces byte-identical across the matrix. *)
+
+type 'a key
+
+val new_key : (unit -> 'a) -> 'a key
+(** [new_key init] registers a fresh slot; [init] runs once per domain,
+    on that domain's first [get]. *)
+
+val get : 'a key -> 'a
+(** The calling domain's value, initialising it if needed. *)
+
+val set : 'a key -> 'a -> unit
+(** Replace the calling domain's value. *)

@@ -1,0 +1,17 @@
+(* OCaml 4.14 implementation of Dls: a single runtime domain exists, so
+   "domain-local" is just a lazily-initialised global cell.  See dls.mli;
+   selected by the dune [enabled_if] copy rule. *)
+
+type 'a key = { init : unit -> 'a; mutable cell : 'a option }
+
+let new_key init = { init; cell = None }
+
+let get k =
+  match k.cell with
+  | Some v -> v
+  | None ->
+      let v = k.init () in
+      k.cell <- Some v;
+      v
+
+let set k v = k.cell <- Some v

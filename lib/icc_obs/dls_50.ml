@@ -1,0 +1,8 @@
+(* OCaml >= 5.0 implementation of Dls: real domain-local storage.  See
+   dls.mli; selected by the dune [enabled_if] copy rule. *)
+
+type 'a key = 'a Domain.DLS.key
+
+let new_key init = Domain.DLS.new_key init
+let get k = Domain.DLS.get k
+let set k v = Domain.DLS.set k v

@@ -1,0 +1,18 @@
+(** A mutual-exclusion lock, portable across the CI compiler matrix.
+
+    On OCaml 5.x this wraps the stdlib [Mutex] (part of the standard
+    library since 5.0), making cross-domain critical sections real.  On
+    4.14 — a single-domain runtime where these libraries never spawn
+    threads — it is a no-op token with the same API, so callers pay
+    nothing and need no conditional code.
+
+    Shared mutable state whose every access goes through [with_lock] is
+    classified as confined by the domain-safety linter via an
+    [@icc.domain_safe] annotation naming the lock (DESIGN.md §3.9). *)
+
+type t
+
+val create : unit -> t
+
+val with_lock : t -> (unit -> 'a) -> 'a
+(** Run the thunk holding the lock; always releases, also on raise. *)

@@ -1,0 +1,8 @@
+(* OCaml 4.14 implementation of Lock: the runtime is single-domain and
+   these libraries spawn no threads, so the lock is a no-op token.  See
+   lock.mli; selected by the dune [enabled_if] copy rule. *)
+
+type t = unit
+
+let create () = ()
+let with_lock () f = f ()

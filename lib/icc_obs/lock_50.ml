@@ -1,0 +1,16 @@
+(* OCaml >= 5.0 implementation of Lock over the stdlib Mutex.  See
+   lock.mli; selected by the dune [enabled_if] copy rule. *)
+
+type t = Mutex.t
+
+let create () = Mutex.create ()
+
+let with_lock m f =
+  Mutex.lock m;
+  match f () with
+  | v ->
+      Mutex.unlock m;
+      v
+  | exception e ->
+      Mutex.unlock m;
+      raise e

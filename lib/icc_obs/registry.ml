@@ -1,13 +1,26 @@
 (* Process-global metrics registry (see registry.mli for the contract).
 
-   Everything here is plain mutable state behind O(1) update operations:
-   a counter bump is one field store, a histogram observation is one
-   bounded scan over ~36 bucket bounds plus three stores.  All ordering-
-   sensitive output (snapshots, exposition) is sorted by name with keyed
-   comparators, so nothing about Hashtbl bucket order ever escapes. *)
+   Counters and gauges are [Atomic.t]-backed cells: a bump is one atomic
+   fetch-and-add, so the hot instrumentation paths (crypto verifies, pool
+   admissions) stay race-free when executed from several domains at once
+   — the precondition for the ROADMAP item 3 parallel verify pool, and
+   what the d6-domain-escape lint certifies (DESIGN.md §3.9).  [Atomic]
+   is stdlib since 4.12, so the 4.14 leg of the CI matrix needs no shim.
 
-type counter = { c_name : string; mutable c_value : int }
-type gauge = { g_name : string; mutable g_value : float }
+   Histogram observation remains plain mutable state: observations come
+   only from the self-profiler, which keeps its mutable state domain-
+   local and serialises aggregation behind a lock (profile.ml), so a
+   histogram is only ever touched under that discipline.
+
+   Registration mutates the global name table and is serialised by
+   [registry_lock]; it is idempotent, so load-time registration races
+   from concurrently-initialised domains resolve to the same metric.
+   All ordering-sensitive output (snapshots, exposition) is sorted by
+   name with keyed comparators, so nothing about Hashtbl bucket order
+   ever escapes. *)
+
+type counter = { c_name : string; c_value : int Atomic.t }
+type gauge = { g_name : string; g_value : float Atomic.t }
 
 type histogram = {
   h_name : string;
@@ -21,45 +34,60 @@ type histogram = {
 
 type metric = M_counter of counter | M_gauge of gauge | M_histogram of histogram
 
+let registry_lock = Lock.create ()
+
 let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
+[@@icc.domain_safe
+  "every lookup/insert goes through [register] under registry_lock; \
+   metric cells handed out are Atomic-backed"]
+
+(* Find-or-insert under the lock; [make] runs inside the critical
+   section so two domains registering the same name get the same cell. *)
+let register name ~make ~cast ~kind =
+  Lock.with_lock registry_lock @@ fun () ->
+  match Hashtbl.find_opt registry name with
+  | Some m -> (
+      match cast m with
+      | Some v -> v
+      | None ->
+          invalid_arg
+            ("Registry." ^ kind ^ ": " ^ name ^ " registered as another kind"))
+  | None ->
+      let m, v = make () in
+      Hashtbl.add registry name m;
+      v
 
 let counter name =
-  match Hashtbl.find_opt registry name with
-  | Some (M_counter c) -> c
-  | Some (M_gauge _ | M_histogram _) ->
-      invalid_arg ("Registry.counter: " ^ name ^ " registered as another kind")
-  | None ->
-      let c = { c_name = name; c_value = 0 } in
-      Hashtbl.add registry name (M_counter c);
-      c
+  register name ~kind:"counter"
+    ~cast:(function M_counter c -> Some c | M_gauge _ | M_histogram _ -> None)
+    ~make:(fun () ->
+      let c = { c_name = name; c_value = Atomic.make 0 } in
+      (M_counter c, c))
 
-let inc c = c.c_value <- c.c_value + 1
-let add c k = c.c_value <- c.c_value + k
-let value c = c.c_value
+let inc c = ignore (Atomic.fetch_and_add c.c_value 1)
+let add c k = ignore (Atomic.fetch_and_add c.c_value k)
+let value c = Atomic.get c.c_value
 
 let gauge name =
-  match Hashtbl.find_opt registry name with
-  | Some (M_gauge g) -> g
-  | Some (M_counter _ | M_histogram _) ->
-      invalid_arg ("Registry.gauge: " ^ name ^ " registered as another kind")
-  | None ->
-      let g = { g_name = name; g_value = 0. } in
-      Hashtbl.add registry name (M_gauge g);
-      g
+  register name ~kind:"gauge"
+    ~cast:(function M_gauge g -> Some g | M_counter _ | M_histogram _ -> None)
+    ~make:(fun () ->
+      let g = { g_name = name; g_value = Atomic.make 0. } in
+      (M_gauge g, g))
 
-let set_gauge g v = g.g_value <- v
-let gauge_value g = g.g_value
+let set_gauge g v = Atomic.set g.g_value v
+let gauge_value g = Atomic.get g.g_value
 
 let histogram ?(lo = 1e-6) ?(ratio = 2.) ?(buckets = 36) name =
-  match Hashtbl.find_opt registry name with
-  | Some (M_histogram h) -> h
-  | Some (M_counter _ | M_gauge _) ->
-      invalid_arg
-        ("Registry.histogram: " ^ name ^ " registered as another kind")
-  | None ->
-      if not (lo > 0. && ratio > 1. && buckets >= 1) then
-        invalid_arg "Registry.histogram: need lo > 0, ratio > 1, buckets >= 1";
-      let h_bounds = Array.init buckets (fun i -> lo *. (ratio ** float_of_int i)) in
+  if not (lo > 0. && ratio > 1. && buckets >= 1) then
+    invalid_arg "Registry.histogram: need lo > 0, ratio > 1, buckets >= 1";
+  register name ~kind:"histogram"
+    ~cast:(function
+      | M_histogram h -> Some h | M_counter _ | M_gauge _ -> None)
+    ~make:(fun () ->
+      let h_bounds =
+        Array.init buckets (fun i -> lo *. (ratio ** float_of_int i))
+      in
       let h =
         {
           h_name = name;
@@ -71,8 +99,7 @@ let histogram ?(lo = 1e-6) ?(ratio = 2.) ?(buckets = 36) name =
           h_max = nan;
         }
       in
-      Hashtbl.add registry name (M_histogram h);
-      h
+      (M_histogram h, h))
 
 (* Smallest bucket whose upper bound covers [v]; the scan is over ~36
    floats, and observations overwhelmingly land in the first few buckets
@@ -150,14 +177,18 @@ let hist_stats h =
 (* --- registry-wide ------------------------------------------------------ *)
 
 let all_sorted () =
-  Hashtbl.fold (fun name m acc -> (name, m) :: acc) registry []
+  Lock.with_lock registry_lock (fun () ->
+      (Hashtbl.fold (fun name m acc -> (name, m) :: acc) registry []
+       [@icc.allow
+         "d2-hashtbl-order: unordered (name, metric) pairs collected under \
+          the lock feed the keyed List.sort below"]))
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 let counters () =
   List.filter_map
     (fun (name, m) ->
       match m with
-      | M_counter c -> Some (name, c.c_value)
+      | M_counter c -> Some (name, Atomic.get c.c_value)
       | M_gauge _ | M_histogram _ -> None)
     (all_sorted ())
 
@@ -167,27 +198,24 @@ let snapshot () =
   List.map
     (fun (name, m) ->
       match m with
-      | M_counter c -> (name, Counter c.c_value)
-      | M_gauge g -> (name, Gauge g.g_value)
+      | M_counter c -> (name, Counter (Atomic.get c.c_value))
+      | M_gauge g -> (name, Gauge (Atomic.get g.g_value))
       | M_histogram h -> (name, Histogram (hist_stats h)))
     (all_sorted ())
 
 let reset () =
-  (Hashtbl.iter
-    (fun _ m ->
+  List.iter
+    (fun (_, m) ->
       match m with
-      | M_counter c -> c.c_value <- 0
-      | M_gauge g -> g.g_value <- 0.
+      | M_counter c -> Atomic.set c.c_value 0
+      | M_gauge g -> Atomic.set g.g_value 0.
       | M_histogram h ->
           Array.fill h.h_counts 0 (Array.length h.h_counts) 0;
           h.h_count <- 0;
           h.h_sum <- 0.;
           h.h_min <- nan;
           h.h_max <- nan)
-    registry
-  [@icc.allow
-    "d2-hashtbl-order: zeroing every metric in place — order-insensitive \
-     and no iteration order escapes"])
+    (all_sorted ())
 
 (* --- Prometheus text exposition ----------------------------------------- *)
 
@@ -208,10 +236,10 @@ let to_prometheus () =
       match m with
       | M_counter c ->
           line "# TYPE %s counter" pname;
-          line "%s %d" pname c.c_value
+          line "%s %d" pname (Atomic.get c.c_value)
       | M_gauge g ->
           line "# TYPE %s gauge" pname;
-          line "%s %g" pname g.g_value
+          line "%s %g" pname (Atomic.get g.g_value)
       | M_histogram h ->
           line "# TYPE %s histogram" pname;
           let cum = ref 0 in

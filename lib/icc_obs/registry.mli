@@ -12,7 +12,14 @@
     Registration is idempotent: asking for an existing name of the same
     metric kind returns the already-registered metric, so modules can
     declare their metrics at load time without coordination.  Registering
-    an existing name as a *different* kind raises [Invalid_argument]. *)
+    an existing name as a *different* kind raises [Invalid_argument].
+
+    Domain safety (DESIGN.md §3.9): counters and gauges are [Atomic.t]
+    cells, registration is serialised behind a process lock, and the
+    name table never leaks iteration order — so the registry may be
+    updated concurrently from a [Domain.spawn] worker pool.  Histograms
+    keep plain mutable buckets; they are only written by the
+    self-profiler, whose aggregation is itself serialised. *)
 
 type counter
 type gauge
@@ -24,7 +31,8 @@ val counter : string -> counter
 (** Register (or fetch) the monotonic counter [name]. *)
 
 val inc : counter -> unit
-(** O(1) increment — one mutable-field store, safe on hot paths. *)
+(** O(1) increment — one [Atomic.fetch_and_add], safe on hot paths and
+    race-free when bumped from several domains at once. *)
 
 val add : counter -> int -> unit
 val value : counter -> int

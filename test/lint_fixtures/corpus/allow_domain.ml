@@ -1,0 +1,23 @@
+(* Domain-safety escape hatches: [@@icc.domain_safe] on confined state
+   (suppresses D5 and every use), a use-site [@icc.allow], and the two
+   stale-hatch meta findings.  [scratch] keeps its D5 on purpose: the
+   use-site allow covers the escape, not the declaration. *)
+
+let seen : (int, unit) Hashtbl.t = Hashtbl.create 16
+[@@icc.domain_safe
+  "all writes happen during single-domain setup, before any spawn"]
+
+let scratch = ref 0
+
+let immutable = 42 [@@icc.domain_safe "stale: nothing mutable here"]
+
+let check x =
+  Hashtbl.mem seen x
+  && (scratch := x;
+      true)
+     [@icc.allow
+       "d6-domain-escape: scratch is re-seeded per call and never read \
+        across domains"]
+[@@icc.domain_entry]
+
+let unused_hatch x = (x + 1) [@icc.allow "d8-nonatomic-rmw: nothing here"]

@@ -1,0 +1,10 @@
+(* D5/D6: shared mutable state in a module with no entry point of its
+   own — it only becomes domain-sensitive because Bad_d6_entry's closure
+   reaches [record]. *)
+
+let table : (int, int) Hashtbl.t = Hashtbl.create 16
+let log = Buffer.create 64
+
+let record k =
+  Buffer.add_string log "x";
+  Hashtbl.replace table k 1

@@ -1,0 +1,10 @@
+(* D6: the entry's closure escapes into another module's mutable state;
+   the findings land on Bad_d5_state's declarations and use sites. *)
+
+let verify x =
+  Bad_d5_state.record x;
+  x >= 0
+[@@icc.domain_entry]
+
+(* The entry marker only makes sense on a function. *)
+let not_a_function = 42 [@@icc.domain_entry]

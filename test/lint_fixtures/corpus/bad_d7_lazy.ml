@@ -1,0 +1,9 @@
+(* D7: a shared lazy forced from the parallel closure — two domains can
+   force concurrently. *)
+
+let config : (int, int) Hashtbl.t lazy_t = lazy (Hashtbl.create 16)
+
+let lookup k =
+  let t = Lazy.force config in
+  Hashtbl.mem t k
+[@@icc.domain_entry]

@@ -1,0 +1,12 @@
+(* D8: non-atomic read-modify-write on shared refs (lost updates), next
+   to plain shared reads/writes that are D6 instead. *)
+
+let hits = ref 0
+let total = ref 0
+let peak = ref 0
+
+let bump n =
+  incr hits;
+  total := !total + n;
+  if n > !peak then peak := n
+[@@icc.domain_entry]
