@@ -27,6 +27,10 @@ type scenario_result = {
   after_s : float;
   speedup : float;
   trace_identical : bool;
+  trace_parallel_identical : bool;
+      (* the optimised run re-done with batching + the Dpool parallel
+         verify pool (small chunks, 4 workers) must also leave the trace
+         byte-identical — deterministic join order *)
   trace_events : int;
   ops_before : (string * int) list;
   ops_after : (string * int) list;
@@ -57,6 +61,7 @@ let has_flag flag = Array.exists (String.equal flag) Sys.argv
 let set_optimizations on =
   Icc_crypto.Fp.set_fast_mul on;
   Icc_crypto.Group.set_fixed_base on;
+  Icc_crypto.Batch.set_batch_verify on;
   Icc_core.Block.set_memoization on;
   Icc_core.Pool.set_caching on
 
@@ -104,6 +109,22 @@ let measure ~quick ~seed ~n name run_fn =
   let before_s, trace_before, ops_before = traced_run run_fn scenario in
   set_optimizations true;
   let after_s, trace_after, ops_after = traced_run run_fn scenario in
+  (* Parallel-pool leg: the optimised configuration plus the Domain
+     verify pool, with chunks small enough that n=16 certificate and
+     beacon batches actually fan out.  Untimed as far as the gate is
+     concerned; what it must prove is byte-identity (deterministic join
+     order).  On 4.14 Dpool degrades to sequential and this is a plain
+     re-run. *)
+  Icc_crypto.Batch.set_parallel_verify true;
+  Icc_obs.Dpool.set_workers 4;
+  Icc_crypto.Batch.set_max_chunk 4;
+  let _, trace_parallel, _ = traced_run run_fn scenario in
+  Icc_crypto.Batch.set_parallel_verify false;
+  Icc_crypto.Batch.set_max_chunk 64;
+  (* Join the workers before anything else is timed: idle domains tax
+     every later allocation-heavy run through the stop-the-world minor
+     GC barrier (a parked pool cost ICC2's optimised leg ~3x). *)
+  Icc_obs.Dpool.shutdown ();
   let phases = profiled_phases run_fn scenario in
   {
     name;
@@ -111,6 +132,7 @@ let measure ~quick ~seed ~n name run_fn =
     after_s;
     speedup = (if after_s > 0. then before_s /. after_s else nan);
     trace_identical = String.equal trace_before trace_after;
+    trace_parallel_identical = String.equal trace_after trace_parallel;
     trace_events = count_lines trace_after;
     ops_before;
     ops_after;
@@ -159,6 +181,94 @@ let run_sweep ~quick ~seed =
       ])
     ns
 
+(* --- batch-size sweep -------------------------------------------------- *)
+
+type batch_row = {
+  br_scheme : string; (* "schnorr" | "dleq" *)
+  br_batch : int; (* 0 = batching off (per-item verify) *)
+  br_us_per_op : float;
+  br_ops : int;
+}
+
+(* Synthetic verification corpus: how does per-signature cost move with
+   the RLC chunk size?  Informational rows (the 2x gate covers only the
+   protocol scenarios); batch = 0 is the per-item baseline.  Keys repeat
+   across items (64 distinct signers / verification keys) so the
+   fixed-base cache behaves as in a real committee; every DLEQ item
+   shares one (generator, message-point) base pair, the beacon-round
+   shape. *)
+let batch_sweep_rows ~quick =
+  let total = if quick then 256 else 2048 in
+  let rand_bits =
+    let c = ref 0 in
+    fun () ->
+      incr c;
+      Icc_crypto.Sha256.to_int61
+        (Icc_crypto.Sha256.digest_string (Printf.sprintf "bench-batch|%d" !c))
+  in
+  let nkeys = 64 in
+  let keys = Array.init nkeys (fun _ -> Icc_crypto.Schnorr.keygen rand_bits) in
+  let schnorr_items =
+    List.init total (fun i ->
+        let sk, pk = keys.(i mod nkeys) in
+        let msg = Printf.sprintf "batch-sweep message %d" i in
+        (pk, msg, Icc_crypto.Schnorr.sign sk msg))
+  in
+  let base2 =
+    Icc_crypto.Group.hash_to_group
+      (Icc_crypto.Sha256.digest_string "batch-sweep round point")
+  in
+  let dleq_items =
+    List.init total (fun i ->
+        let x = Icc_crypto.Group.random_scalar_nonzero rand_bits in
+        let a = Icc_crypto.Group.base_pow x
+        and b = Icc_crypto.Group.pow_cached base2 x in
+        ( a,
+          b,
+          Icc_crypto.Dleq.prove ~base1:Icc_crypto.Group.generator ~base2
+            ~exponent:x ~msg_tag:(string_of_int i) ))
+  in
+  let time_leg scheme batch verify_all =
+    Icc_crypto.Batch.set_batch_verify (batch > 0);
+    if batch > 0 then Icc_crypto.Batch.set_max_chunk batch;
+    (* Min of a few passes: one pass over the corpus is tens of
+       milliseconds, where scheduler/GC noise would swamp the per-op
+       differences the sweep exists to show. *)
+    let reps = 5 in
+    let best = ref infinity in
+    for _ = 1 to reps do
+      let t0 = Unix.gettimeofday () in
+      let verdicts = verify_all () in
+      let wall = Unix.gettimeofday () -. t0 in
+      if not (List.for_all Fun.id verdicts) then
+        failwith ("bench perf: batch sweep rejected a genuine " ^ scheme);
+      if wall < !best then best := wall
+    done;
+    {
+      br_scheme = scheme;
+      br_batch = batch;
+      br_us_per_op = !best *. 1e6 /. float_of_int total;
+      br_ops = total;
+    }
+  in
+  let sizes = [ 0; 4; 8; 16; 32; 64; 128; 256 ] in
+  let rows =
+    List.map
+      (fun b ->
+        time_leg "schnorr" b (fun () ->
+            Icc_crypto.Schnorr.verify_batch schnorr_items))
+      sizes
+    @ List.map
+        (fun b ->
+          time_leg "dleq" b (fun () ->
+              Icc_crypto.Dleq.verify_batch
+                ~base1:Icc_crypto.Group.generator ~base2 dleq_items))
+        sizes
+  in
+  Icc_crypto.Batch.set_batch_verify true;
+  Icc_crypto.Batch.set_max_chunk 64;
+  rows
+
 (* --- JSON emission ---------------------------------------------------- *)
 
 let ops_json ops =
@@ -169,16 +279,22 @@ let ops_json ops =
 
 let scenario_json r =
   Printf.sprintf
-    {|    {"name":%S,"before_s":%.6f,"after_s":%.6f,"speedup":%.2f,"trace_identical":%b,"trace_events":%d,"ops_before":%s,"ops_after":%s,"phases_us":%s}|}
-    r.name r.before_s r.after_s r.speedup r.trace_identical r.trace_events
-    (ops_json r.ops_before) (ops_json r.ops_after) (ops_json r.phases)
+    {|    {"name":%S,"before_s":%.6f,"after_s":%.6f,"speedup":%.2f,"trace_identical":%b,"trace_parallel_identical":%b,"trace_events":%d,"ops_before":%s,"ops_after":%s,"phases_us":%s}|}
+    r.name r.before_s r.after_s r.speedup r.trace_identical
+    r.trace_parallel_identical r.trace_events (ops_json r.ops_before)
+    (ops_json r.ops_after) (ops_json r.phases)
 
 let sweep_json s =
   Printf.sprintf
     {|    {"name":%S,"n":%d,"wall_s":%.6f,"messages":%d,"rounds":%d,"us_per_msg":%.3f}|}
     s.sw_name s.sw_n s.sw_wall_s s.sw_msgs s.sw_rounds s.sw_us_per_msg
 
-let results_json ~quick ~seed ~rounds ~n results sweep =
+let batch_json b =
+  Printf.sprintf
+    {|    {"scheme":%S,"batch":%d,"us_per_op":%.3f,"ops":%d}|}
+    b.br_scheme b.br_batch b.br_us_per_op b.br_ops
+
+let results_json ~quick ~seed ~rounds ~n results sweep batch_sweep =
   let tb = List.fold_left (fun a r -> a +. r.before_s) 0. results in
   let ta = List.fold_left (fun a r -> a +. r.after_s) 0. results in
   Printf.sprintf
@@ -190,12 +306,16 @@ let results_json ~quick ~seed ~rounds ~n results sweep =
   "sweep": [
 %s
   ],
+  "batch_sweep": [
+%s
+  ],
   "total": {"before_s":%.6f,"after_s":%.6f,"speedup":%.2f}
 }
 |}
     n seed rounds quick
     (String.concat ",\n" (List.map scenario_json results))
     (String.concat ",\n" (List.map sweep_json sweep))
+    (String.concat ",\n" (List.map batch_json batch_sweep))
     tb ta
     (if ta > 0. then tb /. ta else nan)
 
@@ -266,11 +386,19 @@ let print_table results =
     (fun r ->
       Printf.printf "%-6s %12.3f %12.3f %8.1fx %9s %8d\n" r.name r.before_s
         r.after_s r.speedup
-        (if r.trace_identical then "yes" else "NO")
+        (if r.trace_identical && r.trace_parallel_identical then "yes"
+         else "NO")
         r.trace_events)
     results;
   let interesting =
-    [ "pow_generic"; "pow_fixed_base"; "fixed_base_tables"; "sha256_digests" ]
+    [
+      "pow_generic";
+      "pow_fixed_base";
+      "multi_exps";
+      "schnorr_batched";
+      "dleq_batched";
+      "batch_fallbacks";
+    ]
   in
   List.iter
     (fun r ->
@@ -348,7 +476,15 @@ let main () =
   Printf.printf "== committee-size sweep (optimised, seed %d) ==\n" seed;
   let sweep = run_sweep ~quick ~seed in
   print_sweep sweep;
-  let json = results_json ~quick ~seed ~rounds ~n results sweep in
+  Printf.printf "== batch-size sweep (synthetic, us/op; batch 0 = off) ==\n";
+  let batch_sweep = batch_sweep_rows ~quick in
+  Printf.printf "%-8s %7s %10s %7s\n" "scheme" "batch" "us/op" "ops";
+  List.iter
+    (fun b ->
+      Printf.printf "%-8s %7d %10.3f %7d\n" b.br_scheme b.br_batch
+        b.br_us_per_op b.br_ops)
+    batch_sweep;
+  let json = results_json ~quick ~seed ~rounds ~n results sweep batch_sweep in
   let oc =
     try open_out out
     with Sys_error msg ->
@@ -360,7 +496,11 @@ let main () =
   output_string oc json;
   close_out oc;
   Printf.printf "wrote %s\n" out;
-  let traces_ok = List.for_all (fun r -> r.trace_identical) results in
+  let traces_ok =
+    List.for_all
+      (fun r -> r.trace_identical && r.trace_parallel_identical)
+      results
+  in
   if not traces_ok then
     prerr_endline "FAIL: optimisations changed the trace (not byte-identical)";
   let check_ok =

@@ -75,7 +75,9 @@ let try_compute t pool round =
     | Some msg -> (
         let params = t.system.Icc_crypto.Keygen.beacon in
         let shares =
-          Pool.verified_beacon_shares pool ~round
+          Pool.verified_beacon_shares
+            ~verify_batch:(Icc_crypto.Threshold_vuf.verify_shares params msg)
+            pool ~round
             ~verify:(Icc_crypto.Threshold_vuf.verify_share params msg)
         in
         if

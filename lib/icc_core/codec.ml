@@ -124,14 +124,20 @@ let r_list c r =
 
 (* --- domain encoders ---------------------------------------------------- *)
 
+(* The commitment is carried on the simulated wire so receivers can
+   batch-verify; the *modeled* wire size stays [signature_wire_size]
+   (production verifiers recompute R from (c, s) when checking singly,
+   and a batch-friendly encoding replaces c by R at equal size). *)
 let w_schnorr buf (s : Icc_crypto.Schnorr.signature) =
   w_int buf s.Icc_crypto.Schnorr.challenge;
-  w_int buf s.Icc_crypto.Schnorr.response
+  w_int buf s.Icc_crypto.Schnorr.response;
+  w_int buf s.Icc_crypto.Schnorr.commitment
 
 let r_schnorr c : Icc_crypto.Schnorr.signature =
   let challenge = r_int c in
   let response = r_int c in
-  { challenge; response }
+  let commitment = r_int c in
+  { challenge; response; commitment }
 
 let w_ms_share buf (s : Icc_crypto.Multisig.share) =
   w_int buf s.Icc_crypto.Multisig.signer;
@@ -216,14 +222,20 @@ let w_vuf_share buf (s : Icc_crypto.Threshold_vuf.signature_share) =
   w_int buf s.Icc_crypto.Threshold_vuf.signer;
   w_int buf s.Icc_crypto.Threshold_vuf.value;
   w_int buf s.Icc_crypto.Threshold_vuf.proof.Icc_crypto.Dleq.challenge;
-  w_int buf s.Icc_crypto.Threshold_vuf.proof.Icc_crypto.Dleq.response
+  w_int buf s.Icc_crypto.Threshold_vuf.proof.Icc_crypto.Dleq.response;
+  (* Commitments carried for batch verification, as with [w_schnorr];
+     modeled share size is unchanged. *)
+  w_int buf s.Icc_crypto.Threshold_vuf.proof.Icc_crypto.Dleq.commit1;
+  w_int buf s.Icc_crypto.Threshold_vuf.proof.Icc_crypto.Dleq.commit2
 
 let r_vuf_share c : Icc_crypto.Threshold_vuf.signature_share =
   let signer = r_int c in
   let value = r_int c in
   let challenge = r_int c in
   let response = r_int c in
-  { signer; value; proof = { challenge; response } }
+  let commit1 = r_int c in
+  let commit2 = r_int c in
+  { signer; value; proof = { challenge; response; commit1; commit2 } }
 
 (* --- top level ----------------------------------------------------------- *)
 

@@ -15,6 +15,12 @@ let dleq_verifies = Icc_obs.Registry.counter "dleq_verifies"
 let pow_generic = Icc_obs.Registry.counter "pow_generic"
 let pow_fixed_base = Icc_obs.Registry.counter "pow_fixed_base"
 let fixed_base_tables = Icc_obs.Registry.counter "fixed_base_tables"
+let fixed_base_evictions = Icc_obs.Registry.counter "fixed_base_evictions"
+let multi_exps = Icc_obs.Registry.counter "multi_exps"
+let schnorr_batched = Icc_obs.Registry.counter "schnorr_batched"
+let dleq_batched = Icc_obs.Registry.counter "dleq_batched"
+let batch_fallbacks = Icc_obs.Registry.counter "batch_fallbacks"
+let zero_rederives = Icc_obs.Registry.counter "zero_rederives"
 
 let all =
   [
@@ -26,6 +32,12 @@ let all =
     ("pow_generic", pow_generic);
     ("pow_fixed_base", pow_fixed_base);
     ("fixed_base_tables", fixed_base_tables);
+    ("fixed_base_evictions", fixed_base_evictions);
+    ("multi_exps", multi_exps);
+    ("schnorr_batched", schnorr_batched);
+    ("dleq_batched", dleq_batched);
+    ("batch_fallbacks", batch_fallbacks);
+    ("zero_rederives", zero_rederives);
   ]
 
 let bump = Icc_obs.Registry.inc

@@ -87,21 +87,81 @@ module Fixed_base = struct
     done;
     !acc
 
-  let cache_key : (elt, table) Hashtbl.t Icc_obs.Dls.key =
-    Icc_obs.Dls.new_key (fun () -> Hashtbl.create 64)
+  (* Cache policy: below [cache_cap] every new base gets a table
+     immediately (the historical behaviour).  At cap, a new base first
+     sits in a bounded probation book: only after [probation_hits]
+     misses does it evict the oldest evictable resident (FIFO) and get
+     a table of its own.  This fixes the saturation starvation bug
+     where a full cache silently sent every later base — e.g. post-DKG
+     re-keys — to generic pow forever.  The generator's table is built
+     at domain init and never enters the eviction ring, so [base_pow]
+     can't lose its table to adversarial base churn. *)
+  type cache = {
+    tbl : (elt, table) Hashtbl.t;
+    ring : elt Queue.t; (* insertion-ordered evictable residents *)
+    probation : (elt, int) Hashtbl.t; (* miss counts at cap *)
+  }
 
   let cache_cap = 4096
+  let probation_cap = 1024
+  let probation_hits = 3
+
+  let cache_key : cache Icc_obs.Dls.key =
+    Icc_obs.Dls.new_key (fun () ->
+        let tbl = Hashtbl.create 64 in
+        (* Pin the generator: built eagerly, never enqueued on [ring]. *)
+        Hashtbl.replace tbl g (make g);
+        { tbl; ring = Queue.create (); probation = Hashtbl.create 64 })
+
+  let evict_one c =
+    (* FIFO over evictable residents; entries are unique (a base is
+       enqueued only when installed, and removed only here), so the
+       membership check is purely defensive. *)
+    let rec go () =
+      match Queue.take_opt c.ring with
+      | None -> false
+      | Some b ->
+          if Hashtbl.mem c.tbl b then begin
+            Hashtbl.remove c.tbl b;
+            Counters.bump Counters.fixed_base_evictions;
+            true
+          end
+          else go ()
+    in
+    go ()
+
+  let install c base =
+    let t = make base in
+    Hashtbl.replace c.tbl base t;
+    Queue.push base c.ring;
+    Some t
 
   let find (base : elt) : table option =
-    let cache = Icc_obs.Dls.get cache_key in
-    match Hashtbl.find_opt cache base with
+    let c = Icc_obs.Dls.get cache_key in
+    match Hashtbl.find_opt c.tbl base with
     | Some t -> Some t
     | None ->
-        if Hashtbl.length cache >= cache_cap then None
+        if Hashtbl.length c.tbl < cache_cap then install c base
         else begin
-          let t = make base in
-          Hashtbl.replace cache base t;
-          Some t
+          let hits =
+            1
+            + (match Hashtbl.find_opt c.probation base with
+              | Some n -> n
+              | None -> 0)
+          in
+          if hits >= probation_hits then begin
+            Hashtbl.remove c.probation base;
+            if evict_one c then install c base else None
+          end
+          else begin
+            (* Bounded book: reset wholesale when full rather than
+               tracking recency — a cold restart only delays promotion
+               by at most [probation_hits] extra misses. *)
+            if Hashtbl.length c.probation >= probation_cap then
+              Hashtbl.reset c.probation;
+            Hashtbl.replace c.probation base hits;
+            None
+          end
         end
 end
 
@@ -124,6 +184,60 @@ let pow_cached base e =
 
 let base_pow e = pow_cached g e
 
+(* --- multi-exponentiation (Pippenger bucket method) --------------------- *)
+
+(* One pass of the bucket method per c-bit window, high window first:
+   square the accumulator c times, drop each base into the bucket of its
+   window digit, then fold the buckets with the running-product trick
+   (sum_j bucket_j^j in 2*(2^c - 1) mults).  Total cost is roughly
+   ceil(ebits/c) * (n + 2^c) mults + ebits squarings, vs. ~1.5*ebits*n
+   for n independent square-and-multiply exponentiations — the win that
+   makes random-linear-combination batch verification pay.  The window
+   width adapts to the batch size, and the window count to the widest
+   exponent, so 32-bit batch coefficients cost half the windows of full
+   61-bit scalars. *)
+let multi_exp (pairs : (elt * scalar) array) : elt =
+  Counters.bump Counters.multi_exps;
+  let n = Array.length pairs in
+  if n = 0 then one
+  else begin
+    let es = Array.map (fun (_, e) -> Fp.reduce e q) pairs in
+    let ebits =
+      Array.fold_left
+        (fun m e ->
+          let rec bits acc v = if v = 0 then acc else bits (acc + 1) (v lsr 1) in
+          max m (bits 0 e))
+        1 es
+    in
+    let c =
+      if n <= 4 then 3 else if n <= 16 then 4 else if n <= 96 then 6 else 8
+    in
+    let mask = (1 lsl c) - 1 in
+    let nwin = (ebits + c - 1) / c in
+    let buckets = Array.make (mask + 1) one in
+    let acc = ref one in
+    for w = nwin - 1 downto 0 do
+      if w < nwin - 1 then
+        for _ = 1 to c do
+          acc := mul !acc !acc
+        done;
+      Array.fill buckets 0 (mask + 1) one;
+      let shift = w * c in
+      for i = 0 to n - 1 do
+        let d = (es.(i) lsr shift) land mask in
+        if d <> 0 then buckets.(d) <- mul buckets.(d) (fst pairs.(i))
+      done;
+      let run = ref one and sum = ref one in
+      for j = mask downto 1 do
+        run := mul !run buckets.(j);
+        sum := mul !sum !run
+      done;
+      acc := mul !acc !sum
+    done;
+    !acc
+  end
+[@@icc.domain_entry]
+
 (* Scalar field Z_q helpers. *)
 let scalar_add a b = Fp.add a b q
 let scalar_sub a b = Fp.sub a b q
@@ -136,12 +250,19 @@ let scalar_of_hash (d : Sha256.t) = Fp.reduce (Sha256.to_int61 d) q
 (* Hash a message into the group: square the hash-derived residue.  Squaring
    maps Z_p^* onto the QR subgroup, giving a proper hash-to-group for the
    threshold-VUF beacon (the CKS-style coin needs H2G with unknown dlog). *)
-let hash_to_group (d : Sha256.t) : elt =
-  let x = 2 + (Sha256.to_int61 d mod (p - 3)) in
-  (* x in [2, p-1]: never 0, never 1, so x^2 is a non-identity QR unless
-     x = p - 1; nudge that single bad case. *)
-  let x = if x = p - 1 then 2 else x in
+
+let residue_to_group (x : int) : elt =
+  (* x = p - 1 would square to the identity; remap it to 3, whose class
+     {3, p - 3} is disjoint from every other nudge target — the old
+     remap to 2 collapsed it onto the {2, p - 2} preimage class of
+     x = 2, silently merging two hash preimages.  The branch is
+     defensive: [hash_to_group] below only produces x in [2, p - 2]. *)
+  let x = if x = p - 1 then 3 else x in
   Fp.mul x x p
+
+let hash_to_group (d : Sha256.t) : elt =
+  (* x in [2, p - 2]: never 0, never 1, and never the degenerate p - 1. *)
+  residue_to_group (2 + (Sha256.to_int61 d mod (p - 3)))
 
 let random_scalar rand_bits : scalar =
   (* rand_bits yields uniformly random 61-bit non-negative ints. *)
@@ -150,6 +271,39 @@ let random_scalar rand_bits : scalar =
     if v >= 0 && v < q then v else draw ()
   in
   draw ()
+
+let random_scalar_nonzero rand_bits : scalar =
+  (* Rejection resampling keeps the distribution uniform on [1, q);
+     the historical 0 -> 1 remap gave scalar 1 double mass. *)
+  let rec draw () =
+    let v = random_scalar rand_bits in
+    if v = 0 then begin
+      Counters.bump Counters.zero_rederives;
+      draw ()
+    end
+    else v
+  in
+  draw ()
+
+let scalar_of_hash_nonzero ~tag (d : Sha256.t) : scalar =
+  (* First derivation is byte-identical to [scalar_of_hash] — the
+     rederive chain only engages on the ~2^-61 zero draw (the
+     historical code remapped that draw to 1, doubling its mass), so
+     committed scenarios never see it: [Counters.zero_rederives] stays
+     0 on every golden run, asserted in the tests. *)
+  let s = scalar_of_hash d in
+  if s <> 0 then s
+  else
+    let rec rederive i =
+      Counters.bump Counters.zero_rederives;
+      let d' =
+        Sha256.digest_string
+          (Printf.sprintf "%s|rederive|%d|%s" tag i (Sha256.to_hex d))
+      in
+      let s = scalar_of_hash d' in
+      if s <> 0 then s else rederive (i + 1)
+    in
+    rederive 0
 
 let elt_to_string (e : elt) = string_of_int e
 let pp_elt fmt (e : elt) = Format.pp_print_int fmt e

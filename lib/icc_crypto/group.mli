@@ -35,6 +35,16 @@ val pow_cached : elt -> int -> elt
 val base_pow : int -> elt
 (** [base_pow e = pow_cached generator e]. *)
 
+val multi_exp : (elt * scalar) array -> elt
+(** [multi_exp \[| (b1, e1); ...; (bn, en) |\]] is the product
+    [b1^e1 * ... * bn^en], computed with the Pippenger bucket method —
+    roughly [ceil(bits/c) * (n + 2^c)] group mults for an adaptive
+    window width [c], vs. [~1.5 * bits * n] for [n] independent
+    {!pow}s.  Exponents are reduced mod [q]; narrow exponents (e.g.
+    32-bit batch coefficients) cost proportionally fewer windows.
+    [multi_exp \[||\] = one].  The workhorse of
+    {!Schnorr.verify_batch} / {!Dleq.verify_batch}. *)
+
 val set_fixed_base : bool -> unit
 (** Toggle fixed-base tables (on by default).  Only affects speed, never
     results; exposed so the benchmark harness can measure before/after. *)
@@ -48,11 +58,31 @@ val scalar_inv : scalar -> scalar
 val scalar_reduce : int -> scalar
 
 val scalar_of_hash : Sha256.t -> scalar
+
+val scalar_of_hash_nonzero : tag:string -> Sha256.t -> scalar
+(** Like {!scalar_of_hash}, but guarantees a non-zero result without
+    biasing the distribution: the first derivation is byte-identical to
+    [scalar_of_hash d], and the (probability ~2^-61) zero draw is
+    re-derived through a [tag]-keyed hash counter chain instead of the
+    historical 0 -> 1 remap (which gave scalar 1 double mass).  Each
+    re-derivation bumps {!Counters.zero_rederives}. *)
+
 val hash_to_group : Sha256.t -> elt
+
+val residue_to_group : int -> elt
+(** The squaring map underlying {!hash_to_group}, exposed for direct
+    unit tests of its nudge classes: [x] in [\[2, p - 1\]] is squared
+    into the QR subgroup, with the degenerate [x = p - 1] (whose square
+    is the identity) remapped to the class of 3 — distinct from the
+    class of 2, unlike the historical remap. *)
 
 val random_scalar : (unit -> int) -> scalar
 (** [random_scalar rand_bits] draws a uniform scalar given a source of
     uniform 61-bit non-negative ints. *)
+
+val random_scalar_nonzero : (unit -> int) -> scalar
+(** {!random_scalar} with zero rejected and redrawn (uniform on
+    [\[1, q)]); each rejection bumps {!Counters.zero_rederives}. *)
 
 val elt_to_string : elt -> string
 val pp_elt : Format.formatter -> elt -> unit

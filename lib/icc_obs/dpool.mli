@@ -1,0 +1,47 @@
+(** A persistent pool of worker domains with deterministic join order,
+    portable across the CI compiler matrix.
+
+    On OCaml 5.x [map f arr] fans the element evaluations out over a
+    lazily-spawned pool of worker domains (the calling domain
+    participates too), then joins the results back **in index order** —
+    the output array is exactly what sequential [Array.map f arr] would
+    produce, regardless of interleaving.  Exceptions raised by [f] are
+    captured per index and the lowest-index one is re-raised after the
+    job drains, matching the sequential first-failure.  On 4.14 (or
+    with the worker count at 1) the call degrades to sequential
+    [Array.map] with identical semantics.
+
+    Determinism contract: callers must pass an [f] whose per-element
+    result depends only on that element (verification predicates do).
+    Under that contract the toggle that routes work through this pool
+    is trace-preserving in the §3.5 sense — only wall-clock changes.
+
+    Nested use from inside a worker runs sequentially (no deadlock, no
+    pool-in-pool fan-out).  Concurrent coordinators serialise on an
+    internal lock; the pool shuts its workers down via [at_exit].
+
+    The two implementations are selected at build time by dune
+    [enabled_if] copy rules ([dpool_50.ml] / [dpool_414.ml]), following
+    the [Dls]/[Lock] shim pattern. *)
+
+val available : bool
+(** [true] iff real worker domains can be spawned (OCaml 5.x build). *)
+
+val set_workers : int -> unit
+(** Target total parallelism (coordinator included), clamped to
+    [\[1; 64\]].  Workers are spawned lazily on the next [map]; on 4.14
+    this records the value but everything stays sequential. *)
+
+val workers : unit -> int
+(** Current target parallelism (>= 1). *)
+
+val map : ('a -> 'b) -> 'a array -> 'b array
+(** Deterministic parallel map; see the module description. *)
+
+val shutdown : unit -> unit
+(** Join all worker domains.  The pool respawns them lazily on the next
+    [map], so this is safe to call between bursts of parallel work —
+    and worth calling: an *idle* worker domain still participates (via
+    its backup thread) in every stop-the-world minor collection, taxing
+    allocation-heavy sequential phases by 2-4x.  Runs automatically via
+    [at_exit]; a no-op on 4.14 builds. *)

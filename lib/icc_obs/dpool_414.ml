@@ -1,0 +1,14 @@
+(* OCaml 4.14 implementation of Dpool: a single runtime domain exists,
+   so the "pool" is sequential [Array.map] with the same index-order
+   result and first-failure exception semantics.  See dpool.mli;
+   selected by the dune [enabled_if] copy rule. *)
+
+let available = false
+
+let target = ref 1
+[@@icc.domain_safe "4.14 build: the runtime is single-domain"]
+
+let set_workers n = target := max 1 (min 64 n)
+let workers () = !target
+let map f arr = Array.map f arr
+let shutdown () = ()

@@ -1,0 +1,145 @@
+(* OCaml >= 5.0 implementation of Dpool: a persistent Domain pool with a
+   shared-counter work queue.  See dpool.mli; selected by the dune
+   [enabled_if] copy rule.
+
+   Domain safety (DESIGN.md §3.9): all pool state — the current job, the
+   spawned-domain list, the stop flag — is mutated only while holding
+   [pool_mu]; result and error slots are written by exactly one domain
+   each (disjoint indices) and read by the coordinator only after the
+   job has drained under the same mutex, so every write happens-before
+   its read.  The worker-count target is an [Atomic.t]; the in-worker
+   flag is domain-local. *)
+
+let available = true
+
+let target = Atomic.make 1
+
+let set_workers n = Atomic.set target (max 1 (min 64 n))
+let workers () = Atomic.get target
+
+(* Workers (and nested coordinators) must not try to coordinate a
+   sub-job of their own: the flag routes nested [map]s to the
+   sequential path. *)
+let in_worker : bool Dls.key = Dls.new_key (fun () -> false)
+
+type job = {
+  run : int -> unit; (* evaluate slot i; never raises *)
+  size : int;
+  mutable next : int; (* next unclaimed index, under pool_mu *)
+  mutable unfinished : int; (* slots not yet completed, under pool_mu *)
+}
+
+let pool_mu = Mutex.create ()
+let pool_cv = Condition.create ()
+
+let current_job : job option ref = ref None
+[@@icc.domain_safe "read and written only while holding pool_mu"]
+
+let stopping = ref false
+[@@icc.domain_safe "read and written only while holding pool_mu"]
+
+let spawned : unit Domain.t list ref = ref []
+[@@icc.domain_safe "read and written only while holding pool_mu"]
+
+let exit_hooked = ref false
+[@@icc.domain_safe "read and written only while holding pool_mu"]
+
+(* Claim one index of [j] and run it outside the lock; the caller holds
+   pool_mu on entry and on return.  Returns false when nothing was left
+   to claim. *)
+let claim_and_run j =
+  if j.next >= j.size then false
+  else begin
+    let i = j.next in
+    j.next <- i + 1;
+    Mutex.unlock pool_mu;
+    j.run i;
+    Mutex.lock pool_mu;
+    j.unfinished <- j.unfinished - 1;
+    if j.unfinished = 0 then Condition.broadcast pool_cv;
+    true
+  end
+
+let worker_loop () =
+  Dls.set in_worker true;
+  Mutex.lock pool_mu;
+  let live = ref true in
+  while !live do
+    match !current_job with
+    | Some j when j.next < j.size -> ignore (claim_and_run j)
+    | _ -> if !stopping then live := false else Condition.wait pool_cv pool_mu
+  done;
+  Mutex.unlock pool_mu
+
+(* Serialises coordinators: only one [map] job is in flight at a time,
+   so [current_job] is a single slot rather than a queue. *)
+let coord_mu = Mutex.create ()
+
+(* Joining the workers matters beyond hygiene: an idle domain's backup
+   thread still takes part in every stop-the-world minor collection, so
+   a parked pool taxes allocation-heavy sequential phases by 2-4x.
+   [stopping] is reset after the join so the next [map] can respawn. *)
+let shutdown () =
+  Mutex.lock coord_mu;
+  Mutex.lock pool_mu;
+  stopping := true;
+  Condition.broadcast pool_cv;
+  let ds = !spawned in
+  spawned := [];
+  Mutex.unlock pool_mu;
+  List.iter Domain.join ds;
+  Mutex.lock pool_mu;
+  stopping := false;
+  Mutex.unlock pool_mu;
+  Mutex.unlock coord_mu
+
+(* Ensure [extra] worker domains exist; caller holds pool_mu. *)
+let ensure_workers extra =
+  if not !exit_hooked then begin
+    exit_hooked := true;
+    at_exit shutdown
+  end;
+  let have = List.length !spawned in
+  for _ = have + 1 to extra do
+    spawned := Domain.spawn worker_loop :: !spawned
+  done
+
+let map_parallel f arr =
+  let n = Array.length arr in
+  let results = Array.make n None in
+  let errors = Array.make n None in
+  let run i =
+    match f arr.(i) with
+    | v -> results.(i) <- Some v
+    | exception e -> errors.(i) <- Some e
+  in
+  let j = { run; size = n; next = 0; unfinished = n } in
+  Mutex.lock coord_mu;
+  Mutex.lock pool_mu;
+  ensure_workers (Atomic.get target - 1);
+  current_job := Some j;
+  Condition.broadcast pool_cv;
+  (* The coordinator participates until the queue is empty, then waits
+     for the stragglers.  While it runs slots it counts as a worker:
+     [f] re-entering [map] on the coordinator's own slot must take the
+     sequential path like any worker's, not re-lock [coord_mu]. *)
+  Dls.set in_worker true;
+  while claim_and_run j do
+    ()
+  done;
+  Dls.set in_worker false;
+  while j.unfinished > 0 do
+    Condition.wait pool_cv pool_mu
+  done;
+  current_job := None;
+  Mutex.unlock pool_mu;
+  Mutex.unlock coord_mu;
+  (match Array.to_seq errors |> Seq.find_map Fun.id with
+  | Some e -> raise e
+  | None -> ());
+  Array.map (function Some v -> v | None -> assert false) results
+
+let map f arr =
+  if Array.length arr <= 1 || Atomic.get target <= 1 || Dls.get in_worker then
+    Array.map f arr
+  else map_parallel f arr
